@@ -1,0 +1,197 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (sec 8) plus micro-benchmarks of the core data structures.
+
+   Usage:
+     main.exe                 run everything in paper order
+     main.exe fig7 fig8       run selected experiments
+     main.exe --quick [...]   smaller grids and horizons
+     main.exe --list          list experiment names *)
+
+open Bechamel
+open Toolkit
+module H = Draconis_harness
+
+(* -- Bechamel micro-benchmarks ------------------------------------------- *)
+
+let micro_tests () =
+  let open Draconis_sim in
+  let open Draconis_proto in
+  let heap_test =
+    Test.make ~name:"heap push+pop x100"
+      (Staged.stage (fun () ->
+           let heap = Heap.create ~compare () in
+           for i = 0 to 99 do
+             Heap.push heap ((i * 7919) mod 100) i
+           done;
+           while not (Heap.is_empty heap) do
+             ignore (Heap.pop heap)
+           done))
+  in
+  let engine_test =
+    Test.make ~name:"engine schedule+run x100"
+      (Staged.stage (fun () ->
+           let engine = Engine.create () in
+           for i = 1 to 100 do
+             ignore (Engine.schedule engine ~after:i (fun () -> ()))
+           done;
+           Engine.run engine))
+  in
+  let rng = Rng.create ~seed:1 in
+  let rng_test =
+    Test.make ~name:"rng bits64" (Staged.stage (fun () -> ignore (Rng.bits64 rng)))
+  in
+  let tasks =
+    List.init 10 (fun tid ->
+        Task.make ~uid:1 ~jid:2 ~tid ~fn_id:Task.Fn.busy_loop ~fn_par:100_000 ())
+  in
+  let msg =
+    Message.Job_submission
+      { client = Draconis_net.Addr.Host 11; uid = 1; jid = 2; tasks }
+  in
+  let codec_test =
+    Test.make ~name:"codec encode+decode job(10 tasks)"
+      (Staged.stage (fun () ->
+           match Codec.decode (Codec.encode msg) with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  let queue = Draconis.Circular_queue.create ~name:"bench" ~capacity:1024 () in
+  let entry =
+    Draconis.Entry.make
+      ~task:(Task.make ~uid:1 ~jid:1 ~tid:1 ~fn_id:1 ~fn_par:100_000 ())
+      ~client:(Draconis_net.Addr.Host 11) ()
+  in
+  let queue_test =
+    Test.make ~name:"circular queue enqueue+dequeue"
+      (Staged.stage (fun () ->
+           let ctx1 = Draconis_p4.Packet_ctx.create () in
+           (match Draconis.Circular_queue.enqueue queue ctx1 entry with
+           | Draconis.Circular_queue.Enqueued _ -> ()
+           | Draconis.Circular_queue.Rejected _ -> assert false);
+           let ctx2 = Draconis_p4.Packet_ctx.create () in
+           match Draconis.Circular_queue.dequeue queue ctx2 with
+           | Draconis.Circular_queue.Dequeued _ -> ()
+           | Draconis.Circular_queue.Empty | Draconis.Circular_queue.Repair_pending ->
+             assert false))
+  in
+  let swap_test =
+    let swap_queue = Draconis.Circular_queue.create ~name:"bench-swap" ~capacity:64 () in
+    (* Keep two pending tasks so the swap always hits a valid slot. *)
+    let seed_ctx = Draconis_p4.Packet_ctx.create () in
+    (match Draconis.Circular_queue.enqueue swap_queue seed_ctx entry with
+    | Draconis.Circular_queue.Enqueued _ -> ()
+    | Draconis.Circular_queue.Rejected _ -> assert false);
+    Test.make ~name:"circular queue task swap"
+      (Staged.stage (fun () ->
+           let ctx = Draconis_p4.Packet_ctx.create () in
+           match Draconis.Circular_queue.swap swap_queue ctx ~index:0 entry with
+           | Draconis.Circular_queue.Swapped _ -> ()
+           | Draconis.Circular_queue.Slot_invalid -> assert false))
+  in
+  let table_lookup_test =
+    let table = Draconis_p4.Table.create ~name:"bench" ~default:(-1) () in
+    for i = 0 to 255 do
+      Draconis_p4.Table.add_exact table ~key:i i
+    done;
+    let key = ref 0 in
+    Test.make ~name:"match-action table lookup"
+      (Staged.stage (fun () ->
+           key := (!key + 1) land 255;
+           ignore (Draconis_p4.Table.lookup table ~key:!key)))
+  in
+  let trace_emit_test =
+    Test.make ~name:"trace emit (disabled)"
+      (Staged.stage (fun () ->
+           Draconis_sim.Trace.emit ~at:0 Draconis_sim.Trace.Host (lazy "x")))
+  in
+  [ heap_test; engine_test; rng_test; codec_test; queue_test; swap_test;
+    table_lookup_test; trace_emit_test ]
+
+let run_micro ?quick:_ () =
+  print_endline "\n== Micro-benchmarks (core data structures) ==";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:true ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | Some [] | None -> nan
+          in
+          Printf.printf "%-40s %10.1f ns/op\n%!" name ns)
+        analyzed)
+    (micro_tests ())
+
+(* -- experiment registry -------------------------------------------------- *)
+
+let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
+  [
+    ("fig5a", "load vs p99 scheduling delay, all systems, 500us tasks", H.Fig5a.run);
+    ("fig5b", "scheduling throughput, no-op workload", H.Fig5b.run);
+    ("fig6", "p99 scheduling delay across the synthetic suite", H.Fig6.run);
+    ("fig7", "task drops and recirculation, 250us tasks", H.Fig7.run);
+    ("fig8", "effect of the JBSQ bound on R2P2", H.Fig8.run);
+    ("fig9", "scheduling-delay CDF on the Google trace", H.Fig9.run);
+    ("fig10", "locality-aware scheduling vs FCFS", H.Fig10.run);
+    ("fig11", "throughput under resource constraints", H.Fig11.run);
+    ("fig12", "queueing delay across priority levels", H.Fig12.run);
+    ("fig13", "get_task() latency across priority levels", H.Fig13.run);
+    ("resources", "sec 7 switch resource estimates", H.Resource_table.run);
+    ("scaling", "sec 8.2 cluster-scale projection", H.Scaling.run);
+    ("others", "sec 8 'other schedulers' (Spark native, Firmament)", H.Others.run);
+    ("ablations", "design-choice ablations", H.Ablations.run);
+    ("micro", "bechamel micro-benchmarks", run_micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  (* --csv DIR: also write every table as CSV under DIR. *)
+  let rec csv_dir = function
+    | "--csv" :: dir :: _ -> Some dir
+    | _ :: rest -> csv_dir rest
+    | [] -> None
+  in
+  Draconis_stats.Table.set_csv_dir (csv_dir args);
+  let names =
+    let rec drop_flags = function
+      | "--csv" :: _ :: rest -> drop_flags rest
+      | a :: rest when String.length a > 1 && a.[0] = '-' -> drop_flags rest
+      | a :: rest -> a :: drop_flags rest
+      | [] -> []
+    in
+    drop_flags args
+  in
+  if List.mem "--list" args then
+    List.iter (fun (name, descr, _) -> Printf.printf "%-10s %s\n" name descr) experiments
+  else begin
+    let selected =
+      if names = [] then experiments
+      else
+        List.map
+          (fun name ->
+            match List.find_opt (fun (n, _, _) -> n = name) experiments with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment %S (try --list)\n" name;
+              exit 1)
+          names
+    in
+    List.iter
+      (fun (name, descr, run) ->
+        Printf.printf "\n#### %s: %s%s\n%!" name descr (if quick then " [quick]" else "");
+        let t0 = Unix.gettimeofday () in
+        (run : ?quick:bool -> unit -> unit) ~quick ();
+        Printf.printf "(%s took %.1fs)\n%!" name (Unix.gettimeofday () -. t0))
+      selected
+  end

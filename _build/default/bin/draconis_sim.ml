@@ -1,0 +1,272 @@
+(* draconis-sim: command-line front end for the Draconis reproduction.
+
+   Subcommands:
+     run        simulate one scheduler under a synthetic workload
+     figures    regenerate the paper's tables/figures (same as bench)
+     resources  print the sec-7 switch-capacity estimates *)
+
+open Cmdliner
+open Draconis_sim
+module H = Draconis_harness
+module W = Draconis_workload
+
+(* -- run ------------------------------------------------------------------- *)
+
+let system_names =
+  [ "draconis"; "r2p2-1"; "r2p2-3"; "r2p2-5"; "racksched"; "sparrow"; "sparrow2";
+    "dpdk-server"; "socket-server" ]
+
+let make_system name (spec : H.Systems.spec) timeout_us =
+  let timeout = Option.map Time.us timeout_us in
+  match name with
+  | "draconis" -> H.Systems.draconis ?client_timeout:timeout spec
+  | "r2p2-1" -> H.Systems.r2p2 ~k:1 ?client_timeout:timeout spec
+  | "r2p2-3" -> H.Systems.r2p2 ~k:3 ?client_timeout:timeout spec
+  | "r2p2-5" -> H.Systems.r2p2 ~k:5 ?client_timeout:timeout spec
+  | "racksched" -> H.Systems.racksched ?client_timeout:timeout spec
+  | "sparrow" -> H.Systems.sparrow ~schedulers:1 spec
+  | "sparrow2" -> H.Systems.sparrow ~schedulers:2 spec
+  | "dpdk-server" ->
+    H.Systems.central_server Draconis_baselines.Central_server.Dpdk spec
+  | "socket-server" ->
+    H.Systems.central_server Draconis_baselines.Central_server.Socket spec
+  | other -> invalid_arg ("unknown system: " ^ other)
+
+let run_cmd system_name workload_name load_tps utilization workers epw clients seed
+    horizon_ms timeout_us =
+  match W.Synthetic.of_name workload_name with
+  | None ->
+    Printf.eprintf "unknown workload %S; try: %s\n" workload_name
+      (String.concat ", " (List.map W.Synthetic.name W.Synthetic.all));
+    exit 1
+  | Some kind ->
+    let spec = { H.Systems.workers; executors_per_worker = epw; clients; seed } in
+    let executors = workers * epw in
+    let load =
+      match (load_tps, utilization) with
+      | Some tps, _ -> tps
+      | None, u -> u *. H.Exp_common.capacity_tps kind ~executors
+    in
+    let horizon = Time.ms horizon_ms in
+    let system = make_system system_name spec timeout_us in
+    let driver = H.Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+    let o = H.Runner.run system ~driver ~load_tps:load ~horizon () in
+    Format.printf "%a@." H.Runner.pp_outcome o;
+    Printf.printf
+      "  p50 %.1f us | p99 %.1f us | mean %.1f us | decisions %.0f/s\n"
+      (float_of_int o.sched_p50 /. 1e3)
+      (float_of_int o.sched_p99 /. 1e3)
+      (o.sched_mean /. 1e3) o.decisions_per_sec;
+    Printf.printf
+      "  submitted %d | started %d | completed %d | timeouts %d | rejected %d\n"
+      o.submitted o.started o.completed o.timeouts o.rejected;
+    Printf.printf "  recirculation %.3f%% | recirc drops %d | drained %b\n"
+      (100.0 *. o.recirc_fraction) o.recirc_drops o.drained
+
+let run_term =
+  let system =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) system_names)) "draconis"
+      & info [ "s"; "system" ] ~docv:"SYSTEM"
+          ~doc:"Scheduler to simulate: $(docv) is one of draconis, r2p2-{1,3,5}, \
+                racksched, sparrow, sparrow2, dpdk-server, socket-server.")
+  in
+  let workload =
+    Arg.(
+      value & opt string "500us"
+      & info [ "w"; "workload" ] ~docv:"KIND"
+          ~doc:"Synthetic workload: 100us, 250us, 500us, bimodal, trimodal, exp-250us.")
+  in
+  let load =
+    Arg.(
+      value & opt (some float) None
+      & info [ "load" ] ~docv:"TPS" ~doc:"Offered load in tasks per second.")
+  in
+  let util =
+    Arg.(
+      value & opt float 0.5
+      & info [ "u"; "utilization" ] ~docv:"FRACTION"
+          ~doc:"Offered load as a fraction of cluster capacity (ignored if --load is set).")
+  in
+  let workers =
+    Arg.(value & opt int 10 & info [ "workers" ] ~docv:"N" ~doc:"Worker nodes.")
+  in
+  let epw =
+    Arg.(
+      value & opt int 16
+      & info [ "executors-per-worker" ] ~docv:"N" ~doc:"Executors per worker node.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N" ~doc:"Client hosts.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let horizon =
+    Arg.(
+      value & opt int 200
+      & info [ "horizon-ms" ] ~docv:"MS" ~doc:"Submission window, milliseconds.")
+  in
+  let timeout =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-us" ] ~docv:"US"
+          ~doc:"Client per-task timeout in microseconds (enables resubmission).")
+  in
+  Term.(
+    const run_cmd $ system $ workload $ load $ util $ workers $ epw $ clients $ seed
+    $ horizon $ timeout)
+
+let run_info =
+  Cmd.info "run" ~doc:"Simulate one scheduler under a synthetic workload"
+
+(* -- figures ------------------------------------------------------------------ *)
+
+let figures_cmd quick names =
+  let all =
+    [
+      ("fig5a", H.Fig5a.run); ("fig5b", H.Fig5b.run); ("fig6", H.Fig6.run);
+      ("fig7", H.Fig7.run); ("fig8", H.Fig8.run); ("fig9", H.Fig9.run);
+      ("fig10", H.Fig10.run); ("fig11", H.Fig11.run); ("fig12", H.Fig12.run);
+      ("fig13", H.Fig13.run); ("resources", H.Resource_table.run);
+      ("scaling", H.Scaling.run); ("others", H.Others.run);
+      ("ablations", H.Ablations.run);
+    ]
+  in
+  let selected =
+    if names = [] then all
+    else
+      List.map
+        (fun name ->
+          match List.assoc_opt name all with
+          | Some run -> (name, run)
+          | None ->
+            Printf.eprintf "unknown figure %S\n" name;
+            exit 1)
+        names
+  in
+  List.iter
+    (fun (_, (run : ?quick:bool -> unit -> unit)) -> run ~quick ())
+    selected
+
+let figures_term =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller grids and horizons.")
+  in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"FIGURE" ~doc:"Figures to run.")
+  in
+  Term.(const figures_cmd $ quick $ names)
+
+let figures_info =
+  Cmd.info "figures" ~doc:"Regenerate the paper's evaluation tables and figures"
+
+(* -- trace ------------------------------------------------------------------ *)
+
+let trace_generate_cmd path mean_us rate horizon_ms seed levels =
+  let spec =
+    {
+      W.Google_trace.default_spec with
+      mean_duration = Time.us mean_us;
+      rate_tps = rate;
+      horizon = Time.ms horizon_ms;
+      priority_levels = levels;
+    }
+  in
+  let trace = W.Trace_file.generate (Rng.create ~seed) spec in
+  W.Trace_file.save trace ~path;
+  Printf.printf "wrote %d tasks in %d jobs to %s\n" (W.Trace_file.task_count trace)
+    (List.length trace) path
+
+let trace_replay_cmd path system_name workers epw timeout_us =
+  let spec =
+    { H.Systems.default_spec with workers; executors_per_worker = epw; clients = 1 }
+  in
+  let trace = W.Trace_file.load ~path in
+  let horizon =
+    List.fold_left (fun acc job -> max acc job.W.Trace_file.arrival) 0 trace
+  in
+  let system = make_system system_name spec timeout_us in
+  let driver engine _rng ~submit = W.Trace_file.drive engine trace ~submit in
+  let o =
+    H.Runner.run system ~driver
+      ~load_tps:(float_of_int (W.Trace_file.task_count trace) /. Time.to_s horizon)
+      ~horizon ()
+  in
+  Format.printf "%a@." H.Runner.pp_outcome o
+
+let trace_term =
+  let path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("generate", `Generate); ("replay", `Replay) ])) None
+      & info [] ~docv:"ACTION" ~doc:"generate or replay.")
+  in
+  let mean_us =
+    Arg.(value & opt int 500 & info [ "mean-us" ] ~docv:"US" ~doc:"Mean task duration.")
+  in
+  let rate =
+    Arg.(value & opt float 100_000.0 & info [ "rate" ] ~docv:"TPS" ~doc:"Task rate.")
+  in
+  let horizon =
+    Arg.(value & opt int 200 & info [ "horizon-ms" ] ~docv:"MS" ~doc:"Trace length.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let levels =
+    Arg.(value & opt int 0 & info [ "priority-levels" ] ~docv:"N" ~doc:"0 disables.")
+  in
+  let system =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) system_names)) "draconis"
+      & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc:"Scheduler for replay.")
+  in
+  let workers =
+    Arg.(value & opt int 10 & info [ "workers" ] ~docv:"N" ~doc:"Worker nodes.")
+  in
+  let epw =
+    Arg.(
+      value & opt int 16
+      & info [ "executors-per-worker" ] ~docv:"N" ~doc:"Executors per worker.")
+  in
+  let timeout =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-us" ] ~docv:"US" ~doc:"Client per-task timeout.")
+  in
+  let run action path mean_us rate horizon seed levels system workers epw timeout =
+    match action with
+    | `Generate -> trace_generate_cmd path mean_us rate horizon seed levels
+    | `Replay -> trace_replay_cmd path system workers epw timeout
+  in
+  Term.(
+    const run $ action $ path $ mean_us $ rate $ horizon $ seed $ levels $ system
+    $ workers $ epw $ timeout)
+
+let trace_info =
+  Cmd.info "trace" ~doc:"Generate a workload trace file or replay one"
+
+(* -- resources ------------------------------------------------------------------ *)
+
+let resources_cmd () = H.Resource_table.run ()
+
+let resources_info =
+  Cmd.info "resources" ~doc:"Print the sec-7 switch resource estimates"
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "draconis-sim" ~version:"1.0.0"
+      ~doc:"Simulated reproduction of Draconis (EuroSys '24)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            Cmd.v run_info run_term;
+            Cmd.v figures_info figures_term;
+            Cmd.v trace_info trace_term;
+            Cmd.v resources_info (Term.(const resources_cmd $ const ()));
+          ]))

@@ -1,0 +1,1 @@
+examples/burst_survival.ml: Draconis_harness Draconis_proto Draconis_sim Engine Float List Printf Rng Task Time

@@ -1,0 +1,1 @@
+examples/gpu_inference.ml: Array Client Cluster Draconis Draconis_proto Draconis_sim Engine List Metrics Policy Printf Rng Switch_program Task Time Worker

@@ -1,0 +1,1 @@
+examples/locality_analytics.ml: Client Cluster Draconis Draconis_proto Draconis_sim Draconis_stats Engine Metrics Policy Printf Rng Task Time

@@ -1,0 +1,1 @@
+examples/priority_trading.ml: Client Cluster Dist Draconis Draconis_proto Draconis_sim Draconis_stats Engine List Metrics Policy Printf Rng Task Time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Client Cluster Draconis Draconis_p4 Draconis_proto Draconis_sim Draconis_stats Engine List Metrics Printf Rng Switch_program Task Time

@@ -1,0 +1,1 @@
+examples/switch_failover.ml: Client Cluster Draconis Draconis_proto Draconis_sim Draconis_stats Engine Metrics Printf Task Time

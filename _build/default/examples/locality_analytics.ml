@@ -1,0 +1,72 @@
+(* Locality-aware scheduling for a data-analytics scan (paper sec 5.3).
+
+   A 3-rack cluster holds an unreplicated, evenly partitioned dataset;
+   each scan task wants to run where its partition lives (free access),
+   tolerates the local rack (20 us penalty), and only reluctantly runs
+   across racks (100 us penalty).  The example runs the same workload
+   under the locality-aware policy and plain FCFS and compares placement
+   quality and end-to-end times.
+
+   Run with:  dune exec examples/locality_analytics.exe *)
+
+open Draconis_sim
+open Draconis_proto
+open Draconis
+
+let workers = 9
+let tasks_total = 3_000
+
+let run_policy ~name ~policy_of =
+  let cluster =
+    Cluster.create
+      {
+        Cluster.default_config with
+        workers;
+        executors_per_worker = 8;
+        clients = 1;
+        racks = 3;
+        policy_of;
+      }
+  in
+  Cluster.start cluster;
+  let client = Cluster.client cluster 0 in
+  let engine = Cluster.engine cluster in
+  let rng = Rng.create ~seed:11 in
+  (* One 100us scan task per partition access; each partition lives on
+     exactly one node. *)
+  for i = 0 to tasks_total - 1 do
+    ignore
+      (Engine.schedule engine ~after:(Time.us (3 * i)) (fun () ->
+           let home = Rng.int rng workers in
+           ignore
+             (Client.submit_job client
+                [
+                  Task.make ~uid:0 ~jid:0 ~tid:0 ~tprops:(Task.Locality [ home ])
+                    ~fn_id:Task.Fn.data_task ~fn_par:(Time.us 100) ();
+                ])))
+  done;
+  Cluster.run cluster ~until:(Time.ms 15);
+  ignore (Cluster.run_until_drained cluster ~deadline:(Time.s 2));
+  let m = Cluster.metrics cluster in
+  let p = Metrics.placement m in
+  let total = max 1 (p.Metrics.local + p.Metrics.same_rack + p.Metrics.remote) in
+  let pct n = 100.0 *. float_of_int n /. float_of_int total in
+  let e2e = Metrics.end_to_end_delay m in
+  Printf.printf
+    "%-18s local %5.1f%%  same-rack %5.1f%%  remote %5.1f%%   e2e p50 %7.1f us  p90 %7.1f us\n"
+    name (pct p.Metrics.local) (pct p.Metrics.same_rack) (pct p.Metrics.remote)
+    (float_of_int (Draconis_stats.Sampler.percentile e2e 50.0) /. 1e3)
+    (float_of_int (Draconis_stats.Sampler.percentile e2e 90.0) /. 1e3)
+
+let () =
+  Printf.printf "Scan of %d partition tasks on a %d-node, 3-rack cluster:\n\n"
+    tasks_total workers;
+  run_policy ~name:"locality-aware"
+    ~policy_of:(fun topology ->
+      Policy.Locality_aware { rack_start_limit = 3; global_start_limit = 9; topology });
+  run_policy ~name:"plain FCFS" ~policy_of:(fun _ -> Policy.Fcfs);
+  print_newline ();
+  print_endline
+    "The locality policy trades a little scheduling delay (tasks wait for a\n\
+     data-local or rack-local executor) for far fewer remote reads, which\n\
+     shows up as a lower median end-to-end time."

@@ -1,0 +1,1 @@
+lib/baselines/central_server.ml: Addr Array Client Cpu Draconis Draconis_net Draconis_proto Draconis_sim Engine Executor Fabric Fn_model Hashtbl List Message Metrics Queue Rng Task Time Worker

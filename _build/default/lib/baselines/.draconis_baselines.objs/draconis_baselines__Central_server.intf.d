@@ -1,0 +1,1 @@
+lib/baselines/central_server.mli: Client Draconis Draconis_net Draconis_sim Engine Fabric Metrics Time

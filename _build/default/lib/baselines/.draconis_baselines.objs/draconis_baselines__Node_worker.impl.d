@@ -1,0 +1,1 @@
+lib/baselines/node_worker.ml: Addr Draconis Draconis_net Draconis_proto Draconis_sim Engine Queue Rng Task Time

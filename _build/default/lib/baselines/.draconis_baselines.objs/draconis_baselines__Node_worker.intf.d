@@ -1,0 +1,1 @@
+lib/baselines/node_worker.mli: Addr Draconis Draconis_net Draconis_proto Draconis_sim Engine Rng Task Time

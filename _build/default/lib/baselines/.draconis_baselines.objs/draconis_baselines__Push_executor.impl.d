@@ -1,0 +1,1 @@
+lib/baselines/push_executor.ml: Addr Draconis Draconis_net Draconis_proto Draconis_sim Engine List Queue Task

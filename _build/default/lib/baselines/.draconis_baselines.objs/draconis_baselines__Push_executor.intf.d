@@ -1,0 +1,1 @@
+lib/baselines/push_executor.mli: Addr Draconis Draconis_net Draconis_proto Draconis_sim Engine Task

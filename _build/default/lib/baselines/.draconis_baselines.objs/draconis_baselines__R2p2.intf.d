@@ -1,0 +1,1 @@
+lib/baselines/r2p2.mli: Addr Client Draconis Draconis_net Draconis_p4 Draconis_proto Draconis_sim Engine Fabric Message Metrics Pipeline Task Time

@@ -1,0 +1,1 @@
+lib/baselines/racksched.ml: Addr Array Client Draconis Draconis_net Draconis_p4 Draconis_proto Draconis_sim Engine Fabric Fn_model Message Metrics Node_worker Pipeline Printf Register Rng Task Time

@@ -1,0 +1,1 @@
+lib/baselines/racksched.mli: Client Draconis Draconis_net Draconis_p4 Draconis_proto Draconis_sim Engine Fabric Message Metrics Node_worker Pipeline Time

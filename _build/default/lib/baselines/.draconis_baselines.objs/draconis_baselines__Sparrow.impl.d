@@ -1,0 +1,1 @@
+lib/baselines/sparrow.ml: Addr Array Cpu Draconis Draconis_net Draconis_proto Draconis_sim Engine Fabric Fn_model Hashtbl List Metrics Queue Rng Task Time

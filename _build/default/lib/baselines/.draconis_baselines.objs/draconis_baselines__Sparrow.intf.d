@@ -1,0 +1,1 @@
+lib/baselines/sparrow.mli: Draconis Draconis_net Draconis_proto Draconis_sim Engine Fabric Metrics Task Time

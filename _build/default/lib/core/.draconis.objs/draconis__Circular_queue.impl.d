@@ -1,0 +1,1 @@
+lib/core/circular_queue.ml: Array Draconis_p4 Entry Printf Register

@@ -1,0 +1,1 @@
+lib/core/circular_queue.mli: Draconis_p4 Entry Packet_ctx Register

@@ -1,0 +1,1 @@
+lib/core/client.ml: Addr Array Codec Draconis_net Draconis_proto Draconis_sim Engine Fabric Hashtbl List Message Metrics Option Task Time

@@ -1,0 +1,1 @@
+lib/core/client.mli: Addr Draconis_net Draconis_proto Draconis_sim Fabric Message Metrics Task Time

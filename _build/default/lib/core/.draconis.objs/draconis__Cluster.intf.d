@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Client Draconis_net Draconis_p4 Draconis_proto Draconis_sim Engine Fabric Metrics Pipeline Policy Switch_packet Switch_program Time Topology Worker

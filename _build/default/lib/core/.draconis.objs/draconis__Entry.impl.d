@@ -1,0 +1,1 @@
+lib/core/entry.ml: Addr Array Draconis_net Draconis_proto Format List Task

@@ -1,0 +1,1 @@
+lib/core/entry.mli: Addr Draconis_net Draconis_proto Format Task

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Addr Draconis_net Draconis_proto Draconis_sim Engine Fabric Fn_model Message Task Time

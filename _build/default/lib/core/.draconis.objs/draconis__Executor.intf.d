@@ -1,0 +1,1 @@
+lib/core/executor.mli: Addr Draconis_net Draconis_proto Draconis_sim Fabric Fn_model Message Task Time

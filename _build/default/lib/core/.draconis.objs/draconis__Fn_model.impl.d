@@ -1,0 +1,1 @@
+lib/core/fn_model.ml: Draconis_net Draconis_proto Draconis_sim List Task Time Topology

@@ -1,0 +1,1 @@
+lib/core/fn_model.mli: Draconis_net Draconis_proto Draconis_sim Task Time Topology

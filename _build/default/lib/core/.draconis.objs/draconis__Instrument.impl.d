@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Draconis_proto Draconis_sim Task Time

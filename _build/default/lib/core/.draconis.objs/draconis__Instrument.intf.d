@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Draconis_proto Draconis_sim Task Time

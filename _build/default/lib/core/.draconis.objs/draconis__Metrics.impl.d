@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Draconis_net Draconis_proto Draconis_sim Draconis_stats Engine Hashtbl Instrument List Meter Sampler Task Time Topology

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Draconis_net Draconis_proto Draconis_sim Draconis_stats Engine Instrument Meter Sampler Task Time Topology

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Draconis_net Draconis_proto Entry Format List Message Task Topology

@@ -1,0 +1,1 @@
+lib/core/policy.mli: Draconis_net Draconis_proto Entry Format Message Task Topology

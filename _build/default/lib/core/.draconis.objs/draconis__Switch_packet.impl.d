@@ -1,0 +1,1 @@
+lib/core/switch_packet.ml: Draconis_proto Draconis_sim Entry Format Message Time

@@ -1,0 +1,1 @@
+lib/core/switch_program.ml: Array Circular_queue Draconis_p4 Draconis_proto Draconis_sim Engine Entry Instrument List Message Pipeline Policy Printf Switch_packet Trace

@@ -1,0 +1,1 @@
+lib/core/switch_program.mli: Circular_queue Draconis_p4 Draconis_proto Draconis_sim Engine Instrument Policy Switch_packet

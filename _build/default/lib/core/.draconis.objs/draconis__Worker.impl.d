@@ -1,0 +1,1 @@
+lib/core/worker.ml: Addr Array Draconis_net Draconis_proto Executor Fabric Message

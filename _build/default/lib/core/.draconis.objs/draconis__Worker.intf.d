@@ -1,0 +1,1 @@
+lib/core/worker.mli: Draconis_net Draconis_proto Draconis_sim Executor Fabric Message Task Time

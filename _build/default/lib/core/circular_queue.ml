@@ -1,0 +1,211 @@
+open Draconis_p4
+
+type t = {
+  name : string;
+  capacity : int;
+  wrap : int;  (* pointer modulus: largest multiple of capacity <= 2^32 *)
+  add_ptr : Register.t;
+  retrieve_ptr : Register.t;
+  add_repair_flag : Register.t;
+  retrieve_repair_flag : Register.t;
+  words : Register.t array;  (* one array per entry word *)
+  stamps : Register.t;  (* write-index of the occupying task *)
+}
+
+(* The stamp value marking a free slot.  On hardware this is a separate
+   valid bit; here we use the (unreachable) wrap modulus itself. *)
+let free_stamp t = t.wrap
+
+let max_capacity = 1 lsl 28
+
+let create ~name ~capacity () =
+  if capacity < 1 then invalid_arg "Circular_queue.create: capacity must be >= 1";
+  if capacity > max_capacity then
+    invalid_arg "Circular_queue.create: capacity too large for 32-bit pointers";
+  let wrap = (1 lsl 32) / capacity * capacity in
+  let reg suffix size = Register.create ~name:(name ^ "." ^ suffix) ~size () in
+  let stamps = reg "stamp" capacity in
+  let t =
+    {
+      name;
+      capacity;
+      wrap;
+      add_ptr = reg "add_ptr" 1;
+      retrieve_ptr = reg "retrieve_ptr" 1;
+      add_repair_flag = reg "add_repair_flag" 1;
+      retrieve_repair_flag = reg "retrieve_repair_flag" 1;
+      words = Array.init Entry.word_count (fun i -> reg (Printf.sprintf "word%d" i) capacity);
+      stamps;
+    }
+  in
+  (* Stamps are initialised to the free sentinel from the control plane,
+     as the switch CPU would do before enabling the pipeline. *)
+  for i = 0 to capacity - 1 do
+    Register.poke stamps i (free_stamp t)
+  done;
+  t
+
+let capacity t = t.capacity
+let name t = t.name
+let wrap_modulus t = t.wrap
+
+(* -- wrap-aware pointer arithmetic ---------------------------------------- *)
+
+let next_index t p = if p + 1 >= t.wrap then 0 else p + 1
+let distance t ~ahead ~behind = (ahead - behind + t.wrap) mod t.wrap
+
+(* Pointers never legitimately drift more than a few capacities apart, so
+   any distance beyond half the wrap range means "actually behind". *)
+let is_ahead t a b =
+  let d = distance t ~ahead:a ~behind:b in
+  d > 0 && d <= t.wrap / 2
+
+type enqueue_outcome =
+  | Enqueued of { index : int; retrieve_repair : int option }
+  | Rejected of { add_repair : int option }
+
+let read_and_advance t reg ctx =
+  Register.read_modify_write reg ctx 0 (fun v -> next_index t v)
+
+let enqueue t ctx entry =
+  (* (1) pointer stage: optimistic read-and-increment (§4.2). *)
+  let a = read_and_advance t t.add_ptr ctx in
+  let r = Register.read t.retrieve_ptr ctx 0 in
+  let occupancy = distance t ~ahead:a ~behind:r in
+  (* [occupancy] beyond half the range means the retrieve pointer has
+     overrun (queue empty + polled); that is never "full". *)
+  let full = occupancy >= t.capacity && occupancy <= t.wrap / 2 in
+  (* (3) flag stage: one RMW per flag.  The add flag is set by the first
+     full-detecting packet; while it is set, later submissions treat the
+     queue as full because add_ptr is inflated and their index would be
+     unreliable (§4.7.1). *)
+  let old_add_flag =
+    Register.read_modify_write t.add_repair_flag ctx 0 (fun f ->
+        if full && f = 0 then 1 else f)
+  in
+  if full || old_add_flag = 1 then begin
+    (* Touch the retrieve flag too so the access pattern is uniform for
+       every job_submission packet (P4 programs have a static layout). *)
+    ignore (Register.read t.retrieve_repair_flag ctx 0);
+    Rejected { add_repair = (if full && old_add_flag = 0 then Some a else None) }
+  end
+  else begin
+    (* Lazy retrieve-pointer repair: r overran past the slot we are
+       filling, so point it back at the newly added task (§4.5). *)
+    let overrun = is_ahead t r a in
+    let old_retrieve_flag =
+      Register.read_modify_write t.retrieve_repair_flag ctx 0 (fun f ->
+          if overrun && f = 0 then 1 else f)
+    in
+    (* (5) egress queue access: write the entry words and stamp. *)
+    let slot = a mod t.capacity in
+    let image = Entry.to_words entry in
+    Array.iteri (fun i word -> Register.write t.words.(i) ctx slot word) image;
+    Register.write t.stamps ctx slot a;
+    Enqueued
+      {
+        index = a;
+        retrieve_repair = (if overrun && old_retrieve_flag = 0 then Some a else None);
+      }
+  end
+
+type dequeue_outcome =
+  | Dequeued of { index : int; entry : Entry.t }
+  | Empty
+  | Repair_pending
+
+let dequeue t ctx =
+  (* (1) pointer stage. *)
+  let r = read_and_advance t t.retrieve_ptr ctx in
+  (* (3) flag stage: a pending retrieve repair means r is unreliable;
+     answer with a no-op and let the repair land (§4.7.2). *)
+  let flag = Register.read t.retrieve_repair_flag ctx 0 in
+  if flag = 1 then Repair_pending
+  else begin
+    (* (5) egress: the stamp check is the task-validity test of §4.5 —
+       it fails when the queue is empty (the optimistic increment was a
+       mistake, to be lazily repaired) and in pointer-repair windows. *)
+    let slot = r mod t.capacity in
+    let stamp = Register.read_modify_write t.stamps ctx slot (fun _ -> free_stamp t) in
+    if stamp <> r then Empty
+    else begin
+      let image =
+        Array.init Entry.word_count (fun i -> Register.read t.words.(i) ctx slot)
+      in
+      Dequeued { index = r; entry = Entry.of_words image }
+    end
+  end
+
+let apply_repair_add t ctx ~target =
+  Register.write t.add_ptr ctx 0 (target mod t.wrap);
+  Register.write t.add_repair_flag ctx 0 0
+
+let apply_repair_retrieve t ctx ~target =
+  Register.write t.retrieve_ptr ctx 0 (target mod t.wrap);
+  Register.write t.retrieve_repair_flag ctx 0 0
+
+let read_pointers t ctx =
+  let a = Register.read t.add_ptr ctx 0 in
+  let r = Register.read t.retrieve_ptr ctx 0 in
+  (a, r)
+
+type swap_outcome = Swapped of Entry.t | Slot_invalid
+
+let swap t ctx ~index entry =
+  let index = index mod t.wrap in
+  let slot = index mod t.capacity in
+  (* The stamp RMW both validates the slot and claims it for the
+     incoming task in a single access. *)
+  let old_stamp = Register.read_modify_write t.stamps ctx slot (fun _ -> index) in
+  if old_stamp <> index then begin
+    (* Not a pending task: restore the stamp we clobbered.  On hardware
+       the stamp RMW would be conditional on the predicate computed in
+       an earlier stage; the model performs the restore through the
+       control plane to keep the data-path access single. *)
+    Register.poke t.stamps slot old_stamp;
+    Slot_invalid
+  end
+  else begin
+    let image = Entry.to_words entry in
+    let old_image =
+      Array.mapi
+        (fun i word -> Register.read_modify_write t.words.(i) ctx slot (fun _ -> word))
+        image
+    in
+    Swapped (Entry.of_words old_image)
+  end
+
+let occupancy t =
+  let d =
+    distance t ~ahead:(Register.peek t.add_ptr 0) ~behind:(Register.peek t.retrieve_ptr 0)
+  in
+  if d > t.wrap / 2 then 0 else d
+
+let peek_add_ptr t = Register.peek t.add_ptr 0
+let peek_retrieve_ptr t = Register.peek t.retrieve_ptr 0
+let peek_add_repair_flag t = Register.peek t.add_repair_flag 0 = 1
+let peek_retrieve_repair_flag t = Register.peek t.retrieve_repair_flag 0 = 1
+
+let peek_entry t ~index =
+  let index = index mod t.wrap in
+  let slot = index mod t.capacity in
+  if Register.peek t.stamps slot <> index then None
+  else begin
+    let image = Array.init Entry.word_count (fun i -> Register.peek t.words.(i) slot) in
+    Some (Entry.of_words image)
+  end
+
+let register_bits t =
+  Register.bits t.add_ptr + Register.bits t.retrieve_ptr
+  + Register.bits t.add_repair_flag
+  + Register.bits t.retrieve_repair_flag
+  + Register.bits t.stamps
+  + Array.fold_left (fun acc reg -> acc + Register.bits reg) 0 t.words
+
+let registers t =
+  t.add_ptr :: t.retrieve_ptr :: t.add_repair_flag :: t.retrieve_repair_flag
+  :: t.stamps :: Array.to_list t.words
+
+let unsafe_set_pointers_for_test t ~add ~retrieve =
+  Register.poke t.add_ptr 0 (((add mod t.wrap) + t.wrap) mod t.wrap);
+  Register.poke t.retrieve_ptr 0 (((retrieve mod t.wrap) + t.wrap) mod t.wrap)

@@ -1,0 +1,149 @@
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+
+type config = {
+  host : int;
+  uid : int;
+  retry_delay : Time.t;
+  timeout : Time.t option;
+  max_resubmissions : int;
+  schedulers : Addr.t array;
+  param_size : int;
+}
+
+let default_config ~host ~uid =
+  {
+    host;
+    uid;
+    retry_delay = Time.us 50;
+    timeout = None;
+    max_resubmissions = 3;
+    schedulers = [| Addr.Switch |];
+    param_size = 0;
+  }
+
+type t = {
+  config : config;
+  fabric : Message.t Fabric.t;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  addr : Addr.t;
+  outstanding : (Task.id, Task.t) Hashtbl.t;
+  resubmissions : (Task.id, int) Hashtbl.t;
+  mutable next_jid : int;
+  mutable jobs_submitted : int;
+  mutable completions : int;
+  mutable queue_full_bounces : int;
+}
+
+let scheduler_for t ~jid =
+  t.config.schedulers.(jid mod Array.length t.config.schedulers)
+
+let rec send_chunks t ~jid tasks =
+  if tasks <> [] then begin
+    let rec take n acc rest =
+      match (n, rest) with
+      | 0, _ | _, [] -> (List.rev acc, rest)
+      | n, x :: rest -> take (n - 1) (x :: acc) rest
+    in
+    let chunk, rest = take Codec.max_tasks_per_packet [] tasks in
+    Fabric.send t.fabric ~src:t.addr ~dst:(scheduler_for t ~jid)
+      (Message.Job_submission
+         { client = t.addr; uid = t.config.uid; jid; tasks = chunk });
+    send_chunks t ~jid rest
+  end
+
+let arm_timeout t (task : Task.t) =
+  match t.config.timeout with
+  | None -> ()
+  | Some timeout ->
+    let rec check () =
+      if Hashtbl.mem t.outstanding task.id then begin
+        Metrics.note_timeout t.metrics task.id;
+        let tries = Option.value ~default:0 (Hashtbl.find_opt t.resubmissions task.id) in
+        if tries < t.config.max_resubmissions then begin
+          Hashtbl.replace t.resubmissions task.id (tries + 1);
+          send_chunks t ~jid:task.id.jid [ task ];
+          ignore (Engine.schedule t.engine ~after:timeout check)
+        end
+      end
+    in
+    ignore (Engine.schedule t.engine ~after:timeout check)
+
+let handle_queue_full t tasks =
+  t.queue_full_bounces <- t.queue_full_bounces + List.length tasks;
+  ignore
+    (Engine.schedule t.engine ~after:t.config.retry_delay (fun () ->
+         (* Retry only tasks still outstanding (a timeout resubmission
+            may have completed them meanwhile). *)
+         let pending = List.filter (fun (task : Task.t) -> Hashtbl.mem t.outstanding task.id) tasks in
+         match pending with
+         | [] -> ()
+         | first :: _ -> send_chunks t ~jid:first.id.jid pending))
+
+let handle_completion t (task_id : Task.id) =
+  if Hashtbl.mem t.outstanding task_id then begin
+    Hashtbl.remove t.outstanding task_id;
+    Hashtbl.remove t.resubmissions task_id;
+    t.completions <- t.completions + 1;
+    Metrics.note_complete t.metrics task_id
+  end
+
+let create ~config ~fabric ~metrics () =
+  let t =
+    {
+      config;
+      fabric;
+      engine = Fabric.engine fabric;
+      metrics;
+      addr = Addr.Host config.host;
+      outstanding = Hashtbl.create 1024;
+      resubmissions = Hashtbl.create 64;
+      next_jid = 0;
+      jobs_submitted = 0;
+      completions = 0;
+      queue_full_bounces = 0;
+    }
+  in
+  Fabric.register fabric t.addr (fun env ->
+      match env.Fabric.payload with
+      | Message.Queue_full { tasks; _ } -> handle_queue_full t tasks
+      | Message.Task_completion { task_id; _ } -> handle_completion t task_id
+      | Message.Param_fetch { task_id; node; port } ->
+        (* Serve the stored parameters of a transmission-function task
+           (§4.4) straight back to the requesting executor. *)
+        Fabric.send t.fabric ~src:t.addr ~dst:(Addr.Host node)
+          (Message.Param_data { task_id; port; size = t.config.param_size })
+      | Message.Job_ack _ -> ()
+      | Message.Job_submission _ | Message.Task_request _ | Message.Task_assignment _
+      | Message.Noop_assignment _ | Message.Param_data _ ->
+        ());
+  t
+
+let submit_job t tasks =
+  if tasks = [] then invalid_arg "Client.submit_job: empty job";
+  let jid = t.next_jid in
+  t.next_jid <- t.next_jid + 1;
+  t.jobs_submitted <- t.jobs_submitted + 1;
+  let tasks =
+    List.mapi
+      (fun tid (task : Task.t) ->
+        { task with id = { uid = t.config.uid; jid; tid } })
+      tasks
+  in
+  List.iter
+    (fun (task : Task.t) ->
+      Hashtbl.replace t.outstanding task.id task;
+      Metrics.note_submit t.metrics task.id;
+      arm_timeout t task)
+    tasks;
+  send_chunks t ~jid tasks;
+  jid
+
+let config t = t.config
+let addr t = t.addr
+let outstanding t = Hashtbl.length t.outstanding
+let jobs_submitted t = t.jobs_submitted
+let completions t = t.completions
+let queue_full_bounces t = t.queue_full_bounces

@@ -1,0 +1,156 @@
+open Draconis_sim
+open Draconis_net
+open Draconis_p4
+
+type config = {
+  seed : int;
+  workers : int;
+  executors_per_worker : int;
+  clients : int;
+  racks : int;
+  policy_of : Topology.t -> Policy.t;
+  queue_capacity : int;
+  fabric_config : Fabric.config;
+  pipeline_config : Pipeline.config;
+  noop_retry : Time.t;
+  rsrc_of_node : int -> int;
+  client_timeout : Time.t option;
+}
+
+let default_config =
+  {
+    seed = 42;
+    workers = 10;
+    executors_per_worker = 16;
+    clients = 2;
+    racks = 1;
+    policy_of = (fun _ -> Policy.Fcfs);
+    queue_capacity = 164_000;
+    fabric_config = Fabric.default_config;
+    pipeline_config = Pipeline.default_config;
+    noop_retry = Time.us 4;
+    rsrc_of_node = (fun _ -> 0xFFFFFFFF);
+    client_timeout = None;
+  }
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  fabric : Draconis_proto.Message.t Fabric.t;
+  pipeline : (Draconis_proto.Message.t, Switch_packet.t) Pipeline.t;
+  mutable program : Switch_program.t;
+  topology : Topology.t;
+  metrics : Metrics.t;
+  workers : Worker.t array;
+  clients : Client.t array;
+}
+
+let create (config : config) =
+  if config.workers < 1 then invalid_arg "Cluster.create: need workers";
+  if config.clients < 1 then invalid_arg "Cluster.create: need clients";
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:config.seed in
+  let fabric = Fabric.create ~config:config.fabric_config engine rng in
+  let topology = Topology.create ~nodes:config.workers ~racks:config.racks in
+  let metrics = Metrics.create ~topology engine in
+  let policy = config.policy_of topology in
+  let program =
+    Switch_program.create ~engine
+      ~instrument:(Metrics.instrument metrics)
+      ~policy ~queue_capacity:config.queue_capacity ()
+  in
+  let pipeline =
+    Pipeline.attach ~config:config.pipeline_config fabric
+      ~wrap:(fun msg -> Switch_packet.Wire msg)
+      (Switch_program.program program)
+  in
+  let fn_model = Fn_model.with_topology topology in
+  let workers =
+    Array.init config.workers (fun node ->
+        Worker.create ~node ~executors:config.executors_per_worker ~fabric
+          ~make_config:(fun ~port ->
+            {
+              Executor.node;
+              port;
+              rsrc = config.rsrc_of_node node;
+              noop_retry = config.noop_retry;
+              fn_model;
+              scheduler = Addr.Switch;
+              watchdog = Some (Time.us 200);
+            })
+          ())
+  in
+  let clients =
+    Array.init config.clients (fun i ->
+        let host = config.workers + i in
+        Client.create
+          ~config:
+            {
+              (Client.default_config ~host ~uid:i) with
+              timeout = config.client_timeout;
+            }
+          ~fabric ~metrics ())
+  in
+  let t =
+    { config; engine; fabric; pipeline; program; topology; metrics; workers; clients }
+  in
+  Array.iter
+    (fun worker ->
+      Worker.set_on_task_start worker (fun task ~node ->
+          Metrics.note_exec_start metrics task ~node))
+    workers;
+  t
+
+let start t =
+  (* Stagger initial pulls so 160 executors do not hit the switch in the
+     same nanosecond. *)
+  let stagger = max 1 (Time.us 1 / max 1 (t.config.executors_per_worker)) in
+  Array.iter (fun worker -> Worker.start worker ~stagger) t.workers
+
+let run t ~until = Engine.run ~until t.engine
+
+let outstanding t =
+  Array.fold_left (fun acc client -> acc + Client.outstanding client) 0 t.clients
+
+let run_until_drained t ~deadline =
+  let step = Time.ms 1 in
+  let rec go () =
+    if outstanding t = 0 then true
+    else if Engine.now t.engine >= deadline then false
+    else begin
+      Engine.run ~until:(min deadline (Engine.now t.engine + step)) t.engine;
+      go ()
+    end
+  in
+  go ()
+
+let engine t = t.engine
+let fabric t = t.fabric
+let pipeline t = t.pipeline
+let program t = t.program
+let topology t = t.topology
+let metrics t = t.metrics
+
+let fail_over_switch t =
+  let lost = Switch_program.total_occupancy t.program in
+  let policy = t.config.policy_of t.topology in
+  let fresh =
+    Switch_program.create ~engine:t.engine
+      ~instrument:(Metrics.instrument t.metrics)
+      ~policy ~queue_capacity:t.config.queue_capacity ()
+  in
+  t.program <- fresh;
+  Pipeline.set_program t.pipeline (Switch_program.program fresh);
+  lost
+
+let worker t i =
+  if i < 0 || i >= Array.length t.workers then invalid_arg "Cluster.worker: bad index";
+  t.workers.(i)
+
+let client t i =
+  if i < 0 || i >= Array.length t.clients then invalid_arg "Cluster.client: bad index";
+  t.clients.(i)
+
+let clients t = t.clients
+let workers t = t.workers
+let total_executors t = Array.length t.workers * t.config.executors_per_worker

@@ -1,0 +1,72 @@
+(** A complete simulated Draconis deployment (paper Fig. 1).
+
+    Assembles the discrete-event engine, the message fabric, the
+    programmable-switch pipeline running the {!Switch_program}, the
+    worker nodes with their pull-model executors, and the clients —
+    wired to a shared {!Metrics} instance.
+
+    Host-id layout: workers occupy hosts [0 .. workers-1]; clients
+    occupy [workers .. workers+clients-1]. *)
+
+open Draconis_sim
+open Draconis_net
+open Draconis_p4
+
+type config = {
+  seed : int;
+  workers : int;
+  executors_per_worker : int;
+  clients : int;
+  racks : int;
+  policy_of : Topology.t -> Policy.t;
+      (** built against the cluster topology so locality policies can
+          reference it *)
+  queue_capacity : int;
+  fabric_config : Fabric.config;
+  pipeline_config : Pipeline.config;
+  noop_retry : Time.t;
+  rsrc_of_node : int -> int;  (** executor resource bitmap per node *)
+  client_timeout : Time.t option;
+}
+
+(** The paper's testbed shape: 10 workers x 16 executors, 2 clients,
+    1 rack, FCFS, 164K-entry queue, calibrated fabric/pipeline, 4 us
+    no-op retry, all resources on every node, no client timeout. *)
+val default_config : config
+
+type t
+
+val create : config -> t
+
+(** [start t] launches all executors (staggered within ~1 us). *)
+val start : t -> unit
+
+(** [run t ~until] advances the simulation to [until]. *)
+val run : t -> until:Time.t -> unit
+
+(** [run_until_drained t ~deadline] keeps running until no client has
+    outstanding tasks or the deadline passes; returns [true] if
+    drained. *)
+val run_until_drained : t -> deadline:Time.t -> bool
+
+val engine : t -> Engine.t
+val fabric : t -> Draconis_proto.Message.t Fabric.t
+val pipeline : t -> (Draconis_proto.Message.t, Switch_packet.t) Pipeline.t
+val program : t -> Switch_program.t
+val topology : t -> Topology.t
+val metrics : t -> Metrics.t
+val worker : t -> int -> Worker.t
+val client : t -> int -> Client.t
+val clients : t -> Client.t array
+val workers : t -> Worker.t array
+val total_executors : t -> int
+
+(** Total tasks still outstanding across all clients. *)
+val outstanding : t -> int
+
+(** [fail_over_switch t] models the paper's fault story (sec 3.3): the
+    switch dies and a standby takes over with a {e fresh} scheduling
+    pipeline — every queued task is lost and must be recovered by client
+    timeouts.  Returns the number of tasks that were queued (and lost)
+    at the moment of fail-over. *)
+val fail_over_switch : t -> int

@@ -1,0 +1,99 @@
+open Draconis_net
+open Draconis_proto
+
+type t = { task : Task.t; client : Addr.t; skip : int }
+
+let make ?(skip = 0) ~task ~client () = { task; client; skip }
+
+let equal a b =
+  Task.equal a.task b.task && Addr.equal a.client b.client && a.skip = b.skip
+
+let pp fmt t =
+  Format.fprintf fmt "{%a client=%a skip=%d}" Task.pp t.task Addr.pp t.client t.skip
+
+let word_count = 11
+
+let mask32 = 0xFFFFFFFF
+let switch_wire = 0xFFFF
+
+let addr_to_word = function
+  | Addr.Switch -> switch_wire
+  | Addr.Host i ->
+    if i < 0 || i >= switch_wire then invalid_arg "Entry: host id out of range";
+    i
+
+let addr_of_word w =
+  if w = switch_wire then Addr.Switch
+  else if w >= 0 && w < switch_wire then Addr.Host w
+  else invalid_arg "Entry: bad address word"
+
+let tprops_to_words = function
+  | Task.No_props -> (0, 0, 0)
+  | Task.Resources bitmap ->
+    if bitmap < 0 || bitmap > mask32 then invalid_arg "Entry: resource bitmap range";
+    (1, bitmap, 0)
+  | Task.Locality nodes ->
+    let n = List.length nodes in
+    if n > 4 then invalid_arg "Entry: more than 4 locality nodes";
+    let packed = Array.make 4 0 in
+    List.iteri
+      (fun i node ->
+        if node < 0 || node > 0xFFFF then invalid_arg "Entry: locality node range";
+        packed.(i) <- node)
+      nodes;
+    ( 2 lor (n lsl 8),
+      packed.(0) lor (packed.(1) lsl 16),
+      packed.(2) lor (packed.(3) lsl 16) )
+  | Task.Priority p ->
+    if p < 1 || p > 0xFF then invalid_arg "Entry: priority range";
+    (3, p, 0)
+
+let tprops_of_words tag lo hi =
+  match tag land 0xFF with
+  | 0 -> Task.No_props
+  | 1 -> Task.Resources lo
+  | 2 ->
+    let n = (tag lsr 8) land 0xFF in
+    if n > 4 then invalid_arg "Entry: bad locality count";
+    let all = [ lo land 0xFFFF; (lo lsr 16) land 0xFFFF;
+                hi land 0xFFFF; (hi lsr 16) land 0xFFFF ] in
+    Task.Locality (List.filteri (fun i _ -> i < n) all)
+  | 3 -> Task.Priority lo
+  | _ -> invalid_arg "Entry: bad tprops tag"
+
+let to_words t =
+  let tag, lo, hi = tprops_to_words t.task.tprops in
+  let check name v =
+    if v < 0 || v > mask32 then invalid_arg ("Entry: " ^ name ^ " out of u32 range")
+  in
+  check "uid" t.task.id.uid;
+  check "jid" t.task.id.jid;
+  check "tid" t.task.id.tid;
+  if t.task.fn_par < 0 then invalid_arg "Entry: negative fn_par";
+  [|
+    t.task.id.uid;
+    t.task.id.jid;
+    t.task.id.tid;
+    t.task.fn_id;
+    t.task.fn_par land mask32;
+    (t.task.fn_par lsr 32) land mask32;
+    tag;
+    lo;
+    hi;
+    addr_to_word t.client;
+    t.skip;
+  |]
+
+let of_words w =
+  if Array.length w <> word_count then invalid_arg "Entry.of_words: bad length";
+  {
+    task =
+      {
+        id = { uid = w.(0); jid = w.(1); tid = w.(2) };
+        fn_id = w.(3);
+        fn_par = w.(4) lor (w.(5) lsl 32);
+        tprops = tprops_of_words w.(6) w.(7) w.(8);
+      };
+    client = addr_of_word w.(9);
+    skip = w.(10);
+  }

@@ -1,0 +1,34 @@
+(** Circular-queue entries and their register-word packing.
+
+    Each queued task occupies one slot spread across parallel 32-bit
+    register arrays (one array per word, paper §4.2).  This module
+    defines the logical entry — the task, the submitting client, and
+    the locality skip counter (§5.3) — and its exact packing into
+    {!word_count} words, so the queue's register layout matches what a
+    real P4 deployment would allocate. *)
+
+open Draconis_net
+open Draconis_proto
+
+type t = {
+  task : Task.t;
+  client : Addr.t;  (** submitting client, stored for the reply path *)
+  skip : int;  (** locality skip counter (§5.3) *)
+}
+
+val make : ?skip:int -> task:Task.t -> client:Addr.t -> unit -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Number of 32-bit words an entry occupies: UID, JID, TID, FN_ID,
+    FN_PAR lo/hi, TPROPS tag, TPROPS lo/hi, client, skip. *)
+val word_count : int
+
+(** [to_words t] packs the entry; the result has length [word_count].
+    @raise Invalid_argument if a field exceeds its wire width (e.g.
+    more than 4 locality nodes). *)
+val to_words : t -> int array
+
+(** [of_words w] unpacks; inverse of [to_words].
+    @raise Invalid_argument on a malformed image. *)
+val of_words : int array -> t

@@ -1,0 +1,138 @@
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+
+type config = {
+  node : int;
+  port : int;
+  rsrc : int;
+  noop_retry : Time.t;
+  fn_model : Fn_model.t;
+  scheduler : Addr.t;
+  watchdog : Time.t option;
+}
+
+type t = {
+  config : config;
+  fabric : Message.t Fabric.t;
+  engine : Engine.t;
+  addr : Addr.t;
+  mutable on_task_start : Task.t -> node:int -> unit;
+  mutable busy : bool;
+  mutable pending_fetch : (Task.t * Addr.t) option;
+      (* a transmission-function task awaiting its parameters (§4.4) *)
+  mutable stopped : bool;
+  mutable generation : int;  (* bumped on every send/receive, so a
+                                stale watchdog check is a no-op *)
+  mutable tasks_executed : int;
+  mutable busy_time : Time.t;
+}
+
+let create ~config ~fabric () =
+  {
+    config;
+    fabric;
+    engine = Fabric.engine fabric;
+    addr = Addr.Host config.node;
+    on_task_start = (fun _ ~node:_ -> ());
+    busy = false;
+    pending_fetch = None;
+    stopped = false;
+    generation = 0;
+    tasks_executed = 0;
+    busy_time = 0;
+  }
+
+let info t : Message.executor_info =
+  {
+    exec_addr = t.addr;
+    exec_port = t.config.port;
+    exec_rsrc = t.config.rsrc;
+    exec_node = t.config.node;
+  }
+
+let rec send_request t =
+  if not t.stopped then begin
+    t.generation <- t.generation + 1;
+    Fabric.send t.fabric ~src:t.addr ~dst:t.config.scheduler
+      (Message.Task_request { info = info t; rtrv_prio = 1 });
+    match t.config.watchdog with
+    | None -> ()
+    | Some window ->
+      let generation = t.generation in
+      ignore
+        (Engine.schedule t.engine ~after:window (fun () ->
+             if (not t.stopped) && (not t.busy) && t.generation = generation then
+               send_request t))
+  end
+
+let start ?(after = 0) t =
+  if after = 0 then send_request t
+  else ignore (Engine.schedule t.engine ~after (fun () -> send_request t))
+
+let set_on_task_start t f = t.on_task_start <- f
+let stop t = t.stopped <- true
+
+let rec execute t (task : Task.t) ~client =
+  t.busy <- true;
+  if task.fn_id = Task.Fn.fetch_params && t.pending_fetch = None then begin
+    (* Transmission function (§4.4): fetch the real parameters from the
+       submitting client before running. *)
+    t.pending_fetch <- Some (task, client);
+    Fabric.send t.fabric ~src:t.addr ~dst:client
+      (Message.Param_fetch { task_id = task.id; node = t.config.node; port = t.config.port })
+  end
+  else run t task ~client
+
+and run t (task : Task.t) ~client =
+  t.on_task_start task ~node:t.config.node;
+  let service = Fn_model.service_time t.config.fn_model task ~node:t.config.node in
+  let finish () =
+    t.busy <- false;
+    t.tasks_executed <- t.tasks_executed + 1;
+    t.busy_time <- t.busy_time + service;
+    if not t.stopped then begin
+      if task.fn_id = Task.Fn.noop then
+        (* No-op tasks are dropped without a reply; just pull the next
+           one (the paper's throughput-workload behaviour, §8.2). *)
+        send_request t
+      else
+        (* Completion to the client via the scheduler, with the next
+           task request piggybacked (§3.1). *)
+        Fabric.send t.fabric ~src:t.addr ~dst:t.config.scheduler
+          (Message.Task_completion
+             { task_id = task.id; client; info = info t; rtrv_prio = 1 })
+    end
+  in
+  if service = 0 then finish ()
+  else ignore (Engine.schedule t.engine ~after:service finish)
+
+(* 100 Gbps parameter transfer: ~0.08 ns/byte on the wire. *)
+let transfer_time ~size = size * 8 / 100
+
+let deliver t (msg : Message.t) =
+  if not t.stopped then begin
+    t.generation <- t.generation + 1;
+    match msg with
+    | Task_assignment { task; client; port = _ } -> execute t task ~client
+    | Noop_assignment _ ->
+      ignore (Engine.schedule t.engine ~after:t.config.noop_retry (fun () -> send_request t))
+    | Param_data { task_id; size; port = _ } -> (
+      match t.pending_fetch with
+      | Some (task, client) when Task.equal_id task.id task_id ->
+        t.pending_fetch <- None;
+        ignore
+          (Engine.schedule t.engine ~after:(transfer_time ~size) (fun () ->
+               run t task ~client))
+      | Some _ | None -> ())
+    | Job_submission _ | Job_ack _ | Queue_full _ | Task_request _ | Task_completion _
+    | Param_fetch _ ->
+      (* Not executor traffic; ignore (a real executor's UDP socket
+         would never see these). *)
+      ()
+  end
+
+let config t = t.config
+let busy t = t.busy
+let tasks_executed t = t.tasks_executed
+let busy_time t = t.busy_time

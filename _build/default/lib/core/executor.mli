@@ -1,0 +1,58 @@
+(** Pull-model executor (paper §3.1, §4.6).
+
+    One executor models one logical core of a worker node.  It requests
+    a task from the switch only when free, runs the assigned task for
+    its modeled service time, then sends the completion to the client
+    {e via the scheduler} with the next task request piggybacked.  A
+    no-op assignment makes it retry after [noop_retry] — the executor is
+    idle while pulling, which is the CPU-efficiency trade-off the paper
+    accepts to eliminate node-level blocking. *)
+
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+
+type config = {
+  node : int;  (** worker node id *)
+  port : int;  (** executor index within the node *)
+  rsrc : int;  (** EXEC_RSRC resource bitmap *)
+  noop_retry : Time.t;  (** delay before re-requesting after a no-op *)
+  fn_model : Fn_model.t;
+  scheduler : Addr.t;
+      (** where to pull from: the switch for Draconis, a server host for
+          the centralized-server baselines *)
+  watchdog : Time.t option;
+      (** re-send the pull request if no reply arrives within this
+          window; recovers executors whose request or assignment packet
+          was lost.  [None] disables (schedulers that park requests
+          should keep it off or deduplicate). *)
+}
+
+type t
+
+(** [create ~config ~fabric ()] builds an executor for node
+    [config.node] (fabric address [Host node]).  It does not register a
+    fabric handler — the {!Worker} owns the node's handler and routes
+    assignments by port. *)
+val create : config:config -> fabric:Message.t Fabric.t -> unit -> t
+
+(** [start ?after t] sends the initial task request, optionally delayed
+    to stagger executor start-up. *)
+val start : ?after:Time.t -> t -> unit
+
+(** [deliver t msg] hands the executor a message routed to its port. *)
+val deliver : t -> Message.t -> unit
+
+(** [set_on_task_start t f] installs the measurement hook called when a
+    task begins execution. *)
+val set_on_task_start : t -> (Task.t -> node:int -> unit) -> unit
+
+(** [stop t] stops the request loop (no further pulls). *)
+val stop : t -> unit
+
+val config : t -> config
+val busy : t -> bool
+val tasks_executed : t -> int
+
+(** Cumulative time spent executing tasks (ns). *)
+val busy_time : t -> Time.t

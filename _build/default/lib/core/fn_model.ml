@@ -1,0 +1,29 @@
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+
+type t = {
+  topology : Topology.t option;
+  intra_rack_access : Time.t;
+  inter_rack_access : Time.t;
+}
+
+let default =
+  { topology = None; intra_rack_access = Time.us 20; inter_rack_access = Time.us 100 }
+
+let with_topology topology = { default with topology = Some topology }
+
+let access_penalty t (task : Task.t) ~node =
+  let locals = Task.locality_nodes task in
+  if locals = [] || List.mem node locals then 0
+  else begin
+    match t.topology with
+    | Some topo when List.exists (fun local -> Topology.same_rack topo node local) locals
+      -> t.intra_rack_access
+    | Some _ | None -> t.inter_rack_access
+  end
+
+let service_time t (task : Task.t) ~node =
+  if task.fn_id = Task.Fn.noop then 0
+  else if task.fn_id = Task.Fn.data_task then access_penalty t task ~node + task.fn_par
+  else task.fn_par

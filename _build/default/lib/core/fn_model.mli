@@ -1,0 +1,29 @@
+(** Execution model of the pre-compiled task functions.
+
+    Every scheduler under evaluation runs the same functions, so this
+    model is shared with the baselines: a no-op completes immediately, a
+    busy-loop spins for [fn_par] nanoseconds, and a data task busy-loops
+    after fetching its input — free if a data-local node runs it, 20 us
+    from the same rack, 100 us across racks (paper §8.5's storage access
+    times). *)
+
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+
+type t = {
+  topology : Topology.t option;  (** for rack classification *)
+  intra_rack_access : Time.t;
+  inter_rack_access : Time.t;
+}
+
+(** 20 us intra-rack, 100 us inter-rack, no topology (every non-local
+    access counts as inter-rack until a topology is supplied). *)
+val default : t
+
+val with_topology : Topology.t -> t
+
+(** [service_time t task ~node] is how long the task occupies an
+    executor on worker [node].  Unknown function ids behave like
+    busy-loops (forward compatibility for user-registered functions). *)
+val service_time : t -> Task.t -> node:int -> Time.t

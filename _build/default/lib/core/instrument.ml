@@ -1,0 +1,19 @@
+open Draconis_sim
+open Draconis_proto
+
+type t = {
+  on_enqueue : Task.id -> level:int -> unit;
+  on_dequeue : Task.id -> level:int -> unit;
+  on_assign : Task.id -> node:int -> requested_at:Time.t -> unit;
+  on_reject : int -> unit;
+  on_noop : unit -> unit;
+}
+
+let default =
+  {
+    on_enqueue = (fun _ ~level:_ -> ());
+    on_dequeue = (fun _ ~level:_ -> ());
+    on_assign = (fun _ ~node:_ ~requested_at:_ -> ());
+    on_reject = (fun _ -> ());
+    on_noop = (fun () -> ());
+  }

@@ -1,0 +1,24 @@
+(** Measurement hooks into the switch program.
+
+    The experiment harness observes scheduler-internal events (enqueue,
+    dequeue, assignment, rejection) through these callbacks; a real
+    deployment would gather the same numbers from switch counters.
+    All hooks default to no-ops. *)
+
+open Draconis_sim
+open Draconis_proto
+
+type t = {
+  on_enqueue : Task.id -> level:int -> unit;
+      (** task stored in the switch queue at [level] *)
+  on_dequeue : Task.id -> level:int -> unit;
+      (** task left the switch queue (popped or swap-assigned) *)
+  on_assign : Task.id -> node:int -> requested_at:Time.t -> unit;
+      (** task_assignment emitted to an executor on [node];
+          [requested_at] is when the winning task_request reached the
+          switch (get_task() latency, Fig. 13) *)
+  on_reject : int -> unit;  (** tasks bounced by a full queue *)
+  on_noop : unit -> unit;  (** no-op assignment sent *)
+}
+
+val default : t

@@ -1,0 +1,118 @@
+open Draconis_sim
+open Draconis_net
+open Draconis_stats
+open Draconis_proto
+
+type placement = { mutable local : int; mutable same_rack : int; mutable remote : int }
+
+type t = {
+  engine : Engine.t;
+  topology : Topology.t option;
+  submit_times : (Task.id, Time.t) Hashtbl.t;
+  enqueue_times : (Task.id, Time.t * int) Hashtbl.t;
+  scheduling_delay : Sampler.t;
+  end_to_end_delay : Sampler.t;
+  queueing_by_level : (int, Sampler.t) Hashtbl.t;
+  get_task_by_level : (int, Sampler.t) Hashtbl.t;
+  decisions : Meter.t;
+  placement : placement;
+  mutable submitted : int;
+  mutable started : int;
+  mutable completed : int;
+  mutable timeouts : int;
+  mutable rejected : int;
+}
+
+let create ?topology engine =
+  {
+    engine;
+    topology;
+    submit_times = Hashtbl.create 4096;
+    enqueue_times = Hashtbl.create 4096;
+    scheduling_delay = Sampler.create ();
+    end_to_end_delay = Sampler.create ();
+    queueing_by_level = Hashtbl.create 8;
+    get_task_by_level = Hashtbl.create 8;
+    decisions = Meter.create ();
+    placement = { local = 0; same_rack = 0; remote = 0 };
+    submitted = 0;
+    started = 0;
+    completed = 0;
+    timeouts = 0;
+    rejected = 0;
+  }
+
+let level_sampler tbl level =
+  match Hashtbl.find_opt tbl level with
+  | Some sampler -> sampler
+  | None ->
+    let sampler = Sampler.create () in
+    Hashtbl.replace tbl level sampler;
+    sampler
+
+let note_submit t id =
+  if not (Hashtbl.mem t.submit_times id) then begin
+    t.submitted <- t.submitted + 1;
+    Hashtbl.replace t.submit_times id (Engine.now t.engine)
+  end
+
+let note_complete t id =
+  t.completed <- t.completed + 1;
+  match Hashtbl.find_opt t.submit_times id with
+  | None -> ()
+  | Some submit -> Sampler.record t.end_to_end_delay (Engine.now t.engine - submit)
+
+let note_timeout t _id = t.timeouts <- t.timeouts + 1
+
+let classify_placement t (task : Task.t) ~node =
+  match (Task.locality_nodes task, t.topology) with
+  | [], _ | _, None -> ()
+  | locals, Some topo ->
+    if List.mem node locals then t.placement.local <- t.placement.local + 1
+    else if List.exists (fun local -> Topology.same_rack topo node local) locals then
+      t.placement.same_rack <- t.placement.same_rack + 1
+    else t.placement.remote <- t.placement.remote + 1
+
+let note_exec_start t task ~node =
+  t.started <- t.started + 1;
+  classify_placement t task ~node;
+  match Hashtbl.find_opt t.submit_times task.Task.id with
+  | None -> ()
+  | Some submit -> Sampler.record t.scheduling_delay (Engine.now t.engine - submit)
+
+let note_enqueue t id ~level =
+  if not (Hashtbl.mem t.enqueue_times id) then
+    Hashtbl.replace t.enqueue_times id (Engine.now t.engine, level)
+
+let note_assign t id ~requested_at =
+  let now = Engine.now t.engine in
+  Meter.mark t.decisions ~now ();
+  match Hashtbl.find_opt t.enqueue_times id with
+  | None -> ()
+  | Some (enqueued, level) ->
+    Sampler.record (level_sampler t.queueing_by_level level) (now - enqueued);
+    Sampler.record (level_sampler t.get_task_by_level level) (now - requested_at)
+
+let note_reject t n = t.rejected <- t.rejected + n
+
+let instrument t : Instrument.t =
+  {
+    Instrument.on_enqueue = (fun id ~level -> note_enqueue t id ~level);
+    on_dequeue = (fun _ ~level:_ -> ());
+    on_assign = (fun id ~node:_ ~requested_at -> note_assign t id ~requested_at);
+    on_reject = (fun n -> note_reject t n);
+    on_noop = (fun () -> ());
+  }
+
+let scheduling_delay t = t.scheduling_delay
+let end_to_end_delay t = t.end_to_end_delay
+let queueing_delay t ~level = level_sampler t.queueing_by_level level
+let get_task_delay t ~level = level_sampler t.get_task_by_level level
+let decisions t = t.decisions
+let placement t = t.placement
+let submitted t = t.submitted
+let started t = t.started
+let completed t = t.completed
+let timeouts t = t.timeouts
+let rejected t = t.rejected
+let unstarted t = t.submitted - t.started

@@ -1,0 +1,76 @@
+(** Experiment metrics, shared by Draconis and every baseline scheduler.
+
+    Correlates client-side events (submission, completion), executor
+    events (task start), and switch/scheduler events (enqueue,
+    assignment) by task id, and exposes the samplers behind each figure
+    of the paper's evaluation:
+
+    - {e scheduling delay} (Figs. 5a, 6, 8, 9): first submission of a
+      task to the moment an executor starts running it;
+    - {e end-to-end delay} (Fig. 10): submission to client-observed
+      completion;
+    - {e queueing delay by priority} (Fig. 12): scheduler enqueue to
+      assignment;
+    - {e get_task() delay by priority} (Fig. 13): request arrival at
+      the scheduler to assignment emission;
+    - {e scheduling decisions} (Figs. 5b, 11): assignment throughput;
+    - {e placement mix} (Fig. 10): local / same-rack / remote counts. *)
+
+open Draconis_sim
+open Draconis_net
+open Draconis_stats
+open Draconis_proto
+
+type placement = { mutable local : int; mutable same_rack : int; mutable remote : int }
+
+type t
+
+(** [create ?topology engine] — [topology] enables placement
+    classification for locality experiments. *)
+val create : ?topology:Topology.t -> Engine.t -> t
+
+(** {2 Client-side events} *)
+
+(** [note_submit t id] records a task's submission time; only the first
+    submission counts (retries and timeout resubmissions measure
+    against the original, as the paper's latency spikes do). *)
+val note_submit : t -> Task.id -> unit
+
+val note_complete : t -> Task.id -> unit
+val note_timeout : t -> Task.id -> unit
+
+(** {2 Executor-side events} *)
+
+(** [note_exec_start t task ~node] records scheduling delay and
+    placement for a task starting on [node]. *)
+val note_exec_start : t -> Task.t -> node:int -> unit
+
+(** {2 Scheduler-side events} — the {!Instrument.t} adapter wires these
+    into the Draconis switch program; baselines call them directly. *)
+
+val note_enqueue : t -> Task.id -> level:int -> unit
+val note_assign : t -> Task.id -> requested_at:Time.t -> unit
+val note_reject : t -> int -> unit
+val instrument : t -> Instrument.t
+
+(** {2 Results} *)
+
+val scheduling_delay : t -> Sampler.t
+val end_to_end_delay : t -> Sampler.t
+
+(** [queueing_delay t ~level] (0-based level; empty sampler if unused). *)
+val queueing_delay : t -> level:int -> Sampler.t
+
+val get_task_delay : t -> level:int -> Sampler.t
+val decisions : t -> Meter.t
+val placement : t -> placement
+
+val submitted : t -> int
+val started : t -> int
+val completed : t -> int
+val timeouts : t -> int
+val rejected : t -> int
+
+(** Tasks submitted but never started (lost or still queued at the end
+    of the run). *)
+val unstarted : t -> int

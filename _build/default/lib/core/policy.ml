@@ -1,0 +1,59 @@
+open Draconis_net
+open Draconis_proto
+
+type t =
+  | Fcfs
+  | Resource_aware of { max_swaps : int }
+  | Locality_aware of {
+      rack_start_limit : int;
+      global_start_limit : int;
+      topology : Topology.t;
+    }
+  | Priority of { levels : int }
+
+let pp fmt = function
+  | Fcfs -> Format.pp_print_string fmt "fcfs"
+  | Resource_aware { max_swaps } -> Format.fprintf fmt "resource-aware(max_swaps=%d)" max_swaps
+  | Locality_aware { rack_start_limit; global_start_limit; _ } ->
+    Format.fprintf fmt "locality-aware(rack=%d,global=%d)" rack_start_limit
+      global_start_limit
+  | Priority { levels } -> Format.fprintf fmt "priority(levels=%d)" levels
+
+let queue_count = function
+  | Fcfs | Resource_aware _ | Locality_aware _ -> 1
+  | Priority { levels } -> levels
+
+let queue_of_task t (task : Task.t) =
+  match t with
+  | Fcfs | Resource_aware _ | Locality_aware _ -> 0
+  | Priority { levels } ->
+    let p = Task.priority_level task in
+    if p < 1 || p > levels then levels - 1 else p - 1
+
+let satisfies t ~entry ~info =
+  let task = entry.Entry.task in
+  match t with
+  | Fcfs | Priority _ -> true
+  | Resource_aware _ ->
+    let required = Task.required_resources task in
+    required land info.Message.exec_rsrc = required
+  | Locality_aware { rack_start_limit; global_start_limit; topology } ->
+    let locals = Task.locality_nodes task in
+    let node = info.Message.exec_node in
+    if locals = [] || List.mem node locals then true
+    else if entry.Entry.skip > global_start_limit then true
+    else if entry.Entry.skip > rack_start_limit then
+      List.exists (fun local -> Topology.same_rack topology node local) locals
+    else false
+
+let swap_bound t ~queue_occupancy =
+  match t with
+  | Fcfs | Priority _ -> 0
+  | Resource_aware { max_swaps } -> min max_swaps queue_occupancy
+  | Locality_aware { global_start_limit; _ } ->
+    (* §5.3: recirculation per request is bounded by the global limit. *)
+    min (global_start_limit + 1) queue_occupancy
+
+let uses_swapping = function
+  | Fcfs | Priority _ -> false
+  | Resource_aware _ | Locality_aware _ -> true

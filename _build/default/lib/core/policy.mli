@@ -1,0 +1,48 @@
+(** Scheduling policies supported by the Draconis switch program.
+
+    - {b FCFS} (§4.8): the plain centralized single-queue policy —
+      optimal for light-tailed microsecond workloads.
+    - {b Resource-aware} (§5.2): tasks carry a required-resource bitmap
+      and only run on executors advertising those resources; realized
+      with task swapping.
+    - {b Locality-aware} (§5.3): tasks prefer their data-local nodes,
+      then the local rack, then anywhere, driven by a per-task skip
+      counter with [rack_start_limit] / [global_start_limit] thresholds.
+    - {b Priority} (§6.1): one replicated queue per priority level;
+      task requests scan levels from highest (1) to lowest. *)
+
+open Draconis_net
+open Draconis_proto
+
+type t =
+  | Fcfs
+  | Resource_aware of { max_swaps : int }
+  | Locality_aware of {
+      rack_start_limit : int;
+      global_start_limit : int;
+      topology : Topology.t;
+    }
+  | Priority of { levels : int }
+
+val pp : Format.formatter -> t -> unit
+
+(** Number of switch queues the policy deploys (1 except [Priority]). *)
+val queue_count : t -> int
+
+(** [queue_of_task p task] is the queue a submitted task belongs to, in
+    [\[0, queue_count p)].  Priorities outside [\[1, levels\]] are
+    clamped to the lowest level. *)
+val queue_of_task : t -> Task.t -> int
+
+(** [satisfies p ~entry ~info] decides whether the policy allows
+    scheduling [entry] on the requesting executor right now.  For
+    locality this consults the entry's (already bumped) skip counter. *)
+val satisfies : t -> entry:Entry.t -> info:Message.executor_info -> bool
+
+(** [swap_bound p ~queue_occupancy] is how many times one task request
+    may swap before giving up and re-inserting (§5.1: "a bounded number
+    of times ... or until it reaches the end of the queue"). *)
+val swap_bound : t -> queue_occupancy:int -> int
+
+(** [uses_swapping p] is true for the constraint-based policies. *)
+val uses_swapping : t -> bool

@@ -1,0 +1,36 @@
+open Draconis_sim
+open Draconis_proto
+
+type t =
+  | Wire of Message.t
+  | Repair_add of { level : int; target : int }
+  | Repair_retrieve of { level : int; target : int }
+  | Swap of {
+      level : int;
+      entry : Entry.t;
+      swap_indx : int;
+      info : Message.executor_info;
+      pkt_retrieve_ptr : int;
+      attempts : int;
+      requested_at : Time.t;
+    }
+  | Resubmit of { level : int; entry : Entry.t }
+  | Prio_request of {
+      info : Message.executor_info;
+      rtrv_prio : int;
+      requested_at : Time.t;
+    }
+
+let pp fmt = function
+  | Wire msg -> Format.fprintf fmt "wire(%a)" Message.pp msg
+  | Repair_add { level; target } ->
+    Format.fprintf fmt "repair_add(level=%d target=%d)" level target
+  | Repair_retrieve { level; target } ->
+    Format.fprintf fmt "repair_retrieve(level=%d target=%d)" level target
+  | Swap { level; entry; swap_indx; attempts; _ } ->
+    Format.fprintf fmt "swap(level=%d %a indx=%d attempts=%d)" level Entry.pp entry
+      swap_indx attempts
+  | Resubmit { level; entry } ->
+    Format.fprintf fmt "resubmit(level=%d %a)" level Entry.pp entry
+  | Prio_request { rtrv_prio; requested_at; _ } ->
+    Format.fprintf fmt "prio_request(prio=%d at=%a)" rtrv_prio Time.pp requested_at

@@ -1,0 +1,38 @@
+(** Packets traversing the Draconis switch pipeline.
+
+    Besides wire protocol messages, the pipeline processes its own
+    recirculated packet kinds: repair packets that fix queue pointers
+    (§4.5), swap packets that walk the queue for constraint policies
+    (§5.1), resubmission packets (a swap packet "treated as a
+    job_submission" after exhausting the queue), and priority-request
+    packets scanning lower priority levels (§6.1).
+
+    Simulation-only fields ([requested_at]) carry timestamps for the
+    get_task() latency measurements of Fig. 13; they occupy per-packet
+    metadata on a real switch. *)
+
+open Draconis_sim
+open Draconis_proto
+
+type t =
+  | Wire of Message.t  (** packet from a client or executor *)
+  | Repair_add of { level : int; target : int }
+  | Repair_retrieve of { level : int; target : int }
+  | Swap of {
+      level : int;
+      entry : Entry.t;  (** the task travelling in the packet *)
+      swap_indx : int;  (** next queue index to examine *)
+      info : Message.executor_info;  (** the requesting executor *)
+      pkt_retrieve_ptr : int;  (** retrieve pointer at pop time *)
+      attempts : int;  (** swaps performed so far *)
+      requested_at : Time.t;
+    }
+  | Resubmit of { level : int; entry : Entry.t }
+      (** re-insert a task that no current executor can run *)
+  | Prio_request of {
+      info : Message.executor_info;
+      rtrv_prio : int;  (** next priority level to scan (1-based) *)
+      requested_at : Time.t;
+    }
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,287 @@
+open Draconis_sim
+open Draconis_p4
+open Draconis_proto
+
+type t = {
+  engine : Engine.t;
+  policy : Policy.t;
+  queues : Circular_queue.t array;
+  instrument : Instrument.t;
+  mutable assignments : int;
+  mutable noops : int;
+  mutable rejected_tasks : int;
+  mutable swaps : int;
+  mutable resubmissions : int;
+  mutable repairs_launched : int;
+}
+
+let create ~engine ?(instrument = Instrument.default) ~policy ~queue_capacity () =
+  if queue_capacity < 1 then
+    invalid_arg "Switch_program.create: queue_capacity must be >= 1";
+  let levels = Policy.queue_count policy in
+  let queues =
+    Array.init levels (fun level ->
+        Circular_queue.create
+          ~name:(Printf.sprintf "queue%d" level)
+          ~capacity:queue_capacity ())
+  in
+  {
+    engine;
+    policy;
+    queues;
+    instrument;
+    assignments = 0;
+    noops = 0;
+    rejected_tasks = 0;
+    swaps = 0;
+    resubmissions = 0;
+    repairs_launched = 0;
+  }
+
+let policy t = t.policy
+
+let queue t level =
+  if level < 0 || level >= Array.length t.queues then
+    invalid_arg "Switch_program.queue: bad level";
+  t.queues.(level)
+
+let total_occupancy t =
+  Array.fold_left (fun acc q -> acc + Circular_queue.occupancy q) 0 t.queues
+
+let registers t =
+  Array.to_list t.queues |> List.concat_map Circular_queue.registers
+
+let assignments t = t.assignments
+let noops t = t.noops
+let rejected_tasks t = t.rejected_tasks
+let swaps t = t.swaps
+let resubmissions t = t.resubmissions
+let repairs_launched t = t.repairs_launched
+
+(* -- helpers -------------------------------------------------------------- *)
+
+let noop_to t (info : Message.executor_info) =
+  t.noops <- t.noops + 1;
+  t.instrument.on_noop ();
+  Pipeline.Emit (info.exec_addr, Message.Noop_assignment { port = info.exec_port })
+
+let assign_to t (info : Message.executor_info) (entry : Entry.t) ~requested_at =
+  t.assignments <- t.assignments + 1;
+  t.instrument.on_assign entry.task.id ~node:info.exec_node ~requested_at;
+  Pipeline.Emit
+    ( info.exec_addr,
+      Message.Task_assignment
+        { task = entry.task; client = entry.client; port = info.exec_port } )
+
+let retrieve_repair_output t ~level = function
+  | None -> []
+  | Some target ->
+    t.repairs_launched <- t.repairs_launched + 1;
+    Trace.emit ~at:(Engine.now t.engine) Trace.Queue
+      (lazy (Printf.sprintf "retrieve repair level=%d target=%d" level target));
+    [ Pipeline.Recirculate (Switch_packet.Repair_retrieve { level; target }) ]
+
+(* Enqueue one entry; shared by job submissions and task resubmission. *)
+let enqueue_entry t ctx ~level (entry : Entry.t) =
+  let outcome = Circular_queue.enqueue t.queues.(level) ctx entry in
+  (match outcome with
+  | Circular_queue.Enqueued _ -> t.instrument.on_enqueue entry.task.id ~level
+  | Circular_queue.Rejected _ -> ());
+  outcome
+
+(* -- job submission (§4.3) ------------------------------------------------ *)
+
+let handle_submission t ctx ~client ~uid ~jid ~tasks =
+  match tasks with
+  | [] -> [ Pipeline.Emit (client, Message.Job_ack { uid; jid }) ]
+  | task :: rest ->
+    let level = Policy.queue_of_task t.policy task in
+    let entry = Entry.make ~task ~client () in
+    (match enqueue_entry t ctx ~level entry with
+    | Circular_queue.Enqueued { index = _; retrieve_repair } ->
+      let repairs = retrieve_repair_output t ~level retrieve_repair in
+      let continuation =
+        (* Remaining tasks ride a recirculation with a decremented
+           #TASKS, exactly as the hardware reprocesses the packet. *)
+        if rest = [] then [ Pipeline.Emit (client, Message.Job_ack { uid; jid }) ]
+        else
+          [ Pipeline.Recirculate
+              (Switch_packet.Wire (Job_submission { client; uid; jid; tasks = rest }));
+          ]
+      in
+      repairs @ continuation
+    | Circular_queue.Rejected { add_repair } ->
+      (* Bounce every not-yet-enqueued task back to the client (§4.3). *)
+      t.rejected_tasks <- t.rejected_tasks + List.length tasks;
+      t.instrument.on_reject (List.length tasks);
+      let repairs =
+        match add_repair with
+        | None -> []
+        | Some target ->
+          t.repairs_launched <- t.repairs_launched + 1;
+          [ Pipeline.Recirculate (Switch_packet.Repair_add { level; target }) ]
+      in
+      repairs @ [ Pipeline.Emit (client, Message.Queue_full { uid; jid; tasks }) ])
+
+(* -- task retrieval (§4.6, §5.1, §6.1) ------------------------------------ *)
+
+(* A popped (or swapped-in) task that fails the policy check has been
+   examined and skipped once more (§5.3). *)
+let bump_skip (entry : Entry.t) = { entry with skip = entry.skip + 1 }
+
+let start_swap t ~level ~entry ~index ~info ~requested_at =
+  t.swaps <- t.swaps + 1;
+  let next = Circular_queue.next_index t.queues.(level) index in
+  Pipeline.Recirculate
+    (Switch_packet.Swap
+       {
+         level;
+         entry;
+         swap_indx = next;
+         info;
+         pkt_retrieve_ptr = next;
+         attempts = 0;
+         requested_at;
+       })
+
+let handle_request t ctx (info : Message.executor_info) ~rtrv_prio ~requested_at =
+  let levels = Array.length t.queues in
+  if rtrv_prio < 1 || rtrv_prio > levels then [ noop_to t info ]
+  else begin
+    let level = rtrv_prio - 1 in
+    match Circular_queue.dequeue t.queues.(level) ctx with
+    | Circular_queue.Repair_pending -> [ noop_to t info ]
+    | Circular_queue.Empty ->
+      (* Priority policy: scan the next-lower priority level via
+         recirculation (§6.1); otherwise report no work. *)
+      if rtrv_prio < levels then
+        [ Pipeline.Recirculate
+            (Switch_packet.Prio_request { info; rtrv_prio = rtrv_prio + 1; requested_at });
+        ]
+      else [ noop_to t info ]
+    | Circular_queue.Dequeued { index; entry } ->
+      t.instrument.on_dequeue entry.task.id ~level;
+      if not (Policy.uses_swapping t.policy) then
+        [ assign_to t info entry ~requested_at ]
+      else begin
+        let entry = bump_skip entry in
+        if Policy.satisfies t.policy ~entry ~info then
+          [ assign_to t info entry ~requested_at ]
+        else [ start_swap t ~level ~entry ~index ~info ~requested_at ]
+      end
+  end
+
+(* -- task swapping (§5.1) -------------------------------------------------- *)
+
+let resubmit_and_noop t ~level ~entry ~info =
+  t.resubmissions <- t.resubmissions + 1;
+  [ Pipeline.Recirculate (Switch_packet.Resubmit { level; entry }); noop_to t info ]
+
+let handle_swap t ctx ~level ~entry ~swap_indx ~info ~pkt_retrieve_ptr ~attempts
+    ~requested_at =
+  let q = t.queues.(level) in
+  let add_ptr, retrieve_ptr = Circular_queue.read_pointers q ctx in
+  (* §5.1 staleness guard: if the retrieve pointer moved past our
+     snapshot, swapping at SWAP_INDX could strand the packet's task in a
+     slot the pointer already passed; swap with the head instead.  All
+     comparisons are wrap-aware. *)
+  let target, pkt_retrieve_ptr =
+    if Circular_queue.is_ahead q retrieve_ptr pkt_retrieve_ptr then
+      (retrieve_ptr, retrieve_ptr)
+    else (swap_indx, pkt_retrieve_ptr)
+  in
+  let pending = Circular_queue.distance q ~ahead:add_ptr ~behind:retrieve_ptr in
+  let pending = if pending > Circular_queue.wrap_modulus q / 2 then 0 else pending in
+  let bound = Policy.swap_bound t.policy ~queue_occupancy:pending in
+  let past_end = not (Circular_queue.is_ahead q add_ptr target) in
+  if past_end || attempts >= bound then
+    (* End of queue: nothing the executor can run; the packet is treated
+       as a job_submission on its next traversal and the executor gets a
+       no-op (§5.1). *)
+    resubmit_and_noop t ~level ~entry ~info
+  else begin
+    match Circular_queue.swap q ctx ~index:target entry with
+    | Circular_queue.Slot_invalid -> resubmit_and_noop t ~level ~entry ~info
+    | Circular_queue.Swapped popped ->
+      t.instrument.on_dequeue popped.task.id ~level;
+      t.instrument.on_enqueue entry.task.id ~level;
+      let popped = bump_skip popped in
+      if Policy.satisfies t.policy ~entry:popped ~info then
+        [ assign_to t info popped ~requested_at ]
+      else begin
+        t.swaps <- t.swaps + 1;
+        [ Pipeline.Recirculate
+            (Switch_packet.Swap
+               {
+                 level;
+                 entry = popped;
+                 swap_indx = Circular_queue.next_index q target;
+                 info;
+                 pkt_retrieve_ptr;
+                 attempts = attempts + 1;
+                 requested_at;
+               });
+        ]
+      end
+  end
+
+(* -- resubmission --------------------------------------------------------- *)
+
+let handle_resubmit t ctx ~level (entry : Entry.t) =
+  match enqueue_entry t ctx ~level entry with
+  | Circular_queue.Enqueued { index = _; retrieve_repair } ->
+    retrieve_repair_output t ~level retrieve_repair
+  | Circular_queue.Rejected { add_repair } ->
+    (* The queue filled while the task was travelling; bounce it to its
+       client like any full-queue submission. *)
+    t.rejected_tasks <- t.rejected_tasks + 1;
+    t.instrument.on_reject 1;
+    let repairs =
+      match add_repair with
+      | None -> []
+      | Some target ->
+        t.repairs_launched <- t.repairs_launched + 1;
+        [ Pipeline.Recirculate (Switch_packet.Repair_add { level; target }) ]
+    in
+    let task = entry.task in
+    repairs
+    @ [ Pipeline.Emit
+          ( entry.client,
+            Message.Queue_full { uid = task.id.uid; jid = task.id.jid; tasks = [ task ] }
+          );
+      ]
+
+(* -- the program ----------------------------------------------------------- *)
+
+let program t : (Message.t, Switch_packet.t) Pipeline.program =
+ fun ctx pkt ->
+  let now = Engine.now t.engine in
+  match pkt with
+  | Switch_packet.Wire (Job_submission { client; uid; jid; tasks }) ->
+    handle_submission t ctx ~client ~uid ~jid ~tasks
+  | Switch_packet.Wire (Task_request { info; rtrv_prio }) ->
+    handle_request t ctx info ~rtrv_prio ~requested_at:now
+  | Switch_packet.Prio_request { info; rtrv_prio; requested_at } ->
+    handle_request t ctx info ~rtrv_prio ~requested_at
+  | Switch_packet.Wire (Task_completion { task_id = _; client; info; rtrv_prio } as completion) ->
+    (* Forward the completion to the client and serve the piggybacked
+       request for the executor's next task (§3.1). *)
+    Pipeline.Emit (client, completion)
+    :: handle_request t ctx info ~rtrv_prio ~requested_at:now
+  | Switch_packet.Repair_add { level; target } ->
+    Circular_queue.apply_repair_add t.queues.(level) ctx ~target;
+    []
+  | Switch_packet.Repair_retrieve { level; target } ->
+    Circular_queue.apply_repair_retrieve t.queues.(level) ctx ~target;
+    []
+  | Switch_packet.Swap { level; entry; swap_indx; info; pkt_retrieve_ptr; attempts; requested_at } ->
+    handle_swap t ctx ~level ~entry ~swap_indx ~info ~pkt_retrieve_ptr ~attempts
+      ~requested_at
+  | Switch_packet.Resubmit { level; entry } -> handle_resubmit t ctx ~level entry
+  | Switch_packet.Wire
+      ( Job_ack _ | Queue_full _ | Task_assignment _ | Noop_assignment _
+      | Param_fetch _ | Param_data _ ) ->
+    (* Not scheduler traffic; a real deployment forwards such packets as
+       a regular switch (§4.1), but no simulated host addresses them to
+       the scheduler, so count them out. *)
+    [ Pipeline.Drop ]

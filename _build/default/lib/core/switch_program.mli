@@ -1,0 +1,55 @@
+(** The Draconis scheduler as a switch pipeline program.
+
+    One program implements all four policies (§4.8, §5, §6): plain cFCFS
+    over a single circular queue, resource-aware and locality-aware
+    scheduling via task swapping, and priority scheduling over
+    replicated per-level queues scanned through recirculation.
+
+    The program is pure packet-in / packets-out logic against the
+    {!Circular_queue} register state; it never blocks, loops, or holds
+    state outside registers and per-packet metadata — the restrictions
+    of the P4 target (§2.1.1). *)
+
+open Draconis_sim
+
+
+type t
+
+(** [create ~engine ~policy ~queue_capacity ()] allocates the per-level
+    queues ([queue_capacity] entries each) and program state.
+    [instrument] defaults to {!Instrument.default}. *)
+val create :
+  engine:Engine.t ->
+  ?instrument:Instrument.t ->
+  policy:Policy.t ->
+  queue_capacity:int ->
+  unit ->
+  t
+
+(** The pipeline program to install via {!Draconis_p4.Pipeline.attach}
+    with [wrap = fun m -> Switch_packet.Wire m]. *)
+val program :
+  t -> (Draconis_proto.Message.t, Switch_packet.t) Draconis_p4.Pipeline.program
+
+val policy : t -> Policy.t
+
+(** [queue t level] exposes a level's queue for tests and invariant
+    checks.
+    @raise Invalid_argument on an out-of-range level. *)
+val queue : t -> int -> Circular_queue.t
+
+(** Total tasks currently held across all levels (control-plane view). *)
+val total_occupancy : t -> int
+
+(** Every register the program allocated across all queues, for
+    structural stage placement ({!Draconis_p4.Layout}). *)
+val registers : t -> Draconis_p4.Register.t list
+
+(** Counters (control-plane view). *)
+val assignments : t -> int
+
+val noops : t -> int
+val rejected_tasks : t -> int
+val swaps : t -> int
+val resubmissions : t -> int
+val repairs_launched : t -> int

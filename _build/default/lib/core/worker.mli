@@ -1,0 +1,38 @@
+(** A worker node hosting multiple pull-model executors.
+
+    Owns the node's fabric address and demultiplexes incoming
+    assignments to its executors by destination port, as the node's NIC
+    delivers UDP datagrams to per-executor sockets. *)
+
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+
+type t
+
+(** [create ~node ~executors ~fabric ~make_config ()] builds a worker
+    with [executors] executors whose configs come from
+    [make_config ~port]; registers the node's fabric handler. *)
+val create :
+  node:int ->
+  executors:int ->
+  fabric:Message.t Fabric.t ->
+  make_config:(port:int -> Executor.config) ->
+  unit ->
+  t
+
+(** [start t ~stagger] starts all executors, spacing their initial
+    requests [stagger] apart to avoid a synchronized thundering herd. *)
+val start : t -> stagger:Time.t -> unit
+
+val stop : t -> unit
+val node : t -> int
+val executor : t -> int -> Executor.t
+val executor_count : t -> int
+val iter_executors : t -> (Executor.t -> unit) -> unit
+
+(** [set_on_task_start t f] installs the hook on every executor. *)
+val set_on_task_start : t -> (Task.t -> node:int -> unit) -> unit
+
+val tasks_executed : t -> int
+val busy_time : t -> Time.t

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Cluster Draconis Draconis_baselines Draconis_p4 Draconis_sim Draconis_stats Draconis_workload Exp_common List Printf Runner Switch_program Synthetic Systems Table Time

@@ -1,0 +1,1 @@
+lib/harness/exp_common.ml: Arrival Draconis_sim Draconis_workload List Printf Runner Synthetic Time

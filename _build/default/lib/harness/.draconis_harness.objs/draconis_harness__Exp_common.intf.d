@@ -1,0 +1,1 @@
+lib/harness/exp_common.mli: Draconis_sim Draconis_workload Runner Synthetic Time

@@ -1,0 +1,1 @@
+lib/harness/fig10.ml: Arrival Dist Draconis Draconis_proto Draconis_sim Draconis_stats Draconis_workload Exp_common List Metrics Policy Printf Rng Runner Sampler Systems Table Task Time

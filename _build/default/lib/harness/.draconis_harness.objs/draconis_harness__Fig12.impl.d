@@ -1,0 +1,1 @@
+lib/harness/fig12.ml: Draconis Draconis_p4 Draconis_sim Draconis_stats Draconis_workload Google_trace List Metrics Policy Printf Runner Sampler Systems Table Time

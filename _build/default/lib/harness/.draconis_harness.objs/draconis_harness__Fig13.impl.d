@@ -1,0 +1,1 @@
+lib/harness/fig13.ml: Draconis Draconis_p4 Draconis_sim Draconis_stats Draconis_workload Exp_common Google_trace Metrics Policy Runner Sampler Systems Table Time

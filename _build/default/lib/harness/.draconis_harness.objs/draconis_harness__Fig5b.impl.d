@@ -1,0 +1,1 @@
+lib/harness/fig5b.ml: Codec Draconis Draconis_baselines Draconis_p4 Draconis_proto Draconis_sim Draconis_stats Engine List Metrics Printf Systems Table Task Time

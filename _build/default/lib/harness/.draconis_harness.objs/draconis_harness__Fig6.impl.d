@@ -1,0 +1,1 @@
+lib/harness/fig6.ml: Draconis_baselines Draconis_sim Draconis_stats Draconis_workload Exp_common List Printf Runner Synthetic Systems Table Time

@@ -1,0 +1,1 @@
+lib/harness/fig8.ml: Draconis_stats Draconis_workload Exp_common List Printf Runner Synthetic Systems Table

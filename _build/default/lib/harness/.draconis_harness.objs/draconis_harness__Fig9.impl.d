@@ -1,0 +1,1 @@
+lib/harness/fig9.ml: Draconis Draconis_baselines Draconis_sim Draconis_stats Draconis_workload Exp_common Google_trace List Printf Runner Sampler Systems Table Time

@@ -1,0 +1,1 @@
+lib/harness/others.ml: Arrival Dist Draconis Draconis_baselines Draconis_sim Draconis_stats Draconis_workload Engine Exp_common List Printf Rng Runner Synthetic Systems Table Time

@@ -1,0 +1,1 @@
+lib/harness/resource_table.ml: Draconis Draconis_p4 Draconis_sim Draconis_stats Exp_common Layout List Resources Table

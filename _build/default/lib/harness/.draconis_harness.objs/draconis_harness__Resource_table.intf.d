@@ -1,0 +1,1 @@
+lib/harness/resource_table.mli:

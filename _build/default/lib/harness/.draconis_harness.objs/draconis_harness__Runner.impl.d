@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Draconis Draconis_proto Draconis_sim Draconis_stats Engine Format Meter Metrics Option Rng Sampler Systems Time

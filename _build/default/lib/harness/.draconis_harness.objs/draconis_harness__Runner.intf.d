@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Draconis_proto Draconis_sim Engine Format Rng Systems Time

@@ -1,0 +1,1 @@
+lib/harness/systems.ml: Array Client Cluster Draconis Draconis_baselines Draconis_p4 Draconis_proto Draconis_sim Engine Metrics Policy Printf Switch_program Task Time

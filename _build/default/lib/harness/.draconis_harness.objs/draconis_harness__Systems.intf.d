@@ -1,0 +1,1 @@
+lib/harness/systems.mli: Cluster Draconis Draconis_baselines Draconis_net Draconis_p4 Draconis_proto Draconis_sim Engine Metrics Policy Task Time Topology

@@ -1,0 +1,255 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis_workload
+open Draconis
+
+let kind = Synthetic.Fixed_500us
+
+let measure system ~load ~quick =
+  let horizon =
+    Exp_common.horizon_for ~rate_tps:load
+      ~target_tasks:(if quick then 4_000 else 15_000)
+      ()
+  in
+  let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+  Runner.run system ~driver ~load_tps:load ~horizon ()
+
+(* Pull (Draconis) vs push at increasing placement accuracy. *)
+let pull_vs_push ~quick =
+  let spec = Systems.default_spec in
+  let executors = spec.workers * spec.executors_per_worker in
+  let utilizations = if quick then [ 0.7 ] else [ 0.5; 0.7; 0.9 ] in
+  let loads = Exp_common.loads kind ~executors ~utilizations in
+  let table =
+    Table.create
+      ~columns:
+        ("system"
+        :: List.map (fun u -> Printf.sprintf "p99@%.0f%% (us)" (100.0 *. u)) utilizations)
+  in
+  let contenders =
+    [
+      (fun () -> Systems.draconis spec);
+      (fun () -> Systems.racksched ~samples:1 spec);
+      (fun () -> Systems.racksched ~samples:2 spec);
+      (fun () -> Systems.racksched ~samples:spec.workers spec);
+    ]
+  in
+  List.iter
+    (fun make ->
+      let name = ref "" in
+      let cells =
+        List.map
+          (fun load ->
+            let system = make () in
+            name := system.Systems.name;
+            let o = measure system ~load ~quick in
+            Exp_common.us o.sched_p99)
+          loads
+      in
+      Table.add_row table (!name :: cells))
+    contenders;
+  Table.print
+    ~title:"Ablation: pull-based central queue vs push-based placement (500us tasks)"
+    table
+
+(* Cost of delayed pointer correction: repair packets and recirculation
+   across load. *)
+let correction_cost ~quick =
+  let spec = Systems.default_spec in
+  let executors = spec.workers * spec.executors_per_worker in
+  let utilizations = if quick then [ 0.7 ] else [ 0.3; 0.6; 0.9 ] in
+  let loads = Exp_common.loads kind ~executors ~utilizations in
+  let table =
+    Table.create
+      ~columns:
+        [ "util"; "p99 (us)"; "repairs launched"; "repairs / task";
+          "recirculated (% pkts)" ]
+  in
+  List.iter2
+    (fun load util ->
+      let cluster, system = Systems.draconis_cluster spec in
+      let o = measure system ~load ~quick in
+      let repairs = Switch_program.repairs_launched (Cluster.program cluster) in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. util);
+          Exp_common.us o.sched_p99;
+          string_of_int repairs;
+          Printf.sprintf "%.5f" (float_of_int repairs /. float_of_int (max 1 o.submitted));
+          Exp_common.pct o.recirc_fraction;
+        ])
+    loads utilizations;
+  Table.print
+    ~title:
+      "Ablation: delayed-pointer-correction overhead (repair packets are the price of the one-access rule)"
+    table
+
+(* R2P2-1 drops vs recirculation-port bandwidth. *)
+let recirc_bandwidth ~quick =
+  let spec = Systems.default_spec in
+  let executors = spec.workers * spec.executors_per_worker in
+  let load = List.hd (Exp_common.loads kind ~executors ~utilizations:[ 0.93 ]) in
+  let slots = if quick then [ 100 ] else [ 400; 200; 100; 50; 25 ] in
+  let table =
+    Table.create
+      ~columns:[ "recirc rate (Mpps)"; "dropped packets"; "p99 (us)"; "timeouts" ]
+  in
+  List.iter
+    (fun slot ->
+      let system =
+        Systems.r2p2 ~k:1 ~client_timeout:(Time.ms 1)
+          ~pipeline_config:
+            {
+              Draconis_p4.Pipeline.default_config with
+              recirc_slot = Time.ns slot;
+            }
+          spec
+      in
+      let o = measure system ~load ~quick in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f" (1e3 /. float_of_int slot);
+          string_of_int o.recirc_drops;
+          Exp_common.us o.sched_p99;
+          string_of_int o.timeouts;
+        ])
+    slots;
+  Table.print
+    ~title:"Ablation: R2P2-1 task drops vs recirculation bandwidth (93% load)"
+    table
+
+(* Intra-node policy on a heavy-tailed workload: RackSched's cFCFS
+   suffers head-of-line blocking behind long tasks; processor sharing
+   (the paper's Shinjuku configuration) preempts them. *)
+let intra_node_policy ~quick =
+  let spec = Systems.default_spec in
+  let kind = Synthetic.Exponential_250us in
+  let executors = spec.workers * spec.executors_per_worker in
+  let load = List.hd (Exp_common.loads kind ~executors ~utilizations:[ 0.8 ]) in
+  let table = Table.create ~columns:[ "intra-node policy"; "p50 (us)"; "p99 (us)" ] in
+  List.iter
+    (fun (label, intra) ->
+      let system = Systems.racksched ~intra spec in
+      let horizon =
+        Exp_common.horizon_for ~rate_tps:load
+          ~target_tasks:(if quick then 4_000 else 15_000)
+          ()
+      in
+      let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+      let o = Runner.run system ~driver ~load_tps:load ~horizon () in
+      Table.add_row table
+        [ label; Exp_common.us o.sched_p50; Exp_common.us o.sched_p99 ])
+    [
+      ("cFCFS (no preemption)", Draconis_baselines.Node_worker.Fcfs);
+      ( "processor sharing (25us quantum)",
+        Draconis_baselines.Node_worker.Processor_sharing
+          { quantum = Time.us 25; overhead = Time.us 1 } );
+    ];
+  Table.print
+    ~title:
+      "Ablation: RackSched intra-node policy on a heavy-tailed workload (exp-250us, 80% load)"
+    table
+
+(* Work stealing on R2P2-3: the paper (sec 2.2.1) argues stealing could
+   address node-level blocking but costs coordination; measure both. *)
+let work_stealing ~quick =
+  let spec = Systems.default_spec in
+  let executors = spec.workers * spec.executors_per_worker in
+  let utilizations = if quick then [ 0.5 ] else [ 0.35; 0.5; 0.7 ] in
+  let loads = Exp_common.loads kind ~executors ~utilizations in
+  let table =
+    Table.create
+      ~columns:
+        ("system"
+        :: List.map (fun u -> Printf.sprintf "p99@%.0f%% (us)" (100.0 *. u)) utilizations
+        @ [ "steals (last col)" ])
+  in
+  let contenders =
+    [
+      (fun () -> (Systems.draconis spec, fun () -> 0));
+      (fun () -> (Systems.r2p2 ~k:3 ~client_timeout:(Time.ms 2) spec, fun () -> 0));
+      (fun () ->
+        let sys =
+          Draconis_baselines.R2p2.create
+            {
+              Draconis_baselines.R2p2.default_config with
+              seed = spec.seed;
+              workers = spec.workers;
+              executors_per_worker = spec.executors_per_worker;
+              clients = spec.clients;
+              jbsq_k = 3;
+              work_stealing = true;
+              client_timeout = Some (Time.ms 2);
+            }
+        in
+        let running =
+          {
+            Systems.name = "R2P2-3+WS";
+            engine = Draconis_baselines.R2p2.engine sys;
+            metrics = Draconis_baselines.R2p2.metrics sys;
+            submit =
+              (fun tasks ->
+                ignore
+                  (Draconis.Client.submit_job (Draconis_baselines.R2p2.client sys 0) tasks));
+            outstanding = (fun () -> Draconis_baselines.R2p2.outstanding sys);
+            extras =
+              (fun () ->
+                {
+                  Systems.recirc_fraction =
+                    Draconis_p4.Pipeline.recirculation_fraction
+                      (Draconis_baselines.R2p2.pipeline sys);
+                  recirc_drops =
+                    Draconis_p4.Pipeline.recirc_dropped (Draconis_baselines.R2p2.pipeline sys);
+                  pipeline_processed =
+                    Draconis_p4.Pipeline.processed (Draconis_baselines.R2p2.pipeline sys);
+                  queue_rejections = 0;
+                });
+          }
+        in
+        (running, fun () -> Draconis_baselines.R2p2.steals sys));
+    ]
+  in
+  List.iter
+    (fun make ->
+      let name = ref "" in
+      let steal_count = ref 0 in
+      let cells =
+        List.map
+          (fun load ->
+            let system, steals = make () in
+            name := system.Systems.name;
+            let o = measure system ~load ~quick in
+            steal_count := steals ();
+            Exp_common.us o.sched_p99)
+          loads
+      in
+      Table.add_row table ((!name :: cells) @ [ string_of_int !steal_count ]))
+    contenders;
+  Table.print
+    ~title:
+      "Ablation: work stealing on R2P2-3 (sec 2.2.1 — can stealing fix node-level blocking?)"
+    table
+
+(* RackSched sampling width. *)
+let sampling_width ~quick =
+  let spec = Systems.default_spec in
+  let executors = spec.workers * spec.executors_per_worker in
+  let load = List.hd (Exp_common.loads kind ~executors ~utilizations:[ 0.85 ]) in
+  let widths = if quick then [ 2 ] else [ 1; 2; 4; 10 ] in
+  let table = Table.create ~columns:[ "samples"; "p50 (us)"; "p99 (us)" ] in
+  List.iter
+    (fun samples ->
+      let system = Systems.racksched ~samples spec in
+      let o = measure system ~load ~quick in
+      Table.add_row table
+        [ string_of_int samples; Exp_common.us o.sched_p50; Exp_common.us o.sched_p99 ])
+    widths;
+  Table.print ~title:"Ablation: RackSched power-of-k sampling width (85% load)" table
+
+let run ?(quick = false) () =
+  pull_vs_push ~quick;
+  correction_cost ~quick;
+  recirc_bandwidth ~quick;
+  sampling_width ~quick;
+  intra_node_policy ~quick;
+  work_stealing ~quick

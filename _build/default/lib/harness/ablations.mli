@@ -1,0 +1,14 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    - {b pull vs push} — Draconis' pull model against push-based
+      placement at increasing sampling width (random, power-of-two,
+      exact JSQ over nodes);
+    - {b pointer correction} — recirculation and repair cost of the
+      delayed-pointer-correction queue across load (the overhead the
+      one-access-per-packet rule forces);
+    - {b recirculation bandwidth} — R2P2-1's task drops as a function
+      of the loop-back port's service rate;
+    - {b sampling width} — RackSched's tail vs power-of-k for
+      k in {1, 2, 4, 10}. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,24 @@
+open Draconis_sim
+open Draconis_workload
+
+let capacity_tps kind ~executors =
+  float_of_int executors /. (Synthetic.mean_duration kind /. 1e9)
+
+let loads kind ~executors ~utilizations =
+  let capacity = capacity_tps kind ~executors in
+  List.map (fun u -> u *. capacity) utilizations
+
+let synthetic_driver kind ~rate_tps ~horizon : Runner.driver =
+ fun engine rng ~submit ->
+  Arrival.drive engine rng
+    (Arrival.uniform_spec ~rate_tps ~duration:(Synthetic.duration kind) ~horizon)
+    ~submit
+
+let horizon_for ~rate_tps ?(target_tasks = 25_000) ?(min_horizon = Time.ms 50)
+    ?(max_horizon = Time.ms 400) () =
+  let ideal = float_of_int target_tasks /. rate_tps *. 1e9 in
+  max min_horizon (min max_horizon (int_of_float ideal))
+
+let us ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e3)
+let pct f = Printf.sprintf "%.2f%%" (100.0 *. f)
+let yn b = if b then "yes" else "no"

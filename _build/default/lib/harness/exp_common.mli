@@ -1,0 +1,36 @@
+(** Shared helpers for the per-figure experiment modules. *)
+
+open Draconis_sim
+open Draconis_workload
+
+(** Cluster task-capacity (tasks/second) for a synthetic workload on
+    [executors] executors. *)
+val capacity_tps : Synthetic.kind -> executors:int -> float
+
+(** [loads kind ~executors ~utilizations] converts utilization points
+    into offered loads. *)
+val loads : Synthetic.kind -> executors:int -> utilizations:float list -> float list
+
+(** A driver submitting Poisson single-task jobs of the given synthetic
+    workload. *)
+val synthetic_driver :
+  Synthetic.kind -> rate_tps:float -> horizon:Time.t -> Runner.driver
+
+(** Horizon sized so roughly [target_tasks] tasks are submitted, clamped
+    to [\[min_horizon, max_horizon\]]. *)
+val horizon_for :
+  rate_tps:float ->
+  ?target_tasks:int ->
+  ?min_horizon:Time.t ->
+  ?max_horizon:Time.t ->
+  unit ->
+  Time.t
+
+(** Format nanoseconds as microseconds ("12.3"). *)
+val us : int -> string
+
+(** Format a fraction as a percentage ("12.34%"). *)
+val pct : float -> string
+
+(** "yes"/"no". *)
+val yn : bool -> string

@@ -1,0 +1,61 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis_proto
+open Draconis
+open Draconis_workload
+
+let percentiles = [ 25.0; 50.0; 66.0; 90.0; 99.0 ]
+
+let locality_driver ~workers ~rate_tps ~horizon : Runner.driver =
+ fun engine rng ~submit ->
+  Arrival.drive engine rng
+    {
+      (Arrival.uniform_spec ~rate_tps ~duration:(Dist.constant (Time.us 100)) ~horizon) with
+      fn_id = Task.Fn.data_task;
+      tprops_of = (fun rng -> Task.Locality [ Rng.int rng workers ]);
+    }
+    ~submit
+
+let one_policy ~name ~policy_of ~rate ~horizon table =
+  let spec = Systems.default_spec in
+  let system = Systems.draconis ~policy_of ~racks:3 spec in
+  let driver = locality_driver ~workers:spec.workers ~rate_tps:rate ~horizon in
+  let _o = Runner.run system ~driver ~load_tps:rate ~horizon () in
+  let metrics = system.Systems.metrics in
+  let placement = Metrics.placement metrics in
+  let total =
+    max 1 (placement.Metrics.local + placement.Metrics.same_rack + placement.Metrics.remote)
+  in
+  let pct n = Printf.sprintf "%.1f%%" (100.0 *. float_of_int n /. float_of_int total) in
+  let e2e = Metrics.end_to_end_delay metrics in
+  Table.add_row table
+    (name
+     :: pct placement.Metrics.local
+     :: pct placement.Metrics.same_rack
+     :: pct placement.Metrics.remote
+     :: List.map
+          (fun p ->
+            if Sampler.count e2e = 0 then "-"
+            else Exp_common.us (Sampler.percentile e2e p))
+          percentiles)
+
+let run ?(quick = false) () =
+  let rate = 400_000.0 in
+  let horizon = if quick then Time.ms 40 else Time.ms 150 in
+  let table =
+    Table.create
+      ~columns:
+        ([ "policy"; "local"; "same rack"; "other rack" ]
+        @ List.map (fun p -> Printf.sprintf "e2e p%.0f (us)" p) percentiles)
+  in
+  one_policy ~name:"Draconis-Locality"
+    ~policy_of:(fun topology ->
+      Policy.Locality_aware
+        { rack_start_limit = 3; global_start_limit = 9; topology })
+    ~rate ~horizon table;
+  one_policy ~name:"Draconis-FCFS" ~policy_of:(fun _ -> Policy.Fcfs) ~rate ~horizon
+    table;
+  Table.print
+    ~title:
+      "Fig 10: locality-aware vs FCFS (100us data tasks, 3 racks, limits 3/9): placement mix and end-to-end delay"
+    table

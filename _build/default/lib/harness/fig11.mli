@@ -1,0 +1,10 @@
+(** Figure 11: system throughput under resource constraints.
+
+    Node groups G1 (resource A), G2 (A+B), G3 (A+B+C); three equal
+    phases submit tasks needing A, then B, then C.  Paper expectation:
+    all groups run in phase 1; only G2+G3 in phase 2; only G3 in phase
+    3 — and because G3 alone cannot absorb the phase-3 load, execution
+    runs past the end of submission (the paper's 110 s finish for a 90 s
+    workload). *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,73 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis
+open Draconis_workload
+
+(* The priority policy recirculates every lower-level retrieval, so a
+   deployment provisions the loop-back path accordingly (multiple
+   recirculation ports on a Tofino); sec 8.7 reports no throughput
+   impact. *)
+let prio_pipeline =
+  {
+    Draconis_p4.Pipeline.default_config with
+    recirc_slot = Draconis_sim.Time.ns 10;
+    recirc_queue_limit = 4096;
+  }
+
+let levels = 4
+let percentiles = [ 25.0; 50.0; 90.0; 99.0 ]
+
+let trace_spec ~horizon =
+  {
+    Google_trace.default_spec with
+    mean_duration = Time.ms 5;
+    (* 160 executors / 5 ms = 32 ktps capacity; run just above it so
+       queues build, as the paper's up-sampled trace does. *)
+    rate_tps = 33_000.0;
+    horizon;
+    priority_levels = levels;
+  }
+
+let row table ~name sampler =
+  let cells =
+    if Sampler.count sampler = 0 then List.map (fun _ -> "-") percentiles
+    else
+      List.map
+        (fun p ->
+          Printf.sprintf "%.2f" (float_of_int (Sampler.percentile sampler p) /. 1e6))
+        percentiles
+  in
+  Table.add_row table ((name :: cells) @ [ string_of_int (Sampler.count sampler) ])
+
+let run ?(quick = false) () =
+  let horizon = if quick then Time.ms 300 else Time.s 2 in
+  let spec = Systems.default_spec in
+  let table =
+    Table.create
+      ~columns:
+        ("class"
+        :: List.map (fun p -> Printf.sprintf "queueing p%.0f (ms)" p) percentiles
+        @ [ "tasks" ])
+  in
+  let driver engine rng ~submit =
+    Google_trace.drive engine rng (trace_spec ~horizon) ~submit
+  in
+  (* Priority-aware run: per-level queueing delays. *)
+  let prio =
+    Systems.draconis ~pipeline_config:prio_pipeline
+      ~policy_of:(fun _ -> Policy.Priority { levels })
+      spec
+  in
+  let _ = Runner.run prio ~driver ~load_tps:33_000.0 ~horizon ~drain:(2 * horizon) () in
+  for level = 0 to levels - 1 do
+    row table
+      ~name:(Printf.sprintf "priority %d" (level + 1))
+      (Metrics.queueing_delay prio.Systems.metrics ~level)
+  done;
+  (* Priority-unaware FCFS on the same workload. *)
+  let fcfs = Systems.draconis ~policy_of:(fun _ -> Policy.Fcfs) spec in
+  let _ = Runner.run fcfs ~driver ~load_tps:33_000.0 ~horizon ~drain:(2 * horizon) () in
+  row table ~name:"FCFS (all)" (Metrics.queueing_delay fcfs.Systems.metrics ~level:0);
+  Table.print
+    ~title:"Fig 12: queueing delay by priority level, Google trace (5ms mean)"
+    table

@@ -1,0 +1,10 @@
+(** Figure 12: queueing delay across priority levels.
+
+    Accelerated Google trace with 5 ms mean tasks at high load, priority
+    levels mapped 12 -> 4 (1.2 / 1.7 / 64.6 / 32.2 % of tasks at levels
+    1-4).  Paper expectation: median queueing delays of ~1.4 ms, 2.9 ms,
+    13.3 ms and 53.5 ms for levels 1-4, strictly ordered by priority;
+    the same workload under priority-unaware FCFS sits at ~39.5 ms for
+    everyone — worse than levels 1-3, better than level 4. *)
+
+val run : ?quick:bool -> unit -> unit

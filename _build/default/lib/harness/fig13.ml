@@ -1,0 +1,56 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis
+open Draconis_workload
+
+(* The priority policy recirculates every lower-level retrieval, so a
+   deployment provisions the loop-back path accordingly (multiple
+   recirculation ports on a Tofino); sec 8.7 reports no throughput
+   impact. *)
+let prio_pipeline =
+  {
+    Draconis_p4.Pipeline.default_config with
+    recirc_slot = Draconis_sim.Time.ns 10;
+    recirc_queue_limit = 4096;
+  }
+
+let levels = 4
+
+let run ?(quick = false) () =
+  let horizon = if quick then Time.ms 50 else Time.ms 300 in
+  let spec = Systems.default_spec in
+  (* Moderate load on 500 us-mean tasks: higher-priority queues are
+     frequently empty, so lower-level retrievals pay the recirculation
+     chain the figure measures. *)
+  let trace =
+    {
+      Google_trace.default_spec with
+      mean_duration = Time.us 500;
+      rate_tps = 200_000.0;
+      horizon;
+      priority_levels = levels;
+    }
+  in
+  let driver engine rng ~submit = Google_trace.drive engine rng trace ~submit in
+  let system =
+    Systems.draconis ~pipeline_config:prio_pipeline
+      ~policy_of:(fun _ -> Policy.Priority { levels })
+      spec
+  in
+  let _ = Runner.run system ~driver ~load_tps:trace.rate_tps ~horizon () in
+  let table =
+    Table.create
+      ~columns:[ "priority level"; "get_task p50 (us)"; "get_task p90 (us)"; "tasks" ]
+  in
+  for level = 0 to levels - 1 do
+    let sampler = Metrics.get_task_delay system.Systems.metrics ~level in
+    let cells =
+      if Sampler.count sampler = 0 then [ "-"; "-" ]
+      else
+        [ Exp_common.us (Sampler.percentile sampler 50.0);
+          Exp_common.us (Sampler.percentile sampler 90.0) ]
+    in
+    Table.add_row table
+      ((string_of_int (level + 1) :: cells) @ [ string_of_int (Sampler.count sampler) ])
+  done;
+  Table.print ~title:"Fig 13: get_task() latency by priority level" table

@@ -1,0 +1,8 @@
+(** Figure 13: get_task() latency across priority levels.
+
+    Each lower priority level costs one more recirculation when higher
+    queues are empty.  Paper expectation: median and 90th-percentile
+    get_task() latencies differ by only 1-2 us between levels — the
+    recirculation overhead of the priority policy is negligible. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,12 @@
+(** Figure 5a: throughput vs 99th-percentile scheduling delay with
+    500 us tasks, comparing all scheduling alternatives.
+
+    Paper expectation: Draconis holds ~4.7 us p99 until utilization
+    exceeds ~90% and stays lowest everywhere; RackSched runs ~3x higher,
+    Draconis-DPDK-Server ~20x, R2P2 ~120x (pinned at the task service
+    time by node-level blocking), Sparrow ~200x; POSIX-socket systems
+    (Sparrow, the socket server) collapse past ~160 ktps. *)
+
+(** [run ?quick ()] prints the table.  [quick] shrinks the load grid and
+    horizon (used by tests). *)
+val run : ?quick:bool -> unit -> unit

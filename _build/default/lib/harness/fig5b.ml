@@ -1,0 +1,84 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis_proto
+open Draconis
+module CS = Draconis_baselines.Central_server
+
+(* Closed-loop feeder: resubmit one no-op task per completion, keeping
+   ~[in_flight] tasks in the system so the scheduler never idles. *)
+let feed (system : Systems.running) ~in_flight ~horizon =
+  let submitted = ref 0 in
+  let submit_tasks n =
+    let rec go n =
+      if n > 0 then begin
+        let chunk = min n Codec.max_tasks_per_packet in
+        system.submit
+          (List.init chunk (fun tid ->
+               Task.make ~uid:0 ~jid:0 ~tid ~fn_id:Task.Fn.noop ~fn_par:0 ()));
+        submitted := !submitted + chunk;
+        go (n - chunk)
+      end
+    in
+    go n
+  in
+  submit_tasks in_flight;
+  (* No-op tasks are dropped at executors without a client reply, so the
+     feeder tracks executor starts rather than completions. *)
+  Engine.every system.engine ~interval:(Time.us 10) ~until:horizon (fun () ->
+      let deficit = Metrics.started system.metrics + in_flight - !submitted in
+      if deficit > 0 then submit_tasks deficit)
+
+(* Multi-task submission packets enqueue one task per recirculation
+   (sec 4.3), so feeding tens of millions of tasks per second needs the
+   loop-back path provisioned like a Tofino with several recirculation
+   ports. *)
+let fat_recirc =
+  {
+    Draconis_p4.Pipeline.default_config with
+    recirc_slot = Draconis_sim.Time.ns 10;
+    recirc_queue_limit = 8192;
+  }
+
+let throughput make ~workers ~executors_per_worker ~horizon =
+  let system =
+    make { Systems.default_spec with workers; executors_per_worker; clients = 2 }
+  in
+  let executors = workers * executors_per_worker in
+  (* Enough in-flight tasks that the queue outlasts one feeder period
+     even at ~300k decisions/s per executor, but capped so slow
+     server-based schedulers are not buried by the initial flood. *)
+  feed system ~in_flight:(min (60 * executors) 2048) ~horizon;
+  Engine.run ~until:horizon system.engine;
+  Draconis_stats.Meter.rate_over (Metrics.decisions system.metrics) ~duration:horizon
+
+let run ?(quick = false) () =
+  let horizon = if quick then Time.ms 2 else Time.ms 10 in
+  let worker_counts = if quick then [ 2; 10 ] else [ 1; 2; 4; 6; 8; 10; 13 ] in
+  let systems =
+    [
+      ("Draconis", fun spec -> Systems.draconis ~pipeline_config:fat_recirc spec);
+      ("Draconis-DPDK-Server", fun spec -> Systems.central_server CS.Dpdk spec);
+      ("Draconis-Socket-Server", fun spec -> Systems.central_server CS.Socket spec);
+      ("1 Sparrow", fun spec -> Systems.sparrow ~schedulers:1 spec);
+      ("2 Sparrow", fun spec -> Systems.sparrow ~schedulers:2 spec);
+    ]
+  in
+  let table =
+    Table.create
+      ~columns:("system" :: List.map (fun w -> Printf.sprintf "%d exec" (16 * w)) worker_counts)
+  in
+  List.iter
+    (fun (name, make) ->
+      let rates =
+        List.map
+          (fun workers ->
+            let rate =
+              throughput make ~workers ~executors_per_worker:16 ~horizon
+            in
+            if rate >= 1e6 then Printf.sprintf "%.1fM/s" (rate /. 1e6)
+            else Printf.sprintf "%.0fk/s" (rate /. 1e3))
+          worker_counts
+      in
+      Table.add_row table (name :: rates))
+    systems;
+  Table.print ~title:"Fig 5b: scheduling throughput (no-op tasks) vs executors" table

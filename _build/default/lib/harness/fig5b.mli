@@ -1,0 +1,10 @@
+(** Figure 5b: scheduling throughput with a no-op workload.
+
+    Executors retrieve a no-op task, drop it, and immediately request
+    the next one; a closed-loop feeder keeps the scheduler's queue
+    non-empty.  Paper expectation: Draconis scales linearly with
+    executors to ~58M decisions/s at 208 executors; Draconis-DPDK-Server
+    caps around ~1 Mtps (52x lower), Sparrow at ~0.5/0.9 Mtps for 1/2
+    schedulers, socket-based servers lowest. *)
+
+val run : ?quick:bool -> unit -> unit

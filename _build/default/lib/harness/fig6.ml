@@ -1,0 +1,54 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis_workload
+module CS = Draconis_baselines.Central_server
+
+let run ?(quick = false) () =
+  let spec = Systems.default_spec in
+  let executors = spec.workers * spec.executors_per_worker in
+  let utilizations = if quick then [ 0.5 ] else [ 0.3; 0.5; 0.7; 0.85; 0.94 ] in
+  let kinds = if quick then [ Synthetic.Fixed_100us ] else Synthetic.all in
+  List.iter
+    (fun kind ->
+      let loads = Exp_common.loads kind ~executors ~utilizations in
+      let table =
+        Table.create
+          ~columns:
+            ("system"
+            :: List.map (fun u -> Printf.sprintf "p99@%.0f%% (us)" (100.0 *. u))
+                 utilizations)
+      in
+      let systems =
+        [
+          (fun () -> Systems.draconis spec);
+          (fun () -> Systems.racksched spec);
+          (fun () -> Systems.r2p2 ~k:3 ~client_timeout:(Time.ms 2) spec);
+          (fun () -> Systems.central_server CS.Dpdk spec);
+        ]
+      in
+      List.iter
+        (fun make ->
+          let name = ref "" in
+          let cells =
+            List.map
+              (fun load ->
+                let system = make () in
+                name := system.Systems.name;
+                let horizon =
+                  Exp_common.horizon_for ~rate_tps:load
+                    ~target_tasks:(if quick then 4_000 else 20_000)
+                    ()
+                in
+                let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+                let o = Runner.run system ~driver ~load_tps:load ~horizon () in
+                Exp_common.us o.sched_p99)
+              loads
+          in
+          Table.add_row table (!name :: cells))
+        systems;
+      Table.print
+        ~title:
+          (Printf.sprintf "Fig 6 (%s): p99 scheduling delay vs utilization"
+             (Synthetic.name kind))
+        table)
+    kinds

@@ -1,0 +1,11 @@
+(** Figure 6: throughput vs p99 scheduling delay across the full
+    synthetic suite (100/250/500 us fixed, bimodal, trimodal,
+    exponential).
+
+    Paper expectation: Draconis holds 4.7-20 us p99 across all six
+    workloads; R2P2-3's tail pins at the task service time from
+    ~30-40% utilization; RackSched sits a few microseconds above
+    Draconis at low load and inflates at high load; the DPDK server
+    tracks its CPU queueing. *)
+
+val run : ?quick:bool -> unit -> unit

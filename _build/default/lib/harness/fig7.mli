@@ -1,0 +1,9 @@
+(** Figure 7: task drops and packet recirculation with 250 us tasks.
+
+    Paper expectation: R2P2-1's recirculated-packet share climbs to
+    ~50% of all processed packets at 93% load and ~75% at 97%, and it
+    starts dropping tasks (5-9%); R2P2-3 recirculates and drops
+    essentially nothing; Draconis stays at 0.02-0.05% recirculation
+    with zero drops. *)
+
+val run : ?quick:bool -> unit -> unit

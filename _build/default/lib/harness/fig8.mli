@@ -1,0 +1,11 @@
+(** Figures 8a/8b: the effect of the JBSQ bound on R2P2 — utilization vs
+    p99 scheduling delay for R2P2-1, R2P2-3, and Draconis with 100 us
+    (8a) and 250 us (8b) tasks.
+
+    Paper expectation: R2P2-1 tracks Draconis at low utilization but
+    drops tasks from ~80% load (the client-timeout resubmissions spike
+    its tail); R2P2-3 never drops but its tail sits at the task service
+    time from ~30-40% utilization — node-level blocking; Draconis is
+    lowest throughout. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,64 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis_workload
+module CS = Draconis_baselines.Central_server
+
+let percentiles = [ 25.0; 50.0; 75.0; 90.0; 95.0; 99.0 ]
+
+let run ?(quick = false) () =
+  let spec = Systems.default_spec in
+  (* ~47% average utilization with bursty job arrivals: the medians sit
+     in the microsecond range while the bursts build the long tails the
+     paper attributes to the trace. *)
+  let rate = 150_000.0 in
+  let horizon = if quick then Time.ms 60 else Time.ms 400 in
+  let trace_spec =
+    {
+      Google_trace.default_spec with
+      rate_tps = rate;
+      horizon;
+      mean_duration = Time.us 500;
+      mean_job_size = 6.0;
+      burst_fraction = 0.01;
+      burst_scale = 60;
+    }
+  in
+  let driver engine rng ~submit = Google_trace.drive engine rng trace_spec ~submit in
+  let timeout = Time.ms 2 in
+  let systems =
+    if quick then
+      [ (fun () -> Systems.draconis spec);
+        (fun () -> Systems.r2p2 ~k:5 ~client_timeout:timeout spec) ]
+    else
+      [
+        (fun () -> Systems.draconis spec);
+        (fun () -> Systems.racksched spec);
+        (fun () -> Systems.r2p2 ~k:3 ~client_timeout:timeout spec);
+        (fun () -> Systems.r2p2 ~k:5 ~client_timeout:timeout spec);
+        (fun () -> Systems.r2p2 ~k:7 ~client_timeout:timeout spec);
+        (fun () -> Systems.r2p2 ~k:9 ~client_timeout:timeout spec);
+        (fun () -> Systems.central_server CS.Dpdk spec);
+      ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        ("system"
+        :: List.map (fun p -> Printf.sprintf "p%.0f (us)" p) percentiles
+        @ [ "drops" ])
+  in
+  List.iter
+    (fun make ->
+      let system = make () in
+      let o = Runner.run system ~driver ~load_tps:rate ~horizon () in
+      let delays = Draconis.Metrics.scheduling_delay system.Systems.metrics in
+      let cells =
+        if Sampler.count delays = 0 then List.map (fun _ -> "-") percentiles
+        else
+          List.map (fun p -> Exp_common.us (Sampler.percentile delays p)) percentiles
+      in
+      Table.add_row table ((o.system :: cells) @ [ string_of_int o.recirc_drops ]))
+    systems;
+  Table.print
+    ~title:"Fig 9: scheduling-delay percentiles, Google trace (500us mean, bursty)"
+    table

@@ -1,0 +1,11 @@
+(** Figure 9: scheduling-delay CDF on the (synthetic) Google cluster
+    trace, 500 us mean task duration, bursty job arrivals.
+
+    Paper expectation: Draconis' median is ~4.2 us, the best of all
+    systems; R2P2-5 is the best R2P2 variant (~5.2 us median, 20-200%
+    worse at the tail), with R2P2-3/7/9 clearly worse (60-160 us
+    medians); RackSched's median is ~40% above Draconis; the DPDK
+    server's median is orders of magnitude higher (it cannot absorb the
+    trace's bursts). *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,94 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis_workload
+module CS = Draconis_baselines.Central_server
+
+(* Spark native: 500 us tasks at increasing utilization; the delay is
+   dominated by the scheduler's own millisecond-scale per-task cost. *)
+let spark_table ~quick =
+  let spec = Systems.default_spec in
+  let kind = Synthetic.Fixed_500us in
+  let executors = spec.workers * spec.executors_per_worker in
+  let utilizations = if quick then [ 0.5 ] else [ 0.1; 0.25; 0.5; 0.7 ] in
+  let loads = Exp_common.loads kind ~executors ~utilizations in
+  let table =
+    Table.create ~columns:[ "util"; "p50 delay"; "p99 delay"; "drained?" ]
+  in
+  List.iter2
+    (fun load util ->
+      let system = Systems.central_server CS.Spark_native spec in
+      let horizon = if quick then Time.ms 50 else Time.ms 150 in
+      let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+      (* Bounded drain: at overload the backlog grows without limit. *)
+      let o =
+        Runner.run system ~driver ~load_tps:load ~horizon ~drain:(2 * horizon) ()
+      in
+      let fmt ns =
+        if ns >= Time.ms 1 then Printf.sprintf "%.1f ms" (Time.to_ms ns)
+        else Printf.sprintf "%.1f us" (Time.to_us ns)
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. util);
+          fmt o.sched_p50;
+          fmt o.sched_p99;
+          Exp_common.yn o.drained;
+        ])
+    loads utilizations;
+  Table.print
+    ~title:
+      "Other schedulers: Spark native scheduler, 500us tasks (paper: ~3s delay at 50%, infinite queueing above)"
+    table
+
+(* Firmament: 5 ms tasks, growing executor counts; beyond ~1200
+   executors the decision rate cannot keep the cluster fed. *)
+let firmament_table ~quick =
+  let duration = Time.ms 5 in
+  let counts = if quick then [ 960; 1_440 ] else [ 480; 960; 1_200; 1_440; 1_920 ] in
+  let table =
+    Table.create
+      ~columns:
+        [ "executors"; "required rate"; "delivered rate"; "keeps cluster fed?" ]
+  in
+  List.iter
+    (fun executors ->
+      let workers = executors / 16 in
+      let spec =
+        { Systems.default_spec with workers; executors_per_worker = 16; clients = 2 }
+      in
+      let system = Systems.central_server CS.Firmament spec in
+      (* Offer ~95% of the cluster's capacity. *)
+      let load = 0.95 *. float_of_int executors /. Time.to_s duration in
+      let horizon = if quick then Time.ms 60 else Time.ms 200 in
+      (* Measure the steady state over the submission window only: a
+         scheduler that keeps up has no growing backlog. *)
+      let rng = Rng.create ~seed:1_000_003 in
+      Arrival.drive system.Systems.engine rng
+        (Arrival.uniform_spec ~rate_tps:load ~duration:(Dist.constant duration) ~horizon)
+        ~submit:system.Systems.submit;
+      Engine.run ~until:horizon system.Systems.engine;
+      let metrics = system.Systems.metrics in
+      let delivered =
+        float_of_int (Draconis.Metrics.started metrics) /. Time.to_s horizon
+      in
+      let backlog =
+        Draconis.Metrics.submitted metrics - Draconis.Metrics.started metrics
+      in
+      (* A fed cluster's backlog stays within a scheduling round trip. *)
+      let fed = float_of_int backlog < 0.02 *. float_of_int (Draconis.Metrics.submitted metrics) in
+      Table.add_row table
+        [
+          string_of_int executors;
+          Printf.sprintf "%.0fk/s" (load /. 1e3);
+          Printf.sprintf "%.0fk/s" (delivered /. 1e3);
+          Exp_common.yn fed;
+        ])
+    counts;
+  Table.print
+    ~title:
+      "Other schedulers: Firmament-style centralized scheduler, 5ms tasks (paper: cannot scale past ~1200 executors)"
+    table
+
+let run ?(quick = false) () =
+  spark_table ~quick;
+  firmament_table ~quick

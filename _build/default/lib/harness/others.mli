@@ -1,0 +1,12 @@
+(** §8 "Other Schedulers": the two systems the paper tried and found
+    unable to run microsecond-scale workloads at all.
+
+    Paper expectations:
+    - the Spark native scheduler at 50% utilization with 500 us tasks
+      accumulates ~3 s of scheduling delay, and above 50% it experiences
+      unbounded queueing;
+    - Firmament cannot scale past ~100 nodes x 12 executors
+      (1200 executors) when running 5 ms tasks — beyond that its
+      decision rate falls short of the cluster's task rate. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,8 @@
+(** §7 switch-resource estimates: queue capacity and priority levels on
+    Tofino 1 vs Tofino 2.
+
+    Paper expectation: the deployed Tofino 1 holds a 164K-task queue and
+    up to 4 priority levels; Tofino 2 supports ~1M tasks and up to 12
+    levels. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,80 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis
+
+type outcome = {
+  system : string;
+  load_tps : float;
+  sched_p50 : int;
+  sched_p99 : int;
+  sched_mean : float;
+  decisions_per_sec : float;
+  submitted : int;
+  started : int;
+  completed : int;
+  timeouts : int;
+  rejected : int;
+  recirc_fraction : float;
+  recirc_drops : int;
+  drained : bool;
+}
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "%s@%.0ftps: p50=%a p99=%a decisions=%.0f/s submitted=%d completed=%d%s" o.system
+    o.load_tps Time.pp o.sched_p50 Time.pp o.sched_p99 o.decisions_per_sec o.submitted
+    o.completed
+    (if o.drained then "" else " (NOT DRAINED)")
+
+type driver = Engine.t -> Rng.t -> submit:(Draconis_proto.Task.t list -> unit) -> unit
+
+let drain_system (system : Systems.running) ~deadline =
+  let step = Time.ms 1 in
+  let rec go () =
+    if system.outstanding () = 0 then true
+    else if Engine.now system.engine >= deadline then false
+    else begin
+      Engine.run
+        ~until:(min deadline (Engine.now system.engine + step))
+        system.engine;
+      go ()
+    end
+  in
+  go ()
+
+let collect (system : Systems.running) ~load_tps ~horizon ~drained =
+  let metrics = system.metrics in
+  let delays = Metrics.scheduling_delay metrics in
+  let has_samples = Sampler.count delays > 0 in
+  let extras = system.extras () in
+  {
+    system = system.name;
+    load_tps;
+    sched_p50 = (if has_samples then Sampler.percentile delays 50.0 else 0);
+    sched_p99 = (if has_samples then Sampler.percentile delays 99.0 else 0);
+    sched_mean = (if has_samples then Sampler.mean delays else 0.0);
+    decisions_per_sec = Meter.rate_over (Metrics.decisions metrics) ~duration:horizon;
+    submitted = Metrics.submitted metrics;
+    started = Metrics.started metrics;
+    completed = Metrics.completed metrics;
+    timeouts = Metrics.timeouts metrics;
+    rejected = Metrics.rejected metrics;
+    recirc_fraction = extras.Systems.recirc_fraction;
+    recirc_drops = extras.Systems.recirc_drops;
+    drained;
+  }
+
+let run (system : Systems.running) ~driver ~load_tps ~horizon ?drain
+    ?(workload_seed = 1_000_003) () =
+  let drain = Option.value drain ~default:(4 * horizon) in
+  let rng = Rng.create ~seed:workload_seed in
+  driver system.engine rng ~submit:system.submit;
+  Engine.run ~until:horizon system.engine;
+  let drained = drain_system system ~deadline:(horizon + drain) in
+  collect system ~load_tps ~horizon ~drained
+
+let run_closed (system : Systems.running) ~horizon ?drain () =
+  let drain = Option.value drain ~default:(4 * horizon) in
+  Engine.run ~until:horizon system.engine;
+  let drained = drain_system system ~deadline:(horizon + drain) in
+  collect system ~load_tps:0.0 ~horizon ~drained

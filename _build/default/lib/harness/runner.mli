@@ -1,0 +1,52 @@
+(** Experiment runner: drive a workload into a running system, then
+    collect the paper's metrics.
+
+    A run has three phases: submissions are generated over the
+    measurement [horizon]; the system then gets [drain] extra simulated
+    time to finish outstanding tasks; finally the metrics are frozen
+    into an {!outcome}.  At overload (the right-hand edge of the paper's
+    load sweeps) the drain deadline cuts the run off and the outcome
+    reports how much work was left. *)
+
+open Draconis_sim
+
+
+type outcome = {
+  system : string;
+  load_tps : float;  (** offered load *)
+  sched_p50 : int;  (** scheduling-delay percentiles, ns *)
+  sched_p99 : int;
+  sched_mean : float;
+  decisions_per_sec : float;
+  submitted : int;
+  started : int;
+  completed : int;
+  timeouts : int;
+  rejected : int;  (** tasks bounced by a full scheduler queue *)
+  recirc_fraction : float;
+  recirc_drops : int;
+  drained : bool;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** A workload driver: schedules job submissions on the engine.  The
+    [submit] callback assigns ids and sends; drivers come from
+    {!Draconis_workload.Arrival} / {!Draconis_workload.Google_trace}. *)
+type driver = Engine.t -> Rng.t -> submit:(Draconis_proto.Task.t list -> unit) -> unit
+
+(** [run system ~driver ~load_tps ~horizon ?drain ?workload_seed ()] —
+    [drain] defaults to 4x the horizon. *)
+val run :
+  Systems.running ->
+  driver:driver ->
+  load_tps:float ->
+  horizon:Time.t ->
+  ?drain:Time.t ->
+  ?workload_seed:int ->
+  unit ->
+  outcome
+
+(** [run_closed system ~horizon ()] runs with no submissions beyond what
+    the caller already scheduled — used by tests and custom figures. *)
+val run_closed : Systems.running -> horizon:Time.t -> ?drain:Time.t -> unit -> outcome

@@ -1,0 +1,108 @@
+open Draconis_sim
+open Draconis_stats
+open Draconis_proto
+open Draconis
+module CS = Draconis_baselines.Central_server
+
+(* Tofino packet budget (paper §8.2: "the switch can handle up to 4.7
+   billion packets per second"). *)
+let switch_pps = 4.7e9
+
+(* Packets the switch handles per scheduling decision in steady state:
+   the task_request/assignment exchange (the completion piggybacks the
+   next request) plus the submission and completion-forwarding shares. *)
+let draconis_packets_per_decision = 4.0
+
+(* Per-decision CPU time of the server baselines (per-packet cost x
+   packets per decision, matching Central_server's accounting). *)
+let server_seconds_per_decision variant =
+  float_of_int (CS.per_packet_cost variant) *. 1e-9 *. 5.0
+
+let decisions_per_sec = function
+  | `Draconis -> switch_pps /. draconis_packets_per_decision
+  | `Server variant -> 1.0 /. server_seconds_per_decision variant
+
+(* A scheduler feeding [rate] decisions/s keeps [rate x duration] cores
+   continuously busy. *)
+let cores_supported system ~duration_ns =
+  decisions_per_sec system *. (float_of_int duration_ns /. 1e9)
+
+let fmt_cores c =
+  if c >= 1e6 then Printf.sprintf "%.1fM" (c /. 1e6)
+  else if c >= 1e3 then Printf.sprintf "%.0fk" (c /. 1e3)
+  else Printf.sprintf "%.0f" c
+
+(* Small closed-loop simulation measuring Draconis decisions/s per
+   executor, to validate the model's per-decision cost at reachable
+   scale (the paper's own methodology). *)
+let measured_decision_rate ~workers ~horizon =
+  let fat_recirc =
+    {
+      Draconis_p4.Pipeline.default_config with
+      recirc_slot = Time.ns 10;
+      recirc_queue_limit = 8192;
+    }
+  in
+  let system =
+    Systems.draconis ~pipeline_config:fat_recirc
+      { Systems.default_spec with workers; executors_per_worker = 16 }
+  in
+  let submitted = ref 0 in
+  let submit n =
+    let rec go n =
+      if n > 0 then begin
+        let chunk = min n Codec.max_tasks_per_packet in
+        system.Systems.submit
+          (List.init chunk (fun tid ->
+               Task.make ~uid:0 ~jid:0 ~tid ~fn_id:Task.Fn.noop ~fn_par:0 ()));
+        submitted := !submitted + chunk;
+        go (n - chunk)
+      end
+    in
+    go n
+  in
+  submit 2048;
+  Engine.every system.Systems.engine ~interval:(Time.us 10) ~until:horizon (fun () ->
+      let deficit = Metrics.started system.Systems.metrics + 2048 - !submitted in
+      if deficit > 0 then submit deficit);
+  Engine.run ~until:horizon system.Systems.engine;
+  Meter.rate_over (Metrics.decisions system.Systems.metrics) ~duration:horizon
+
+let run ?(quick = false) () =
+  let durations =
+    [ (Time.us 10, "10us"); (Time.us 100, "100us"); (Time.us 500, "500us");
+      (Time.ms 1, "1ms"); (Time.ms 5, "5ms") ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [ "task duration"; "Draconis (switch)"; "DPDK server"; "socket server" ]
+  in
+  List.iter
+    (fun (duration_ns, label) ->
+      Table.add_row table
+        [
+          label;
+          fmt_cores (cores_supported `Draconis ~duration_ns);
+          fmt_cores (cores_supported (`Server CS.Dpdk) ~duration_ns);
+          fmt_cores (cores_supported (`Server CS.Socket) ~duration_ns);
+        ])
+    durations;
+  Table.print
+    ~title:
+      "Sec 8.2 projection: cores each scheduler can keep busy (100% utilization)"
+    table;
+  (* Validation at reachable scale: the executor-loop cycle (~3.5 us
+     RTT) binds a small cluster, so the measured rate must match
+     executors / cycle, and the per-decision switch load stays ~4
+     packets, grounding the projection. *)
+  let horizon = if quick then Time.ms 2 else Time.ms 6 in
+  let workers = if quick then 2 else 10 in
+  let measured = measured_decision_rate ~workers ~horizon in
+  let rtt_bound = float_of_int (workers * 16) /. 3.55e-6 in
+  Printf.printf
+    "validation: %d executors measured %.1fM decisions/s (executor-loop bound %.1fM/s)\n"
+    (workers * 16) (measured /. 1e6) (rtt_bound /. 1e6);
+  Printf.printf
+    "=> at 500us tasks the switch budget, not the executor loop, binds: %s cores\n"
+    (fmt_cores (cores_supported `Draconis ~duration_ns:(Time.us 500)))

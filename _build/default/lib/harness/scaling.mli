@@ -1,0 +1,15 @@
+(** §8.2 scalability projection: "our simulations show that Draconis
+    supports clusters of millions of cores when running 500 us tasks".
+
+    The projection combines (a) the per-decision packet cost of each
+    scheduler (measured from small closed-loop simulations, exactly the
+    methodology the paper describes) with (b) the packet budget of its
+    bottleneck — 4.7 Gpps of switch pipeline for Draconis, the single
+    CPU for the server baselines — to bound the number of busy
+    executors (cores) each can keep fed at a given task duration.
+
+    [run] prints the supported-cores table for task durations from
+    10 us to 5 ms, plus a validation row comparing the model's small-
+    scale prediction with a measured closed-loop simulation. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,226 @@
+open Draconis_sim
+open Draconis_proto
+open Draconis
+module B = Draconis_baselines
+
+type spec = {
+  workers : int;
+  executors_per_worker : int;
+  clients : int;
+  seed : int;
+}
+
+let default_spec = { workers = 10; executors_per_worker = 16; clients = 2; seed = 42 }
+
+type extras = {
+  recirc_fraction : float;
+  recirc_drops : int;
+  pipeline_processed : int;
+  queue_rejections : int;
+}
+
+type running = {
+  name : string;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  submit : Task.t list -> unit;
+  outstanding : unit -> int;
+  extras : unit -> extras;
+}
+
+let no_extras =
+  { recirc_fraction = 0.0; recirc_drops = 0; pipeline_processed = 0; queue_rejections = 0 }
+
+(* Jobs round-robin across a system's clients, like the paper's multiple
+   load generators. *)
+let round_robin_submit clients submit_one =
+  let cursor = ref 0 in
+  fun tasks ->
+    let i = !cursor in
+    cursor := (i + 1) mod Array.length clients;
+    submit_one clients.(i) tasks
+
+let draconis_cluster ?(policy_of = fun _ -> Policy.Fcfs) ?(racks = 1)
+    ?(queue_capacity = 164_000) ?(rsrc_of_node = fun _ -> 0xFFFFFFFF) ?client_timeout
+    ?(noop_retry = Time.us 4) ?(pipeline_config = Draconis_p4.Pipeline.default_config)
+    spec =
+  let cluster =
+    Cluster.create
+      {
+        Cluster.default_config with
+        seed = spec.seed;
+        workers = spec.workers;
+        executors_per_worker = spec.executors_per_worker;
+        clients = spec.clients;
+        racks;
+        policy_of;
+        queue_capacity;
+        noop_retry;
+        rsrc_of_node;
+        client_timeout;
+        pipeline_config;
+      }
+  in
+  Cluster.start cluster;
+  let running =
+    {
+      name = "Draconis";
+      engine = Cluster.engine cluster;
+      metrics = Cluster.metrics cluster;
+      submit =
+        round_robin_submit (Cluster.clients cluster) (fun client tasks ->
+            ignore (Client.submit_job client tasks));
+      outstanding = (fun () -> Cluster.outstanding cluster);
+      extras =
+        (fun () ->
+          let pipeline = Cluster.pipeline cluster in
+          {
+            recirc_fraction = Draconis_p4.Pipeline.recirculation_fraction pipeline;
+            recirc_drops = Draconis_p4.Pipeline.recirc_dropped pipeline;
+            pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
+            queue_rejections = Switch_program.rejected_tasks (Cluster.program cluster);
+          });
+    }
+  in
+  (cluster, running)
+
+let draconis ?policy_of ?racks ?queue_capacity ?rsrc_of_node ?client_timeout
+    ?noop_retry ?pipeline_config spec =
+  snd
+    (draconis_cluster ?policy_of ?racks ?queue_capacity ?rsrc_of_node ?client_timeout
+       ?noop_retry ?pipeline_config spec)
+
+let r2p2 ~k ?client_timeout ?(pipeline_config = Draconis_p4.Pipeline.default_config)
+    ?(work_stealing = false) spec =
+  let system =
+    B.R2p2.create
+      {
+        B.R2p2.default_config with
+        seed = spec.seed;
+        workers = spec.workers;
+        executors_per_worker = spec.executors_per_worker;
+        clients = spec.clients;
+        jbsq_k = k;
+        work_stealing;
+        client_timeout;
+        pipeline_config;
+      }
+  in
+  {
+    name = Printf.sprintf "R2P2-%d%s" k (if work_stealing then "+WS" else "");
+    engine = B.R2p2.engine system;
+    metrics = B.R2p2.metrics system;
+    submit =
+      round_robin_submit (B.R2p2.clients system) (fun client tasks ->
+          ignore (Client.submit_job client tasks));
+    outstanding = (fun () -> B.R2p2.outstanding system);
+    extras =
+      (fun () ->
+        let pipeline = B.R2p2.pipeline system in
+        {
+          recirc_fraction = Draconis_p4.Pipeline.recirculation_fraction pipeline;
+          recirc_drops = Draconis_p4.Pipeline.recirc_dropped pipeline;
+          pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
+          queue_rejections = 0;
+        });
+  }
+
+let racksched ?client_timeout ?(samples = 2) ?(intra = B.Node_worker.Fcfs) spec =
+  let system =
+    B.Racksched.create
+      {
+        B.Racksched.default_config with
+        seed = spec.seed;
+        workers = spec.workers;
+        executors_per_worker = spec.executors_per_worker;
+        clients = spec.clients;
+        samples;
+        intra;
+        client_timeout;
+      }
+  in
+  let name =
+    match (samples, intra) with
+    | 2, B.Node_worker.Fcfs -> "RackSched"
+    | k, B.Node_worker.Fcfs -> Printf.sprintf "RackSched-Po%d" k
+    | 2, B.Node_worker.Processor_sharing _ -> "RackSched-PS"
+    | k, B.Node_worker.Processor_sharing _ -> Printf.sprintf "RackSched-Po%d-PS" k
+  in
+  {
+    name;
+    engine = B.Racksched.engine system;
+    metrics = B.Racksched.metrics system;
+    submit =
+      round_robin_submit (B.Racksched.clients system) (fun client tasks ->
+          ignore (Client.submit_job client tasks));
+    outstanding = (fun () -> B.Racksched.outstanding system);
+    extras =
+      (fun () ->
+        let pipeline = B.Racksched.pipeline system in
+        {
+          recirc_fraction = Draconis_p4.Pipeline.recirculation_fraction pipeline;
+          recirc_drops = Draconis_p4.Pipeline.recirc_dropped pipeline;
+          pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
+          queue_rejections = 0;
+        });
+  }
+
+let sparrow ~schedulers spec =
+  let system =
+    B.Sparrow.create
+      {
+        B.Sparrow.default_config with
+        seed = spec.seed;
+        workers = spec.workers;
+        executors_per_worker = spec.executors_per_worker;
+        clients = spec.clients;
+        schedulers;
+      }
+  in
+  let cursor = ref 0 in
+  {
+    name = (if schedulers = 1 then "1 Sparrow" else Printf.sprintf "%d Sparrow" schedulers);
+    engine = B.Sparrow.engine system;
+    metrics = B.Sparrow.metrics system;
+    submit =
+      (fun tasks ->
+        let client = !cursor in
+        cursor := (client + 1) mod spec.clients;
+        B.Sparrow.submit_job system ~client tasks);
+    outstanding = (fun () -> B.Sparrow.outstanding system);
+    extras = (fun () -> no_extras);
+  }
+
+let central_server variant spec =
+  let system =
+    B.Central_server.create
+      {
+        B.Central_server.default_config with
+        seed = spec.seed;
+        workers = spec.workers;
+        executors_per_worker = spec.executors_per_worker;
+        clients = spec.clients;
+        variant;
+      }
+  in
+  B.Central_server.start system;
+  {
+    name =
+      (match variant with
+      | B.Central_server.Socket -> "Draconis-Socket-Server"
+      | B.Central_server.Dpdk -> "Draconis-DPDK-Server"
+      | B.Central_server.Firmament -> "Firmament"
+      | B.Central_server.Spark_native -> "Spark-Native");
+    engine = B.Central_server.engine system;
+    metrics = B.Central_server.metrics system;
+    submit =
+      round_robin_submit (B.Central_server.clients system) (fun client tasks ->
+          ignore (Client.submit_job client tasks));
+    outstanding = (fun () -> B.Central_server.outstanding system);
+    extras =
+      (fun () ->
+        {
+          no_extras with
+          queue_rejections = Metrics.rejected (B.Central_server.metrics system);
+        });
+  }

@@ -1,0 +1,82 @@
+(** Uniform handles over every scheduler under evaluation.
+
+    Each constructor assembles one system — Draconis (any policy), R2P2
+    (any JBSQ bound), RackSched, Sparrow (1-2 schedulers), or a
+    centralized server — and returns a {!running} handle exposing
+    exactly what the experiment runner needs: a submit entry point, the
+    engine, the shared metrics, and switch-side counters. *)
+
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+open Draconis
+
+type spec = {
+  workers : int;
+  executors_per_worker : int;
+  clients : int;
+  seed : int;
+}
+
+(** The paper's testbed: 10 workers x 16 executors, 2 clients. *)
+val default_spec : spec
+
+(** Switch-side counters sampled at the end of a run. *)
+type extras = {
+  recirc_fraction : float;  (** recirculated / processed traversals *)
+  recirc_drops : int;  (** packets lost at the recirculation port *)
+  pipeline_processed : int;
+  queue_rejections : int;  (** tasks bounced by a full queue *)
+}
+
+type running = {
+  name : string;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  submit : Task.t list -> unit;  (** round-robins jobs across clients *)
+  outstanding : unit -> int;
+  extras : unit -> extras;
+}
+
+(** [draconis ?policy_of ?racks ?queue_capacity ?rsrc_of_node
+    ?client_timeout ?noop_retry spec] — the full Draconis deployment. *)
+val draconis :
+  ?policy_of:(Topology.t -> Policy.t) ->
+  ?racks:int ->
+  ?queue_capacity:int ->
+  ?rsrc_of_node:(int -> int) ->
+  ?client_timeout:Time.t ->
+  ?noop_retry:Time.t ->
+  ?pipeline_config:Draconis_p4.Pipeline.config ->
+  spec ->
+  running
+
+(** [draconis_cluster ...] — same, returning the raw cluster for
+    experiments that need deeper access (Fig. 11 per-node throughput). *)
+val draconis_cluster :
+  ?policy_of:(Topology.t -> Policy.t) ->
+  ?racks:int ->
+  ?queue_capacity:int ->
+  ?rsrc_of_node:(int -> int) ->
+  ?client_timeout:Time.t ->
+  ?noop_retry:Time.t ->
+  ?pipeline_config:Draconis_p4.Pipeline.config ->
+  spec ->
+  Cluster.t * running
+
+val r2p2 :
+  k:int ->
+  ?client_timeout:Time.t ->
+  ?pipeline_config:Draconis_p4.Pipeline.config ->
+  ?work_stealing:bool ->
+  spec ->
+  running
+
+val racksched :
+  ?client_timeout:Time.t ->
+  ?samples:int ->
+  ?intra:Draconis_baselines.Node_worker.intra_policy ->
+  spec ->
+  running
+val sparrow : schedulers:int -> spec -> running
+val central_server : Draconis_baselines.Central_server.variant -> spec -> running

@@ -1,0 +1,1 @@
+lib/net/cpu.ml: Draconis_sim Engine Time

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Addr Draconis_sim Engine Hashtbl Printf Rng Time Trace

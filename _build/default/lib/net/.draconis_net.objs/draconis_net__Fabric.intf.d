@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Addr Draconis_sim Engine Rng Time

@@ -1,0 +1,30 @@
+(** Single-threaded CPU model.
+
+    Server-based schedulers (Sparrow, the Draconis socket/DPDK servers)
+    are bottlenecked by one node's per-message processing cost (paper
+    §2.3.1, §8.2).  This models that: work items queue FIFO and are
+    served one at a time, each occupying the CPU for its stated cost.
+    The completion callback fires when the item finishes service. *)
+
+open Draconis_sim
+
+type t
+
+val create : Engine.t -> t
+
+(** [submit t ~cost k] enqueues a work item.  [k] runs when the item
+    completes service (queueing delay + [cost] after now).
+    @raise Invalid_argument if [cost < 0]. *)
+val submit : t -> cost:Time.t -> (unit -> unit) -> unit
+
+(** Items waiting or in service right now. *)
+val backlog : t -> int
+
+(** Total items completed. *)
+val completed : t -> int
+
+(** Total busy time accumulated (ns). *)
+val busy_time : t -> Time.t
+
+(** [utilization t ~over] is busy time divided by [over]. *)
+val utilization : t -> over:Time.t -> float

@@ -1,0 +1,96 @@
+open Draconis_sim
+
+type 'msg envelope = {
+  src : Addr.t;
+  dst : Addr.t;
+  sent_at : Time.t;
+  payload : 'msg;
+}
+
+type config = {
+  host_to_switch : Time.t;
+  jitter : Time.t;
+  loss : float;
+  detour_fraction : float;
+  detour_extra : Time.t;
+}
+
+let default_config =
+  {
+    host_to_switch = Time.ns 1_500;
+    jitter = Time.ns 150;
+    loss = 0.0;
+    detour_fraction = 0.0;
+    detour_extra = 0;
+  }
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  handlers : (Addr.t, 'msg envelope -> unit) Hashtbl.t;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable undeliverable : int;
+}
+
+let create ?(config = default_config) engine rng =
+  if config.loss < 0.0 || config.loss > 1.0 then
+    invalid_arg "Fabric.create: loss must be in [0,1]";
+  if config.detour_fraction < 0.0 || config.detour_fraction > 1.0 then
+    invalid_arg "Fabric.create: detour_fraction must be in [0,1]";
+  { engine; rng; config; handlers = Hashtbl.create 64;
+    delivered = 0; lost = 0; undeliverable = 0 }
+
+let engine t = t.engine
+let register t addr handler = Hashtbl.replace t.handlers addr handler
+
+(* Deterministic membership in the detour set: hash the host id into
+   [0,1) and compare with the configured fraction. *)
+let detoured t host =
+  t.config.detour_fraction > 0.0
+  &&
+  let h = host * 0x9E3779B97F4A7C1 in
+  let h = (h lxor (h lsr 31)) land 0xFFFFFF in
+  float_of_int h /. float_of_int 0x1000000 < t.config.detour_fraction
+
+let detour_of t addr =
+  match addr with
+  | Addr.Host h when detoured t h -> t.config.detour_extra
+  | Addr.Host _ | Addr.Switch -> 0
+
+let base_latency t src dst =
+  (* Host-to-host traffic traverses the switch: two hops.  Detoured
+     hosts pay the longer path to the ancestor switch on each hop that
+     touches them (§3.2). *)
+  let detours = detour_of t src + detour_of t dst in
+  (match (src, dst) with
+  | Addr.Switch, Addr.Switch -> 0
+  | Addr.Switch, Addr.Host _ | Addr.Host _, Addr.Switch -> t.config.host_to_switch
+  | Addr.Host _, Addr.Host _ -> 2 * t.config.host_to_switch)
+  + detours
+
+let latency_sample t src dst =
+  let jitter = if t.config.jitter > 0 then Rng.int t.rng (t.config.jitter + 1) else 0 in
+  base_latency t src dst + jitter
+
+let send t ~src ~dst payload =
+  if Addr.equal src dst then invalid_arg "Fabric.send: src = dst";
+  Trace.emit ~at:(Engine.now t.engine) Trace.Fabric
+    (lazy (Printf.sprintf "send %s -> %s" (Addr.to_string src) (Addr.to_string dst)));
+  if t.config.loss > 0.0 && Rng.float t.rng < t.config.loss then t.lost <- t.lost + 1
+  else begin
+    let env = { src; dst; sent_at = Engine.now t.engine; payload } in
+    let delay = latency_sample t src dst in
+    ignore
+      (Engine.schedule t.engine ~after:delay (fun () ->
+           match Hashtbl.find_opt t.handlers dst with
+           | Some handler ->
+             t.delivered <- t.delivered + 1;
+             handler env
+           | None -> t.undeliverable <- t.undeliverable + 1))
+  end
+
+let delivered t = t.delivered
+let lost t = t.lost
+let undeliverable t = t.undeliverable

@@ -1,0 +1,68 @@
+(** Message fabric: latency-modeled, handler-based message delivery.
+
+    A ['msg t] connects endpoints ({!Addr.t}) over the simulated
+    engine.  Sending schedules delivery at the destination's registered
+    handler after the modeled one-way latency (plus optional uniform
+    jitter).  Host-to-host traffic transits the switch, so its latency
+    is twice the host-to-switch latency.
+
+    The fabric is reliable by default; [loss] injects i.i.d. packet loss
+    for the fault-injection tests.  All randomness comes from the
+    [rng] supplied at creation, keeping runs deterministic. *)
+
+open Draconis_sim
+
+type 'msg envelope = {
+  src : Addr.t;
+  dst : Addr.t;
+  sent_at : Time.t;
+  payload : 'msg;
+}
+
+type 'msg t
+
+type config = {
+  host_to_switch : Time.t;  (** one-way host <-> switch latency *)
+  jitter : Time.t;  (** uniform extra delay in [\[0, jitter\]] *)
+  loss : float;  (** i.i.d. drop probability in [\[0, 1\]] *)
+  detour_fraction : float;
+      (** multi-rack deployments (paper §3.2) route scheduler traffic
+          through a common ancestor switch, lengthening the path for a
+          fraction of hosts (Li et al.: ~12%); hosts are assigned to the
+          detour set deterministically by id *)
+  detour_extra : Time.t;  (** extra one-way latency for detoured hosts *)
+}
+
+(** Calibrated default: 1.5 us one-way, 150 ns jitter, no loss, no
+    detours (single-rack deployment). *)
+val default_config : config
+
+(** [detoured t host] is true when the host's scheduler path takes the
+    longer route. *)
+val detoured : 'msg t -> int -> bool
+
+val create : ?config:config -> Engine.t -> Rng.t -> 'msg t
+
+val engine : 'msg t -> Engine.t
+
+(** [register t addr handler] installs the delivery handler for [addr].
+    Re-registering replaces the previous handler. *)
+val register : 'msg t -> Addr.t -> ('msg envelope -> unit) -> unit
+
+(** [send t ~src ~dst payload] delivers to [dst]'s handler after the
+    modeled latency.  Messages to an endpoint with no handler are
+    counted as [undeliverable] and dropped.
+    @raise Invalid_argument if [src] and [dst] are equal. *)
+val send : 'msg t -> src:Addr.t -> dst:Addr.t -> 'msg -> unit
+
+(** One-way latency sample between two endpoints (includes jitter). *)
+val latency_sample : 'msg t -> Addr.t -> Addr.t -> Time.t
+
+(** Messages delivered so far. *)
+val delivered : 'msg t -> int
+
+(** Messages lost to injected loss. *)
+val lost : 'msg t -> int
+
+(** Messages dropped for lack of a registered handler. *)
+val undeliverable : 'msg t -> int

@@ -1,0 +1,1 @@
+lib/p4/layout.ml: Array Buffer Format List Printf Register Resources

@@ -1,0 +1,1 @@
+lib/p4/layout.mli: Format Register Resources

@@ -1,0 +1,1 @@
+lib/p4/pipeline.ml: Addr Draconis_net Draconis_sim Engine Fabric List Packet_ctx Printf Time Trace

@@ -1,0 +1,1 @@
+lib/p4/pipeline.mli: Addr Draconis_net Draconis_sim Fabric Packet_ctx Time

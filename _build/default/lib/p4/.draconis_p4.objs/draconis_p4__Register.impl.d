@@ -1,0 +1,1 @@
+lib/p4/register.ml: Array Packet_ctx Printf

@@ -1,0 +1,1 @@
+lib/p4/register.mli: Packet_ctx

@@ -1,0 +1,73 @@
+type constraints = {
+  stages : int;
+  arrays_per_stage : int;
+  bits_per_stage : int;
+}
+
+let of_profile (p : Resources.profile) =
+  {
+    stages = p.stages - p.overhead_stages;
+    arrays_per_stage = p.arrays_per_stage;
+    bits_per_stage = p.register_bits_per_stage;
+  }
+
+type placement = {
+  stage_of : (string * int) list;
+  arrays_used : int array;
+  bits_used : int array;
+}
+
+type error = Register_too_large of string | Out_of_stage_slots of string
+
+let pp_error fmt = function
+  | Register_too_large name ->
+    Format.fprintf fmt "register %s exceeds a single stage's SRAM" name
+  | Out_of_stage_slots name ->
+    Format.fprintf fmt "no stage has room for register %s" name
+
+let place constraints registers =
+  if constraints.stages < 1 then invalid_arg "Layout.place: no stages";
+  let arrays_used = Array.make constraints.stages 0 in
+  let bits_used = Array.make constraints.stages 0 in
+  (* First-fit-decreasing by size packs the big entry arrays first and
+     tucks pointer/flag cells into the gaps. *)
+  let ordered =
+    List.sort (fun a b -> compare (Register.bits b) (Register.bits a)) registers
+  in
+  let rec assign acc = function
+    | [] -> Ok { stage_of = List.rev acc; arrays_used; bits_used }
+    | reg :: rest ->
+      let bits = Register.bits reg in
+      if bits > constraints.bits_per_stage then Error (Register_too_large (Register.name reg))
+      else begin
+        let rec find stage =
+          if stage >= constraints.stages then None
+          else if
+            arrays_used.(stage) < constraints.arrays_per_stage
+            && bits_used.(stage) + bits <= constraints.bits_per_stage
+          then Some stage
+          else find (stage + 1)
+        in
+        match find 0 with
+        | None -> Error (Out_of_stage_slots (Register.name reg))
+        | Some stage ->
+          arrays_used.(stage) <- arrays_used.(stage) + 1;
+          bits_used.(stage) <- bits_used.(stage) + bits;
+          assign ((Register.name reg, stage) :: acc) rest
+      end
+  in
+  assign [] ordered
+
+let fits constraints registers =
+  match place constraints registers with Ok _ -> true | Error _ -> false
+
+let render placement =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun stage arrays ->
+      if arrays > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "stage %2d: %2d arrays, %9d bits\n" stage arrays
+             placement.bits_used.(stage)))
+    placement.arrays_used;
+  Buffer.contents buf

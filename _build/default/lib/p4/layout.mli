@@ -1,0 +1,44 @@
+(** Structural placement of register arrays onto pipeline stages.
+
+    {!Resources} answers "does it fit?" arithmetically; this module
+    answers it structurally: given the actual register arrays a switch
+    program allocated, assign each to a match-action stage such that no
+    stage exceeds its array-slot or SRAM budget — the two constraints
+    that bound queue capacity and priority levels in the paper's §7.
+    An array must live entirely within one stage (stages own their
+    memories); programs shard wide state into per-word arrays for
+    exactly this reason.
+
+    Placement is first-fit-decreasing by size, which is optimal enough
+    for the regular layouts scheduler programs produce; a failure
+    reports the first register that cannot be placed. *)
+
+type constraints = {
+  stages : int;  (** usable match-action stages *)
+  arrays_per_stage : int;  (** register-array slots per stage *)
+  bits_per_stage : int;  (** stateful-register SRAM per stage *)
+}
+
+(** Budgets of a switch profile, net of parser/forwarding overhead. *)
+val of_profile : Resources.profile -> constraints
+
+type placement = {
+  stage_of : (string * int) list;  (** register name -> stage index *)
+  arrays_used : int array;  (** per-stage array slots consumed *)
+  bits_used : int array;  (** per-stage SRAM bits consumed *)
+}
+
+type error =
+  | Register_too_large of string  (** exceeds one stage's SRAM outright *)
+  | Out_of_stage_slots of string  (** no stage can host it *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [place constraints registers] assigns every register to a stage. *)
+val place : constraints -> Register.t list -> (placement, error) result
+
+(** [fits constraints registers] is [place] as a predicate. *)
+val fits : constraints -> Register.t list -> bool
+
+(** [render placement] is a human-readable per-stage summary. *)
+val render : placement -> string

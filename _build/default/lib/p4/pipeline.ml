@@ -1,0 +1,106 @@
+open Draconis_sim
+open Draconis_net
+
+type ('wire, 'pkt) output = Emit of Addr.t * 'wire | Recirculate of 'pkt | Drop
+type ('wire, 'pkt) program = Packet_ctx.t -> 'pkt -> ('wire, 'pkt) output list
+
+type config = {
+  pipeline_latency : Time.t;
+  packet_slot : Time.t;
+  recirc_latency : Time.t;
+  recirc_slot : Time.t;
+  recirc_queue_limit : int;
+}
+
+let default_config =
+  {
+    pipeline_latency = Time.ns 400;
+    packet_slot = Time.ns 1;
+    recirc_latency = Time.ns 600;
+    recirc_slot = Time.ns 100;
+    recirc_queue_limit = 64;
+  }
+
+type ('wire, 'pkt) t = {
+  engine : Engine.t;
+  fabric : 'wire Fabric.t;
+  config : config;
+  mutable program : ('wire, 'pkt) program;
+  mutable ingress_free_at : Time.t;
+  mutable recirc_free_at : Time.t;
+  mutable processed : int;
+  mutable recirculated : int;
+  mutable recirc_dropped : int;
+  mutable emitted : int;
+}
+
+let rec admit t pkt =
+  let now = Engine.now t.engine in
+  let start = max now t.ingress_free_at in
+  t.ingress_free_at <- start + t.config.packet_slot;
+  let exit_time = start + t.config.pipeline_latency in
+  ignore (Engine.schedule_at t.engine ~at:exit_time (fun () -> traverse t pkt))
+
+and traverse t pkt =
+  t.processed <- t.processed + 1;
+  let ctx = Packet_ctx.create () in
+  let outputs = t.program ctx pkt in
+  List.iter
+    (fun output ->
+      match output with
+      | Drop -> ()
+      | Emit (dst, wire) ->
+        t.emitted <- t.emitted + 1;
+        Fabric.send t.fabric ~src:Addr.Switch ~dst wire
+      | Recirculate out_pkt -> recirculate t out_pkt)
+    outputs
+
+and recirculate t pkt =
+  (* The loop-back port serves at [recirc_slot] intervals with a bounded
+     queue; overflow means the switch cannot recirculate and drops. *)
+  let now = Engine.now t.engine in
+  let backlog =
+    if t.recirc_free_at <= now then 0
+    else (t.recirc_free_at - now) / max 1 t.config.recirc_slot
+  in
+  if backlog >= t.config.recirc_queue_limit then begin
+    Trace.emit ~at:now Trace.Pipeline
+      (lazy (Printf.sprintf "recirculation DROP (backlog %d)" backlog));
+    t.recirc_dropped <- t.recirc_dropped + 1
+  end
+  else begin
+    t.recirculated <- t.recirculated + 1;
+    let start = max now t.recirc_free_at in
+    t.recirc_free_at <- start + t.config.recirc_slot;
+    let reentry = start + t.config.recirc_latency in
+    ignore (Engine.schedule_at t.engine ~at:reentry (fun () -> admit t pkt))
+  end
+
+let attach ?(config = default_config) fabric ~wrap program =
+  let t =
+    {
+      engine = Fabric.engine fabric;
+      fabric;
+      config;
+      program;
+      ingress_free_at = 0;
+      recirc_free_at = 0;
+      processed = 0;
+      recirculated = 0;
+      recirc_dropped = 0;
+      emitted = 0;
+    }
+  in
+  Fabric.register fabric Addr.Switch (fun env -> admit t (wrap env.Fabric.payload));
+  t
+
+let set_program t program = t.program <- program
+let inject t pkt = admit t pkt
+let processed t = t.processed
+let recirculated t = t.recirculated
+let recirc_dropped t = t.recirc_dropped
+let emitted t = t.emitted
+
+let recirculation_fraction t =
+  if t.processed = 0 then 0.0
+  else float_of_int t.recirculated /. float_of_int t.processed

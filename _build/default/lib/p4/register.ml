@@ -1,0 +1,55 @@
+type t = {
+  id : int;
+  name : string;
+  cells : int array;
+  mutable accesses : int;
+}
+
+let next_id = ref 0
+
+let create ~name ~size () =
+  if size <= 0 then invalid_arg "Register.create: size must be positive";
+  incr next_id;
+  { id = !next_id; name; cells = Array.make size 0; accesses = 0 }
+
+let name t = t.name
+let size t = Array.length t.cells
+let bits t = 32 * Array.length t.cells
+
+let check_bounds t i =
+  if i < 0 || i >= Array.length t.cells then
+    invalid_arg (Printf.sprintf "Register %s: index %d out of bounds [0,%d)"
+                   t.name i (Array.length t.cells))
+
+let access t ctx =
+  Packet_ctx.mark_access ctx ~reg_id:t.id ~reg_name:t.name;
+  t.accesses <- t.accesses + 1
+
+let read t ctx i =
+  check_bounds t i;
+  access t ctx;
+  t.cells.(i)
+
+let write t ctx i v =
+  check_bounds t i;
+  access t ctx;
+  t.cells.(i) <- v
+
+let read_modify_write t ctx i f =
+  check_bounds t i;
+  access t ctx;
+  let old = t.cells.(i) in
+  t.cells.(i) <- f old;
+  old
+
+let read_and_increment t ctx i = read_modify_write t ctx i (fun v -> v + 1)
+
+let peek t i =
+  check_bounds t i;
+  t.cells.(i)
+
+let poke t i v =
+  check_bounds t i;
+  t.cells.(i) <- v
+
+let access_count t = t.accesses

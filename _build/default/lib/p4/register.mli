@@ -1,0 +1,50 @@
+(** Switch register arrays with the one-access-per-packet rule enforced.
+
+    A register array is a stage-local memory of 32-bit words.  Each
+    traversal (identified by its {!Packet_ctx.t}) may perform exactly
+    one operation on a given array: a read, a write, or one atomic
+    read-modify-write (e.g. [read_and_increment]).  A second operation
+    raises {!Packet_ctx.Access_violation}.
+
+    This is the constraint that makes naive queues impossible on real
+    switches (check-then-increment needs two accesses) and that
+    Draconis' delayed-pointer-correction design exists to satisfy. *)
+
+type t
+
+(** [create ~name ~size ()] is a zero-initialised array of [size]
+    32-bit cells.  [name] appears in violation messages and resource
+    accounting. *)
+val create : name:string -> size:int -> unit -> t
+
+val name : t -> string
+val size : t -> int
+
+(** Storage the array consumes, in bits (cells x 32). *)
+val bits : t -> int
+
+(** [read t ctx i] reads cell [i] (single access). *)
+val read : t -> Packet_ctx.t -> int -> int
+
+(** [write t ctx i v] writes cell [i] (single access). *)
+val write : t -> Packet_ctx.t -> int -> int -> unit
+
+(** [read_and_increment t ctx i] atomically returns the old value of
+    cell [i] and increments it — the primitive Draconis builds its
+    queue pointers on (paper §4.2). *)
+val read_and_increment : t -> Packet_ctx.t -> int -> int
+
+(** [read_modify_write t ctx i f] atomically returns the old value and
+    stores [f old].  Models a stateful ALU operation. *)
+val read_modify_write : t -> Packet_ctx.t -> int -> (int -> int) -> int
+
+(** [peek t i] reads without a context — control-plane access, not
+    usable from the data path (tests and invariant checks only). *)
+val peek : t -> int -> int
+
+(** [poke t i v] control-plane write (initialisation from the switch
+    CPU, as a real deployment would do via the driver). *)
+val poke : t -> int -> int -> unit
+
+(** Number of data-path operations performed over the array's lifetime. *)
+val access_count : t -> int

@@ -1,0 +1,57 @@
+type 'a ternary_rule = { value : int; mask : int; priority : int; seq : int; action : 'a }
+
+type 'a t = {
+  name : string;
+  default : 'a;
+  exact : (int, 'a) Hashtbl.t;
+  mutable ternary : 'a ternary_rule list;  (* sorted: priority desc, seq asc *)
+  mutable next_seq : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~name ~default () =
+  {
+    name;
+    default;
+    exact = Hashtbl.create 64;
+    ternary = [];
+    next_seq = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let name t = t.name
+let add_exact t ~key action = Hashtbl.replace t.exact key action
+
+let add_ternary t ~value ~mask ~priority action =
+  let rule = { value; mask; priority; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  t.ternary <-
+    List.sort
+      (fun a b ->
+        if a.priority <> b.priority then compare b.priority a.priority
+        else compare a.seq b.seq)
+      (rule :: t.ternary)
+
+let remove_exact t ~key = Hashtbl.remove t.exact key
+
+let lookup t ~key =
+  match Hashtbl.find_opt t.exact key with
+  | Some action ->
+    t.hits <- t.hits + 1;
+    action
+  | None -> (
+    match
+      List.find_opt (fun rule -> key land rule.mask = rule.value land rule.mask) t.ternary
+    with
+    | Some rule ->
+      t.hits <- t.hits + 1;
+      rule.action
+    | None ->
+      t.misses <- t.misses + 1;
+      t.default)
+
+let hits t = t.hits
+let misses t = t.misses
+let size t = Hashtbl.length t.exact + List.length t.ternary

@@ -1,0 +1,47 @@
+(** Match-action tables (paper §2.1).
+
+    Stages match packet fields against control-plane-installed rules and
+    execute the winning rule's action.  The model supports exact and
+    ternary (value/mask) keys with priorities, a default action, and hit
+    counters — enough to express the forwarding and dispatch tables real
+    scheduler deployments install (e.g. mapping an executor id to the
+    egress node and UDP port, or an opcode to a pipeline branch).
+
+    Keys are packed into an integer by the caller (as a P4 parser packs
+    header fields); actions are values of the table's result type.
+    Lookups are data-plane operations; rule installation is a
+    control-plane operation, so no {!Packet_ctx} is involved — tables
+    are read-only to packets and hazard-free, unlike registers. *)
+
+type 'a t
+
+(** [create ~name ~default ()] is an empty table whose misses yield the
+    [default] action. *)
+val create : name:string -> default:'a -> unit -> 'a t
+
+val name : 'a t -> string
+
+(** [add_exact t ~key action] installs an exact-match rule.
+    Re-installing a key replaces its action. *)
+val add_exact : 'a t -> key:int -> 'a -> unit
+
+(** [add_ternary t ~value ~mask ~priority action] installs a ternary
+    rule matching keys where [key land mask = value land mask]; among
+    ternary matches the highest [priority] wins (ties break toward the
+    earliest installed). *)
+val add_ternary : 'a t -> value:int -> mask:int -> priority:int -> 'a -> unit
+
+(** [remove_exact t ~key] uninstalls an exact rule (no-op if absent). *)
+val remove_exact : 'a t -> key:int -> unit
+
+(** [lookup t ~key] is the matched action: exact rules win over ternary,
+    ternary by priority, else the default. *)
+val lookup : 'a t -> key:int -> 'a
+
+(** [hits t] / [misses t]: data-plane lookup counters. *)
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+(** Installed rule count (exact + ternary). *)
+val size : 'a t -> int

@@ -1,0 +1,1 @@
+lib/proto/codec.ml: Addr Bytes Draconis_net Format Int32 Int64 List Message Printf Task

@@ -1,0 +1,1 @@
+lib/proto/message.ml: Addr Draconis_net Format List Task

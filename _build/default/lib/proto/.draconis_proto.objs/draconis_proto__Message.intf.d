@@ -1,0 +1,1 @@
+lib/proto/message.mli: Addr Draconis_net Format Task

@@ -1,0 +1,1 @@
+lib/proto/task.ml: Format List String

@@ -1,0 +1,58 @@
+open Draconis_net
+
+type executor_info = {
+  exec_addr : Addr.t;
+  exec_port : int;
+  exec_rsrc : int;
+  exec_node : int;
+}
+
+type t =
+  | Job_submission of { client : Addr.t; uid : int; jid : int; tasks : Task.t list }
+  | Job_ack of { uid : int; jid : int }
+  | Queue_full of { uid : int; jid : int; tasks : Task.t list }
+  | Task_request of { info : executor_info; rtrv_prio : int }
+  | Task_assignment of { task : Task.t; client : Addr.t; port : int }
+  | Noop_assignment of { port : int }
+  | Task_completion of {
+      task_id : Task.id;
+      client : Addr.t;
+      info : executor_info;
+      rtrv_prio : int;
+    }
+  | Param_fetch of { task_id : Task.id; node : int; port : int }
+  | Param_data of { task_id : Task.id; port : int; size : int }
+
+let pp fmt = function
+  | Job_submission { client; uid; jid; tasks } ->
+    Format.fprintf fmt "job_submission{client=%a uid=%d jid=%d #tasks=%d}"
+      Addr.pp client uid jid (List.length tasks)
+  | Job_ack { uid; jid } -> Format.fprintf fmt "job_ack{uid=%d jid=%d}" uid jid
+  | Queue_full { uid; jid; tasks } ->
+    Format.fprintf fmt "queue_full{uid=%d jid=%d #tasks=%d}" uid jid
+      (List.length tasks)
+  | Task_request { info; rtrv_prio } ->
+    Format.fprintf fmt "task_request{node=%d port=%d rsrc=%#x prio=%d}"
+      info.exec_node info.exec_port info.exec_rsrc rtrv_prio
+  | Task_assignment { task; client; port } ->
+    Format.fprintf fmt "task_assignment{%a client=%a port=%d}" Task.pp task Addr.pp
+      client port
+  | Noop_assignment { port } -> Format.fprintf fmt "noop_assignment{port=%d}" port
+  | Task_completion { task_id; client; info; rtrv_prio = _ } ->
+    Format.fprintf fmt "task_completion{%a client=%a node=%d}" Task.pp_id task_id
+      Addr.pp client info.exec_node
+  | Param_fetch { task_id; node; port } ->
+    Format.fprintf fmt "param_fetch{%a node=%d port=%d}" Task.pp_id task_id node port
+  | Param_data { task_id; port; size } ->
+    Format.fprintf fmt "param_data{%a port=%d size=%d}" Task.pp_id task_id port size
+
+let opcode = function
+  | Job_submission _ -> 1
+  | Job_ack _ -> 2
+  | Queue_full _ -> 3
+  | Task_request _ -> 4
+  | Task_assignment _ -> 5
+  | Noop_assignment _ -> 6
+  | Task_completion _ -> 7
+  | Param_fetch _ -> 8
+  | Param_data _ -> 9

@@ -1,0 +1,57 @@
+(** Draconis application-layer protocol messages (paper §4.1).
+
+    Embedded in a UDP payload on the wire; here the variants are carried
+    directly over the simulated fabric and {!Codec} provides the binary
+    wire format (with round-trip tests ensuring the two views agree).
+
+    [client] fields carry the submitting client's address (its IP and
+    port in the paper) so the switch can store it with each queued task
+    and executors can reply directly. *)
+
+open Draconis_net
+
+(** Executor self-description sent with task requests. *)
+type executor_info = {
+  exec_addr : Addr.t;  (** worker node the executor runs on *)
+  exec_port : int;  (** executor index within the node *)
+  exec_rsrc : int;  (** EXEC_RSRC resource bitmap (paper §5.2) *)
+  exec_node : int;  (** node id, for locality decisions (§5.3) *)
+}
+
+type t =
+  | Job_submission of {
+      client : Addr.t;
+      uid : int;
+      jid : int;
+      tasks : Task.t list;  (** the #TASKS / TASK_INFO list *)
+    }
+  | Job_ack of { uid : int; jid : int }
+      (** switch -> client: tasks enqueued *)
+  | Queue_full of { uid : int; jid : int; tasks : Task.t list }
+      (** switch -> client: error packet listing unqueued tasks (§4.3) *)
+  | Task_request of { info : executor_info; rtrv_prio : int }
+      (** executor -> switch pull (§4.6); RTRV_PRIO for priority policy *)
+  | Task_assignment of { task : Task.t; client : Addr.t; port : int }
+      (** switch -> executor (§4.1); [port] addresses the executor
+          within its worker node (the UDP destination port) *)
+  | Noop_assignment of { port : int }
+      (** switch -> executor: queue empty, retry later (§4.6) *)
+  | Task_completion of {
+      task_id : Task.id;
+      client : Addr.t;  (** the submitting client the switch forwards to *)
+      info : executor_info;
+      rtrv_prio : int;
+    }
+      (** executor -> client via the scheduler; the request for the next
+          task is piggybacked on it (§3.1) *)
+  | Param_fetch of { task_id : Task.id; node : int; port : int }
+      (** executor -> client, directly: request the real parameters of a
+          transmission-function task (§4.4) *)
+  | Param_data of { task_id : Task.id; port : int; size : int }
+      (** client -> executor: the parameters ([size] bytes; the transfer
+          time is modeled from it) *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Opcode tag as carried on the wire (OP_CODE field). *)
+val opcode : t -> int

@@ -1,0 +1,51 @@
+type id = { uid : int; jid : int; tid : int }
+
+let pp_id fmt { uid; jid; tid } = Format.fprintf fmt "<%d,%d,%d>" uid jid tid
+let equal_id a b = a.uid = b.uid && a.jid = b.jid && a.tid = b.tid
+let compare_id a b = compare (a.uid, a.jid, a.tid) (b.uid, b.jid, b.tid)
+
+type tprops =
+  | No_props
+  | Resources of int
+  | Locality of int list
+  | Priority of int
+
+let pp_tprops fmt = function
+  | No_props -> Format.pp_print_string fmt "none"
+  | Resources bitmap -> Format.fprintf fmt "rsrc:%#x" bitmap
+  | Locality nodes ->
+    Format.fprintf fmt "local:[%s]"
+      (String.concat ";" (List.map string_of_int nodes))
+  | Priority p -> Format.fprintf fmt "prio:%d" p
+
+let equal_tprops a b =
+  match (a, b) with
+  | No_props, No_props -> true
+  | Resources x, Resources y -> x = y
+  | Locality x, Locality y -> x = y
+  | Priority x, Priority y -> x = y
+  | (No_props | Resources _ | Locality _ | Priority _), _ -> false
+
+module Fn = struct
+  let noop = 0
+  let busy_loop = 1
+  let data_task = 2
+  let fetch_params = 3
+end
+
+type t = { id : id; fn_id : int; fn_par : int; tprops : tprops }
+
+let pp fmt t =
+  Format.fprintf fmt "task%a fn=%d par=%d props=%a" pp_id t.id t.fn_id t.fn_par
+    pp_tprops t.tprops
+
+let equal a b =
+  equal_id a.id b.id && a.fn_id = b.fn_id && a.fn_par = b.fn_par
+  && equal_tprops a.tprops b.tprops
+
+let make ~uid ~jid ~tid ?(tprops = No_props) ~fn_id ~fn_par () =
+  { id = { uid; jid; tid }; fn_id; fn_par; tprops }
+
+let priority_level t = match t.tprops with Priority p -> p | _ -> 1
+let required_resources t = match t.tprops with Resources r -> r | _ -> 0
+let locality_nodes t = match t.tprops with Locality nodes -> nodes | _ -> []

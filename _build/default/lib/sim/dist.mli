@@ -1,0 +1,37 @@
+(** Random-variate distributions used by workload generators.
+
+    A distribution is a thunk from an {!Rng.t} to a sample.  Duration
+    distributions sample {!Time.t} values; all are guaranteed
+    non-negative. *)
+
+type t = Rng.t -> Time.t
+
+(** [constant d] always samples [d]. *)
+val constant : Time.t -> t
+
+(** [uniform ~lo ~hi] samples uniformly from [\[lo, hi\]]. *)
+val uniform : lo:Time.t -> hi:Time.t -> t
+
+(** [exponential ~mean] samples an exponential with the given mean. *)
+val exponential : mean:Time.t -> t
+
+(** [bimodal (d1, p1) d2] samples [d1] with probability [p1], else [d2]. *)
+val bimodal : Time.t * float -> Time.t -> t
+
+(** [choice cases] samples from a finite discrete distribution; weights
+    must sum to approximately 1.0 (the final case absorbs rounding). *)
+val choice : (Time.t * float) list -> t
+
+(** [lognormal ~mu ~sigma] samples exp(N(mu, sigma^2)) nanoseconds. *)
+val lognormal : mu:float -> sigma:float -> t
+
+(** [pareto ~scale ~alpha] samples a Pareto with minimum [scale] and
+    shape [alpha] (heavy-tailed for alpha <= 2). *)
+val pareto : scale:Time.t -> alpha:float -> t
+
+(** [scale f d] multiplies every sample of [d] by [f]. *)
+val scale : float -> t -> t
+
+(** [mean_estimate d rng ~n] is the empirical mean of [n] samples; used
+    by tests and by workload calibration. *)
+val mean_estimate : t -> Rng.t -> n:int -> float

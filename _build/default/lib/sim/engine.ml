@@ -1,0 +1,78 @@
+type handle = { mutable dead : bool; fn : unit -> unit }
+
+type key = { at : Time.t; seq : int }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  mutable executed : int;
+  queue : (key, handle) Heap.t;
+}
+
+let compare_key a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { clock = 0; seq = 0; executed = 0; queue = Heap.create ~compare:compare_key () }
+
+let now t = t.clock
+let executed t = t.executed
+let pending t = Heap.length t.queue
+
+let schedule_at t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: at=%d is before now=%d" at t.clock);
+  let h = { dead = false; fn = f } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { at; seq = t.seq } h;
+  h
+
+let schedule t ~after f =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.clock + after) f
+
+let cancel h = h.dead <- true
+let cancelled h = h.dead
+
+let step t =
+  match Heap.pop t.queue with
+  | exception Not_found -> false
+  | key, h ->
+    t.clock <- key.at;
+    if not h.dead then begin
+      t.executed <- t.executed + 1;
+      h.fn ()
+    end;
+    true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | exception Not_found -> continue := false
+    | key, _ ->
+      (match until with
+      | Some limit when key.at > limit ->
+        t.clock <- max t.clock limit;
+        continue := false
+      | _ ->
+        ignore (step t);
+        decr budget)
+  done;
+  match until with
+  | Some limit when Heap.is_empty t.queue && t.clock < limit -> t.clock <- limit
+  | _ -> ()
+
+let every t ~interval ~until f =
+  if interval <= 0 then invalid_arg "Engine.every: interval must be positive";
+  let rec tick () =
+    if t.clock <= until then begin
+      f ();
+      let next = t.clock + interval in
+      if next <= until then ignore (schedule_at t ~at:next tick)
+    end
+  in
+  ignore (schedule t ~after:interval tick)

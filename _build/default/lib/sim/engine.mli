@@ -1,0 +1,54 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue.  Components
+    schedule closures at future instants; [run] executes them in
+    timestamp order (ties broken by scheduling order) and advances the
+    clock.  Scheduling in the past is a programming error and raises.
+
+    The engine is single-threaded by design: a simulated cluster of
+    thousands of executors runs as one deterministic event loop. *)
+
+type t
+
+(** Cancellable handle for a scheduled event. *)
+type handle
+
+val create : unit -> t
+
+(** [now t] is the current virtual time. *)
+val now : t -> Time.t
+
+(** Number of events executed so far. *)
+val executed : t -> int
+
+(** Number of events currently queued. *)
+val pending : t -> int
+
+(** [schedule t ~after f] runs [f] at [now t + after].
+    @raise Invalid_argument if [after < 0]. *)
+val schedule : t -> after:Time.t -> (unit -> unit) -> handle
+
+(** [schedule_at t ~at f] runs [f] at absolute time [at].
+    @raise Invalid_argument if [at < now t]. *)
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+
+(** [cancel h] prevents the event from firing.  Cancelling an event that
+    already fired (or was already cancelled) is a no-op. *)
+val cancel : handle -> unit
+
+(** [cancelled h] is true if [h] was cancelled before firing. *)
+val cancelled : handle -> bool
+
+(** [step t] executes the next event, returning [false] when the queue
+    is empty. *)
+val step : t -> bool
+
+(** [run ?until ?max_events t] executes events until the queue is empty,
+    the clock passes [until], or [max_events] have run.  Events at a
+    time strictly greater than [until] stay queued; the clock is left at
+    the later of [until] and the last executed event's time. *)
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+
+(** [every t ~interval ~until f] schedules [f] repeatedly with the given
+    period, starting one interval from now, stopping after [until]. *)
+val every : t -> interval:Time.t -> until:Time.t -> (unit -> unit) -> unit

@@ -1,0 +1,30 @@
+(** Array-based binary min-heap over ordered keys.
+
+    Used as the event queue of the simulation engine: keys are
+    [(time, sequence)] pairs so that events at equal times pop in
+    insertion order.  All operations are O(log n) except [peek] and
+    [length], which are O(1). *)
+
+type ('k, 'v) t
+
+(** [create ~capacity ~compare] is an empty heap.  [capacity] is only a
+    hint for the initial backing-array size. *)
+val create : ?capacity:int -> compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [pop h] removes and returns the minimum binding.
+    @raise Not_found if the heap is empty. *)
+val pop : ('k, 'v) t -> 'k * 'v
+
+(** [peek h] returns the minimum binding without removing it.
+    @raise Not_found if the heap is empty. *)
+val peek : ('k, 'v) t -> 'k * 'v
+
+val clear : ('k, 'v) t -> unit
+
+(** [drain h f] pops every element in key order and applies [f]. *)
+val drain : ('k, 'v) t -> ('k -> 'v -> unit) -> unit

@@ -1,0 +1,20 @@
+type t = int
+
+let zero = 0
+let ns t = t
+let us t = t * 1_000
+let ms t = t * 1_000_000
+let s t = t * 1_000_000_000
+let us_f f = int_of_float (Float.round (f *. 1e3))
+let ms_f f = int_of_float (Float.round (f *. 1e6))
+let s_f f = int_of_float (Float.round (f *. 1e9))
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_s t = float_of_int t /. 1e9
+
+let pp fmt t =
+  let a = abs t in
+  if a < 1_000 then Format.fprintf fmt "%dns" t
+  else if a < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us t)
+  else if a < 1_000_000_000 then Format.fprintf fmt "%.2fms" (to_ms t)
+  else Format.fprintf fmt "%.3fs" (to_s t)

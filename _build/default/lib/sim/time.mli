@@ -1,0 +1,26 @@
+(** Simulated time.
+
+    All simulation timestamps and durations are integer nanoseconds.
+    Helpers convert to and from the microsecond/millisecond/second units
+    the paper reports in. *)
+
+type t = int
+
+val zero : t
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+(** Fractional constructors, rounded to the nearest nanosecond. *)
+val us_f : float -> t
+val ms_f : float -> t
+val s_f : float -> t
+
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+(** [pp] prints a duration with an adaptive unit (ns/us/ms/s). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type category = Fabric | Pipeline | Queue | Host
+
+let category_name = function
+  | Fabric -> "fabric"
+  | Pipeline -> "pipeline"
+  | Queue -> "queue"
+  | Host -> "host"
+
+type record = { at : Time.t; category : category; message : string }
+
+type state = {
+  mutable ring : record array;
+  mutable size : int;  (* records currently held *)
+  mutable next : int;  (* write cursor *)
+  mutable total : int;
+  mutable on : bool;
+}
+
+let state = { ring = [||]; size = 0; next = 0; total = 0; on = false }
+
+let enable ?(capacity = 8192) () =
+  if capacity < 1 then invalid_arg "Trace.enable: capacity must be positive";
+  state.ring <- Array.make capacity { at = 0; category = Host; message = "" };
+  state.size <- 0;
+  state.next <- 0;
+  state.total <- 0;
+  state.on <- true
+
+let disable () = state.on <- false
+let enabled () = state.on
+
+let emit ~at category message =
+  if state.on then begin
+    let record = { at; category; message = Lazy.force message } in
+    state.ring.(state.next) <- record;
+    state.next <- (state.next + 1) mod Array.length state.ring;
+    state.size <- min (state.size + 1) (Array.length state.ring);
+    state.total <- state.total + 1
+  end
+
+let records () =
+  let capacity = Array.length state.ring in
+  List.init state.size (fun i ->
+      state.ring.((state.next - state.size + i + capacity) mod capacity))
+
+let recent n =
+  let all = records () in
+  let len = List.length all in
+  List.filteri (fun i _ -> i >= len - n) all
+
+let emitted () = state.total
+
+let clear () =
+  state.size <- 0;
+  state.next <- 0;
+  state.total <- 0
+
+let dump fmt () =
+  List.iter
+    (fun record ->
+      Format.fprintf fmt "[%a] %-8s %s@." Time.pp record.at
+        (category_name record.category)
+        record.message)
+    (records ())
+
+let with_capture ?capacity f =
+  let was_on = state.on in
+  enable ?capacity ();
+  let finish () =
+    let captured = records () in
+    if not was_on then disable ();
+    captured
+  in
+  match f () with
+  | result -> (result, finish ())
+  | exception exn ->
+    ignore (finish ());
+    raise exn

@@ -1,0 +1,50 @@
+(** Lightweight event tracing for simulation debugging.
+
+    Components emit categorized, timestamped records into a bounded ring
+    buffer; tracing is globally off by default and costs one branch per
+    emit when disabled, so instrumentation can stay in hot paths.
+    Enable around the window of interest, then [dump] or [recent] to
+    inspect what the switch, fabric, and hosts actually did — the
+    simulated equivalent of a packet capture plus switch counters.
+
+    The tracer is global (one simulation per process is the normal
+    mode); [with_capture] scopes enablement for tests. *)
+
+type category =
+  | Fabric  (** message sends and deliveries *)
+  | Pipeline  (** packet admissions, recirculations, drops *)
+  | Queue  (** circular-queue repairs and rejections *)
+  | Host  (** client/executor events *)
+
+val category_name : category -> string
+
+type record = { at : Time.t; category : category; message : string }
+
+(** [enable ~capacity ()] turns tracing on with a ring of [capacity]
+    records (default 8192), discarding the oldest on overflow. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [emit ~at category message] records an event if tracing is on.
+    [message] is lazy so formatting is free when disabled. *)
+val emit : at:Time.t -> category -> string Lazy.t -> unit
+
+(** Records currently buffered, oldest first. *)
+val records : unit -> record list
+
+(** [recent n] is the newest [n] records, oldest first. *)
+val recent : int -> record list
+
+(** Total records emitted since [enable] (including overwritten). *)
+val emitted : unit -> int
+
+val clear : unit -> unit
+
+(** [dump fmt ()] pretty-prints the buffer. *)
+val dump : Format.formatter -> unit -> unit
+
+(** [with_capture ?capacity f] enables tracing, runs [f], returns its
+    result with the captured records, and restores the previous state. *)
+val with_capture : ?capacity:int -> (unit -> 'a) -> 'a * record list

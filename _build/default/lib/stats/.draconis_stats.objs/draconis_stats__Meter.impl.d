@@ -1,0 +1,1 @@
+lib/stats/meter.ml: Array Hashtbl List Option

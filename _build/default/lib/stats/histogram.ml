@@ -1,0 +1,88 @@
+type t = {
+  sub_buckets : int;
+  max_value : int;
+  buckets : int array;
+  mutable total : int;
+  mutable overflow : int;
+  mutable sum : float;
+  mutable max_seen : int;
+}
+
+let bucket_count ~max_value ~sub_buckets =
+  let rec magnitudes n acc = if n = 0 then acc else magnitudes (n lsr 1) (acc + 1) in
+  (magnitudes max_value 0 + 1) * sub_buckets
+
+let create ?(sub_buckets = 32) ~max_value () =
+  if max_value <= 0 then invalid_arg "Histogram.create: max_value must be positive";
+  if sub_buckets <= 0 then invalid_arg "Histogram.create: sub_buckets must be positive";
+  {
+    sub_buckets;
+    max_value;
+    buckets = Array.make (bucket_count ~max_value ~sub_buckets) 0;
+    total = 0;
+    overflow = 0;
+    sum = 0.0;
+    max_seen = 0;
+  }
+
+(* Index layout: magnitude m = floor(log2 (v / sub_buckets + 1)) picks a
+   power-of-two band; within it, sub-bucket by linear division.  For small
+   values (v < sub_buckets) this degenerates to exact counting. *)
+let index t v =
+  let v = if v < 0 then 0 else v in
+  if v < t.sub_buckets then v
+  else begin
+    let rec mag n acc = if n < t.sub_buckets then acc else mag (n lsr 1) (acc + 1) in
+    let m = mag v 0 in
+    let base = m * t.sub_buckets in
+    let width = 1 lsl m in
+    let offset = (v - (t.sub_buckets lsl (m - 1))) / width in
+    Stdlib.min (Array.length t.buckets - 1) (base + Stdlib.min (t.sub_buckets - 1) offset)
+  end
+
+(* Midpoint of the bucket containing index i; inverse of [index]. *)
+let value_of_index t i =
+  if i < t.sub_buckets then i
+  else begin
+    let m = i / t.sub_buckets in
+    let offset = i mod t.sub_buckets in
+    let width = 1 lsl m in
+    (t.sub_buckets lsl (m - 1)) + (offset * width) + (width / 2)
+  end
+
+let record t v =
+  let clamped = if v > t.max_value then (t.overflow <- t.overflow + 1; t.max_value) else v in
+  let i = index t clamped in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v > t.max_seen then t.max_seen <- v
+
+let count t = t.total
+let overflows t = t.overflow
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  let target = int_of_float (Float.round (p /. 100.0 *. float_of_int (t.total - 1))) in
+  let rec scan i seen =
+    if i >= Array.length t.buckets then value_of_index t (Array.length t.buckets - 1)
+    else begin
+      let seen = seen + t.buckets.(i) in
+      if seen > target then value_of_index t i else scan (i + 1) seen
+    end
+  in
+  scan 0 0
+
+let mean t =
+  if t.total = 0 then invalid_arg "Histogram.mean: empty";
+  t.sum /. float_of_int t.total
+
+let max_recorded t = t.max_seen
+
+let clear t =
+  Array.fill t.buckets 0 (Array.length t.buckets) 0;
+  t.total <- 0;
+  t.overflow <- 0;
+  t.sum <- 0.0;
+  t.max_seen <- 0

@@ -1,0 +1,26 @@
+(** Logarithmic-bucket histogram (HDR-style).
+
+    Constant-memory alternative to {!Sampler} for very long runs: values
+    are bucketed into [sub_buckets] linear buckets per power-of-two
+    magnitude, giving a bounded relative quantile error of roughly
+    [1 / sub_buckets].  Used by the throughput experiments where
+    hundreds of millions of events would make exact recording wasteful. *)
+
+type t
+
+(** [create ~max_value ~sub_buckets ()] covers [\[0, max_value\]].
+    Values above [max_value] are clamped into the top bucket and counted
+    in [overflows]. *)
+val create : ?sub_buckets:int -> max_value:int -> unit -> t
+
+val record : t -> int -> unit
+val count : t -> int
+val overflows : t -> int
+
+(** Quantile by bucket midpoint; [p] in [\[0, 100\]].
+    @raise Invalid_argument on an empty histogram. *)
+val percentile : t -> float -> int
+
+val mean : t -> float
+val max_recorded : t -> int
+val clear : t -> unit

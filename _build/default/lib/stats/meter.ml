@@ -1,0 +1,50 @@
+type t = {
+  mutable total : int;
+  mutable first : int option;
+  mutable last : int;
+  mutable marks : (int * int) list; (* (time, weight), newest first *)
+}
+
+let create () = { total = 0; first = None; last = 0; marks = [] }
+
+let mark t ?(weight = 1) ~now () =
+  t.total <- t.total + weight;
+  if t.first = None then t.first <- Some now;
+  t.last <- now;
+  t.marks <- (now, weight) :: t.marks
+
+let total t = t.total
+
+let rate_per_sec t =
+  match t.first with
+  | None -> 0.0
+  | Some first ->
+    let span = t.last - first in
+    if span <= 0 then 0.0 else float_of_int t.total /. (float_of_int span /. 1e9)
+
+let rate_over t ~duration =
+  if duration <= 0 then invalid_arg "Meter.rate_over: non-positive duration";
+  float_of_int t.total /. (float_of_int duration /. 1e9)
+
+let timeline t ~bucket =
+  if bucket <= 0 then invalid_arg "Meter.timeline: non-positive bucket";
+  match t.first with
+  | None -> [||]
+  | Some _ ->
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (time, weight) ->
+        let b = time / bucket in
+        let prev = Option.value ~default:0 (Hashtbl.find_opt tbl b) in
+        Hashtbl.replace tbl b (prev + weight))
+      t.marks;
+    let entries = Hashtbl.fold (fun b w acc -> (b, w) :: acc) tbl [] in
+    let a = Array.of_list entries in
+    Array.sort compare a;
+    a
+
+let clear t =
+  t.total <- 0;
+  t.first <- None;
+  t.last <- 0;
+  t.marks <- []

@@ -1,0 +1,32 @@
+(** Event-rate meter.
+
+    Counts discrete events (scheduling decisions, packets, drops) and
+    reports rates over a window of simulated time.  [mark] may carry a
+    weight for batched events. *)
+
+type t
+
+val create : unit -> t
+
+(** [mark t ?weight ~now ()] records [weight] (default 1) events at
+    simulated time [now] (nanoseconds). *)
+val mark : t -> ?weight:int -> now:int -> unit -> unit
+
+val total : t -> int
+
+(** [rate_per_sec t] is total events divided by the span between first
+    and last mark, in events per simulated second.  Zero if fewer than
+    two distinct timestamps were marked. *)
+val rate_per_sec : t -> float
+
+(** [rate_over t ~duration] divides total by an externally known
+    duration (ns); preferred when the measurement window is the
+    experiment window rather than the first/last event. *)
+val rate_over : t -> duration:int -> float
+
+(** [timeline t ~bucket] is the per-bucket event count, bucketed by
+    [bucket] nanoseconds of simulated time, for timeline plots
+    (paper Fig. 11). *)
+val timeline : t -> bucket:int -> (int * int) array
+
+val clear : t -> unit

@@ -1,0 +1,87 @@
+type t = {
+  mutable data : int array;
+  mutable size : int;
+  mutable sorted_cache : int array option;
+}
+
+let create () = { data = Array.make 1024 0; size = 0; sorted_cache = None }
+
+let record t v =
+  if t.size >= Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1;
+  t.sorted_cache <- None
+
+let count t = t.size
+
+let sorted t =
+  match t.sorted_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.sub t.data 0 t.size in
+    Array.sort compare a;
+    t.sorted_cache <- Some a;
+    a
+
+let percentile t p =
+  if t.size = 0 then invalid_arg "Sampler.percentile: no samples";
+  if p < 0.0 || p > 100.0 then invalid_arg "Sampler.percentile: p out of range";
+  let a = sorted t in
+  let rank = int_of_float (Float.round (p /. 100.0 *. float_of_int (t.size - 1))) in
+  a.(rank)
+
+let min t =
+  if t.size = 0 then invalid_arg "Sampler.min: no samples";
+  (sorted t).(0)
+
+let max t =
+  if t.size = 0 then invalid_arg "Sampler.max: no samples";
+  (sorted t).(t.size - 1)
+
+let mean t =
+  if t.size = 0 then invalid_arg "Sampler.mean: no samples";
+  let total = ref 0.0 in
+  for i = 0 to t.size - 1 do
+    total := !total +. float_of_int t.data.(i)
+  done;
+  !total /. float_of_int t.size
+
+let stddev t =
+  if t.size = 0 then invalid_arg "Sampler.stddev: no samples";
+  let m = mean t in
+  let acc = ref 0.0 in
+  for i = 0 to t.size - 1 do
+    let d = float_of_int t.data.(i) -. m in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int t.size)
+
+let cdf t ~points =
+  if points <= 0 then invalid_arg "Sampler.cdf: points must be positive";
+  if t.size = 0 then [||]
+  else begin
+    let a = sorted t in
+    Array.init points (fun i ->
+        let frac = float_of_int (i + 1) /. float_of_int points in
+        let rank = Stdlib.min (t.size - 1)
+            (int_of_float (Float.round (frac *. float_of_int (t.size - 1)))) in
+        (a.(rank), frac))
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.size - 1 do
+    record t a.data.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    record t b.data.(i)
+  done;
+  t
+
+let clear t =
+  t.size <- 0;
+  t.sorted_cache <- None

@@ -1,0 +1,1 @@
+lib/workload/arrival.ml: Dist Draconis_proto Draconis_sim Engine Float List Rng Task Time

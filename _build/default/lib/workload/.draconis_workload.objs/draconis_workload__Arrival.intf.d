@@ -1,0 +1,1 @@
+lib/workload/arrival.mli: Dist Draconis_proto Draconis_sim Engine Rng Task Time

@@ -1,0 +1,1 @@
+lib/workload/google_trace.ml: Array Dist Draconis_proto Draconis_sim Engine Float List Rng Task Time

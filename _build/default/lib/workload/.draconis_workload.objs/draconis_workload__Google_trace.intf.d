@@ -1,0 +1,1 @@
+lib/workload/google_trace.mli: Draconis_proto Draconis_sim Engine Rng Task Time

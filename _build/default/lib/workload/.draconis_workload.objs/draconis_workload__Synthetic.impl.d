@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Dist Draconis_sim List String Time

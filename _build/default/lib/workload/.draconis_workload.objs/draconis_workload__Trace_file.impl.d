@@ -1,0 +1,1 @@
+lib/workload/trace_file.ml: Buffer Draconis_proto Draconis_sim Engine Fun Google_trace Hashtbl List Printf String Task Time

@@ -1,0 +1,1 @@
+lib/workload/trace_file.mli: Draconis_proto Draconis_sim Engine Google_trace Rng Task Time

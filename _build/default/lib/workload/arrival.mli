@@ -1,0 +1,35 @@
+(** Open-loop workload driver.
+
+    Generates Poisson job arrivals at a target aggregate task rate and
+    hands each job (a batch of tasks) to a submit callback — typically a
+    {!Draconis.Client.submit_job} closure.  The caller assigns task ids;
+    tasks produced here carry placeholder ids.
+
+    The driver is open-loop: arrivals do not wait for completions, so an
+    overloaded scheduler accumulates queueing exactly as the paper's
+    load sweeps do. *)
+
+open Draconis_sim
+open Draconis_proto
+
+type spec = {
+  rate_tps : float;  (** aggregate task arrival rate (tasks/second) *)
+  batch : int;  (** tasks per job (independent tasks, §3.1) *)
+  duration : Dist.t;  (** per-task service-time distribution *)
+  fn_id : int;  (** function executed (usually [Task.Fn.busy_loop]) *)
+  tprops_of : Rng.t -> Task.tprops;  (** per-task policy properties *)
+  horizon : Time.t;  (** stop submitting after this instant *)
+}
+
+(** [uniform_spec ~rate_tps ~duration ~horizon] — batch 1, busy-loop
+    tasks, no properties. *)
+val uniform_spec : rate_tps:float -> duration:Dist.t -> horizon:Time.t -> spec
+
+(** [drive engine rng spec ~submit] schedules all submissions on
+    [engine] (they fire as the simulation runs).  Returns nothing;
+    the expected number of submitted tasks is [rate_tps x horizon]. *)
+val drive :
+  Engine.t -> Rng.t -> spec -> submit:(Task.t list -> unit) -> unit
+
+(** [expected_tasks spec] is the mean number of tasks the spec submits. *)
+val expected_tasks : spec -> float

@@ -1,0 +1,90 @@
+open Draconis_sim
+open Draconis_proto
+
+type spec = {
+  mean_duration : Time.t;
+  rate_tps : float;
+  horizon : Time.t;
+  priority_levels : int;
+  sigma : float;
+  mean_job_size : float;
+  burst_fraction : float;
+  burst_scale : int;
+}
+
+let default_spec =
+  {
+    mean_duration = Time.us 500;
+    rate_tps = 100_000.0;
+    horizon = Time.s 1;
+    priority_levels = 0;
+    sigma = 1.3;
+    mean_job_size = 8.0;
+    burst_fraction = 0.02;
+    burst_scale = 100;
+  }
+
+let priority_mix = [| 0.012; 0.017; 0.646; 0.322 |]
+
+let geometric rng ~mean =
+  (* Geometric on {1, 2, ...} with the given mean. *)
+  if mean <= 1.0 then 1
+  else begin
+    let p = 1.0 /. mean in
+    let u = 1.0 -. Rng.float rng in
+    max 1 (int_of_float (Float.round (log u /. log (1.0 -. p))))
+  end
+
+let job_size rng spec =
+  if Rng.float rng < spec.burst_fraction then
+    spec.burst_scale + geometric rng ~mean:(float_of_int spec.burst_scale)
+  else geometric rng ~mean:spec.mean_job_size
+
+let task_duration rng spec =
+  (* Lognormal rescaled so its mean is exactly [mean_duration]:
+     mu = ln(mean) - sigma^2 / 2. *)
+  let mu = log (float_of_int spec.mean_duration) -. (spec.sigma ** 2.0 /. 2.0) in
+  max 1 (Dist.lognormal ~mu ~sigma:spec.sigma rng)
+
+let priority rng spec =
+  if spec.priority_levels < 1 then
+    invalid_arg "Google_trace.priority: no priority levels configured";
+  let u = Rng.float rng in
+  let rec pick level acc =
+    if level >= Array.length priority_mix then Array.length priority_mix
+    else begin
+      let acc = acc +. priority_mix.(level) in
+      if u < acc then level + 1 else pick (level + 1) acc
+    end
+  in
+  min (pick 0 0.0) spec.priority_levels
+
+let mean_tasks_per_job spec =
+  ((1.0 -. spec.burst_fraction) *. spec.mean_job_size)
+  +. (spec.burst_fraction *. 2.0 *. float_of_int spec.burst_scale)
+
+let make_job rng spec =
+  let size = job_size rng spec in
+  List.init size (fun tid ->
+      let tprops =
+        if spec.priority_levels >= 1 then Task.Priority (priority rng spec)
+        else Task.No_props
+      in
+      Task.make ~uid:0 ~jid:0 ~tid ~tprops ~fn_id:Task.Fn.busy_loop
+        ~fn_par:(task_duration rng spec) ())
+
+let drive engine rng spec ~submit =
+  if spec.rate_tps <= 0.0 then invalid_arg "Google_trace.drive: rate must be positive";
+  let job_rate = spec.rate_tps /. mean_tasks_per_job spec in
+  let mean_gap_ns = 1e9 /. job_rate in
+  let interarrival () =
+    let u = 1.0 -. Rng.float rng in
+    max 1 (int_of_float (Float.round (-.mean_gap_ns *. log u)))
+  in
+  let rec arrive () =
+    if Engine.now engine <= spec.horizon then begin
+      submit (make_job rng spec);
+      ignore (Engine.schedule engine ~after:(interarrival ()) arrive)
+    end
+  in
+  ignore (Engine.schedule engine ~after:(interarrival ()) arrive)

@@ -1,0 +1,41 @@
+open Draconis_sim
+
+type kind =
+  | Fixed_100us
+  | Fixed_250us
+  | Fixed_500us
+  | Bimodal
+  | Trimodal
+  | Exponential_250us
+
+let all =
+  [ Fixed_100us; Fixed_250us; Fixed_500us; Bimodal; Trimodal; Exponential_250us ]
+
+let name = function
+  | Fixed_100us -> "100us"
+  | Fixed_250us -> "250us"
+  | Fixed_500us -> "500us"
+  | Bimodal -> "bimodal"
+  | Trimodal -> "trimodal"
+  | Exponential_250us -> "exp-250us"
+
+let of_name s =
+  List.find_opt (fun k -> String.equal (name k) s) all
+
+let duration = function
+  | Fixed_100us -> Dist.constant (Time.us 100)
+  | Fixed_250us -> Dist.constant (Time.us 250)
+  | Fixed_500us -> Dist.constant (Time.us 500)
+  | Bimodal -> Dist.bimodal (Time.us 100, 0.5) (Time.us 500)
+  | Trimodal ->
+    Dist.choice
+      [ (Time.us 100, 1.0 /. 3.0); (Time.us 250, 1.0 /. 3.0); (Time.us 500, 1.0 /. 3.0) ]
+  | Exponential_250us -> Dist.exponential ~mean:(Time.us 250)
+
+let mean_duration = function
+  | Fixed_100us -> 100_000.0
+  | Fixed_250us -> 250_000.0
+  | Fixed_500us -> 500_000.0
+  | Bimodal -> 300_000.0
+  | Trimodal -> 283_333.3
+  | Exponential_250us -> 250_000.0

@@ -1,0 +1,25 @@
+(** The paper's synthetic workload suite (§8, Fig. 6).
+
+    Six task-duration distributions: fixed 100 / 250 / 500 us, a bimodal
+    mix (50% 100 us + 50% 500 us), a trimodal mix (1/3 each of 100, 250,
+    500 us), and an exponential with 250 us mean. *)
+
+open Draconis_sim
+
+type kind =
+  | Fixed_100us
+  | Fixed_250us
+  | Fixed_500us
+  | Bimodal  (** 50% 100 us, 50% 500 us *)
+  | Trimodal  (** 33.3% each of 100 / 250 / 500 us *)
+  | Exponential_250us
+
+val all : kind list
+val name : kind -> string
+val of_name : string -> kind option
+
+(** Duration distribution of a workload. *)
+val duration : kind -> Dist.t
+
+(** Exact mean duration (ns), used to convert load to utilization. *)
+val mean_duration : kind -> float

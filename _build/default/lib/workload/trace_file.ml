@@ -1,0 +1,111 @@
+open Draconis_sim
+open Draconis_proto
+
+type job = { arrival : Time.t; tasks : Task.t list }
+type t = job list
+
+let generate rng (spec : Google_trace.spec) =
+  (* Reuse the live driver against a scratch engine, capturing instead
+     of submitting: identical statistics by construction. *)
+  let engine = Engine.create () in
+  let jobs = ref [] in
+  Google_trace.drive engine rng spec ~submit:(fun tasks ->
+      jobs := { arrival = Engine.now engine; tasks } :: !jobs);
+  Engine.run engine;
+  List.rev !jobs
+
+let task_count t = List.fold_left (fun acc job -> acc + List.length job.tasks) 0 t
+
+let locality_to_string nodes = String.concat "/" (List.map string_of_int nodes)
+
+let locality_of_string s =
+  if s = "" then []
+  else List.map int_of_string (String.split_on_char '/' s)
+
+let task_line ~arrival ~job_index (task : Task.t) =
+  let priority, locality =
+    match task.tprops with
+    | Task.Priority p -> (p, "")
+    | Task.Locality nodes -> (0, locality_to_string nodes)
+    | Task.No_props | Task.Resources _ -> (0, "")
+  in
+  Printf.sprintf "%d,%d,%d,%d,%d,%s" arrival job_index task.id.tid task.fn_par
+    priority locality
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "arrival_ns,job,task,duration_ns,priority,locality\n";
+  List.iteri
+    (fun job_index job ->
+      List.iter
+        (fun task ->
+          Buffer.add_string buf (task_line ~arrival:job.arrival ~job_index task);
+          Buffer.add_char buf '\n')
+        job.tasks)
+    t;
+  Buffer.contents buf
+
+let parse_line ~line_number line =
+  match String.split_on_char ',' line with
+  | [ arrival; job; task; duration; priority; locality ] -> (
+    try
+      let tprops =
+        match (int_of_string priority, locality_of_string locality) with
+        | 0, [] -> Task.No_props
+        | 0, nodes -> Task.Locality nodes
+        | p, _ -> Task.Priority p
+      in
+      ( int_of_string arrival,
+        int_of_string job,
+        Task.make ~uid:0 ~jid:0 ~tid:(int_of_string task) ~tprops
+          ~fn_id:Task.Fn.busy_loop ~fn_par:(int_of_string duration) () )
+    with Failure _ -> failwith (Printf.sprintf "trace line %d: bad field" line_number))
+  | _ -> failwith (Printf.sprintf "trace line %d: expected 6 fields" line_number)
+
+let of_string contents =
+  let lines = String.split_on_char '\n' contents in
+  let parsed =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           let line = String.trim line in
+           if line = "" || i = 0 then []
+           else [ parse_line ~line_number:(i + 1) line ])
+         lines)
+  in
+  (* Group consecutive tasks of the same job id into batches. *)
+  let jobs = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (arrival, job_index, task) ->
+      match Hashtbl.find_opt jobs job_index with
+      | Some batch -> batch := (arrival, task) :: !batch
+      | None ->
+        Hashtbl.replace jobs job_index (ref [ (arrival, task) ]);
+        order := job_index :: !order)
+    parsed;
+  List.rev_map
+    (fun job_index ->
+      let batch = List.rev !(Hashtbl.find jobs job_index) in
+      let arrival = match batch with (a, _) :: _ -> a | [] -> 0 in
+      { arrival; tasks = List.map snd batch })
+    !order
+  |> List.sort (fun a b -> compare a.arrival b.arrival)
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let drive engine t ~submit =
+  List.iter
+    (fun job ->
+      ignore (Engine.schedule_at engine ~at:job.arrival (fun () -> submit job.tasks)))
+    t

@@ -1,0 +1,41 @@
+(** Task-trace files: record and replay workloads.
+
+    A trace is a CSV of job submissions — one line per task:
+
+    {v arrival_ns,job,task,duration_ns,priority,locality v}
+
+    where [priority] is 0 for untagged tasks and [locality] is a
+    ['/']-separated node list (empty for none).  Tasks sharing a [job]
+    value and arrival time are submitted as one batch.  This lets users
+    replay real cluster traces through any of the schedulers, and lets
+    experiments be recorded once and re-run bit-for-bit. *)
+
+open Draconis_sim
+open Draconis_proto
+
+(** One job: an arrival instant and its batch of tasks. *)
+type job = { arrival : Time.t; tasks : Task.t list }
+
+type t = job list
+
+(** [generate rng spec] materializes a {!Google_trace} workload as a
+    concrete trace (instead of driving it live). *)
+val generate : Rng.t -> Google_trace.spec -> t
+
+(** Total tasks in the trace. *)
+val task_count : t -> int
+
+(** [save t ~path] / [load ~path] round-trip the CSV format.
+    @raise Sys_error on I/O failure; [load] raises [Failure] on a
+    malformed line (with its line number). *)
+val save : t -> path:string -> unit
+
+val load : path:string -> t
+
+(** [drive engine t ~submit] schedules every job of the trace. *)
+val drive : Engine.t -> t -> submit:(Task.t list -> unit) -> unit
+
+(** [to_string] / [of_string]: the CSV codec itself (tests, piping). *)
+val to_string : t -> string
+
+val of_string : string -> t

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Client Draconis Draconis_baselines Draconis_net Draconis_p4 Draconis_proto Draconis_sim Draconis_stats Engine Fn_model List Metrics Task Time

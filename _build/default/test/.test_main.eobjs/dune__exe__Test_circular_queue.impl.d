@@ -1,0 +1,1 @@
+test/test_circular_queue.ml: Addr Alcotest Circular_queue Draconis Draconis_net Draconis_p4 Draconis_proto Entry Gen List QCheck QCheck_alcotest Queue Task

@@ -1,0 +1,1 @@
+test/test_client_executor.ml: Addr Alcotest Client Codec Draconis Draconis_net Draconis_proto Draconis_sim Draconis_stats Engine Executor Fabric Fn_model List Message Metrics Rng Task Time Worker

@@ -1,0 +1,1 @@
+test/test_fault_tolerance.ml: Addr Alcotest Client Cluster Draconis Draconis_baselines Draconis_net Draconis_proto Draconis_sim Engine Fn_model List Metrics Policy Switch_program Task Time

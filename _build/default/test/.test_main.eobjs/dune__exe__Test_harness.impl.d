@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Codec Draconis Draconis_baselines Draconis_harness Draconis_p4 Draconis_proto Draconis_sim Draconis_stats Draconis_workload Engine List Synthetic Task Time

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Draconis_sim Heap List QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Astring Draconis Draconis_p4 Draconis_sim Engine Layout List Policy QCheck QCheck_alcotest Register Resources Switch_program

@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Cpu Draconis_net Draconis_sim Engine Fabric Fun Gen List QCheck QCheck_alcotest Rng Time Topology

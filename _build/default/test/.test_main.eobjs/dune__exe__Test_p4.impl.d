@@ -1,0 +1,1 @@
+test/test_p4.ml: Addr Alcotest Array Draconis_net Draconis_p4 Draconis_sim Engine Fabric List Packet_ctx Pipeline QCheck QCheck_alcotest Register Resources Rng Time

@@ -1,0 +1,1 @@
+test/test_param_fetch.ml: Addr Alcotest Array Client Cluster Codec Draconis Draconis_net Draconis_proto Draconis_sim Engine Executor Fabric Fn_model List Message Metrics Option Rng Task Time Worker

@@ -1,0 +1,1 @@
+test/test_policy.ml: Addr Alcotest Draconis Draconis_net Draconis_proto Draconis_sim Entry Fn_model Message Policy Task Time Topology

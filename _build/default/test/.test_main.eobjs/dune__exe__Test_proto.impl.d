@@ -1,0 +1,1 @@
+test/test_proto.ml: Addr Alcotest Array Bytes Codec Draconis Draconis_net Draconis_proto Format Gen List Message QCheck QCheck_alcotest Task

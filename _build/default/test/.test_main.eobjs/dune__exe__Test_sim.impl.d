@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dist Draconis_sim Engine Format Fun List QCheck QCheck_alcotest Rng Time

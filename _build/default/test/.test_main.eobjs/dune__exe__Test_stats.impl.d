@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Astring Draconis_stats Gen Histogram List Meter QCheck QCheck_alcotest Sampler Table

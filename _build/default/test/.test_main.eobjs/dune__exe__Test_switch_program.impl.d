@@ -1,0 +1,1 @@
+test/test_switch_program.ml: Addr Alcotest Draconis Draconis_net Draconis_p4 Draconis_proto Draconis_sim Engine Fabric Hashtbl List Message Policy Rng Switch_packet Switch_program Task Time Topology

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Draconis_p4 Gen List QCheck QCheck_alcotest Table

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Astring Client Cluster Draconis Draconis_proto Draconis_sim Format List Printf Task Time Trace

@@ -1,0 +1,1 @@
+test/test_trace_file.ml: Alcotest Astring Draconis Draconis_proto Draconis_sim Draconis_workload Engine Filename Fun Google_trace List Rng Sys Task Time Trace_file

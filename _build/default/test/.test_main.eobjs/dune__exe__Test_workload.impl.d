@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Arrival Dist Draconis_proto Draconis_sim Draconis_workload Engine Google_trace List Rng Synthetic Task Time

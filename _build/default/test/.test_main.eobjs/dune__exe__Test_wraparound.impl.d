@@ -1,0 +1,1 @@
+test/test_wraparound.ml: Addr Alcotest Circular_queue Draconis Draconis_net Draconis_p4 Draconis_proto Entry List QCheck QCheck_alcotest Task

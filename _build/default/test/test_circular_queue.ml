@@ -1,0 +1,316 @@
+(* Tests for the P4-compatible circular queue — the paper's central data
+   structure.  Covers FIFO semantics, the full/empty optimistic-increment
+   mistakes and their repairs, repair-flag behaviour, task swapping, and
+   a model-based property test that drives random operation sequences
+   against a plain functional queue model. *)
+
+open Draconis_net
+open Draconis_proto
+open Draconis
+
+let ctx () = Draconis_p4.Packet_ctx.create ()
+
+let entry ?(skip = 0) n =
+  Entry.make ~skip
+    ~task:(Task.make ~uid:0 ~jid:0 ~tid:n ~fn_id:Task.Fn.busy_loop ~fn_par:(1000 * n) ())
+    ~client:(Addr.Host 99) ()
+
+let tid (e : Entry.t) = e.task.id.tid
+
+let enqueue_ok q e =
+  match Circular_queue.enqueue q (ctx ()) e with
+  | Circular_queue.Enqueued { retrieve_repair; _ } -> retrieve_repair
+  | Circular_queue.Rejected _ -> Alcotest.fail "unexpected rejection"
+
+let dequeue_ok q =
+  match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Dequeued { entry; _ } -> entry
+  | Circular_queue.Empty -> Alcotest.fail "unexpected empty"
+  | Circular_queue.Repair_pending -> Alcotest.fail "unexpected repair-pending"
+
+(* -- basic FIFO ------------------------------------------------------------- *)
+
+let test_fifo_order () =
+  let q = Circular_queue.create ~name:"q" ~capacity:8 () in
+  List.iter (fun n -> ignore (enqueue_ok q (entry n))) [ 1; 2; 3 ];
+  Alcotest.(check int) "occupancy" 3 (Circular_queue.occupancy q);
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 3 ]
+    (List.init 3 (fun _ -> tid (dequeue_ok q)));
+  Alcotest.(check int) "empty occupancy" 0 (Circular_queue.occupancy q)
+
+let test_entry_payload_preserved () =
+  let q = Circular_queue.create ~name:"q" ~capacity:4 () in
+  let original =
+    Entry.make ~skip:7
+      ~task:
+        (Task.make ~uid:3 ~jid:9 ~tid:1 ~tprops:(Task.Locality [ 2; 5 ])
+           ~fn_id:Task.Fn.data_task ~fn_par:123_456 ())
+      ~client:(Addr.Host 42) ()
+  in
+  ignore (enqueue_ok q original);
+  Alcotest.(check bool) "entry round-trips through registers" true
+    (Entry.equal original (dequeue_ok q))
+
+let test_wraparound () =
+  let q = Circular_queue.create ~name:"q" ~capacity:3 () in
+  (* Push/pop more than capacity to force slot reuse. *)
+  for round = 0 to 9 do
+    ignore (enqueue_ok q (entry round));
+    Alcotest.(check int) "drains in order" round (tid (dequeue_ok q))
+  done
+
+(* -- empty-queue behaviour (lazy retrieve repair, §4.5) ----------------------- *)
+
+let test_empty_dequeue_and_lazy_repair () =
+  let q = Circular_queue.create ~name:"q" ~capacity:4 () in
+  (* Dequeue on empty: optimistic increment overruns. *)
+  (match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Empty -> ()
+  | _ -> Alcotest.fail "expected Empty");
+  Alcotest.(check int) "retrieve_ptr overran" 1 (Circular_queue.peek_retrieve_ptr q);
+  Alcotest.(check bool) "no flag yet (lazy)" false
+    (Circular_queue.peek_retrieve_repair_flag q);
+  (* Next enqueue detects the overrun and requests a repair. *)
+  (match Circular_queue.enqueue q (ctx ()) (entry 1) with
+  | Circular_queue.Enqueued { index; retrieve_repair = Some target } ->
+    Alcotest.(check int) "repair targets the new task" index target
+  | _ -> Alcotest.fail "expected enqueue with retrieve repair");
+  Alcotest.(check bool) "flag set" true (Circular_queue.peek_retrieve_repair_flag q);
+  (* While the repair is in flight, dequeues answer Repair_pending. *)
+  (match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Repair_pending -> ()
+  | _ -> Alcotest.fail "expected Repair_pending");
+  (* The repair packet lands. *)
+  Circular_queue.apply_repair_retrieve q (ctx ()) ~target:0;
+  Alcotest.(check bool) "flag cleared" false (Circular_queue.peek_retrieve_repair_flag q);
+  Alcotest.(check int) "pointer repaired" 0 (Circular_queue.peek_retrieve_ptr q);
+  (* And the queued task is now retrievable. *)
+  Alcotest.(check int) "task recovered" 1 (tid (dequeue_ok q))
+
+let test_only_one_retrieve_repair () =
+  let q = Circular_queue.create ~name:"q" ~capacity:4 () in
+  ignore (Circular_queue.dequeue q (ctx ()));
+  ignore (Circular_queue.dequeue q (ctx ()));
+  (* First enqueue launches the repair... *)
+  (match Circular_queue.enqueue q (ctx ()) (entry 1) with
+  | Circular_queue.Enqueued { retrieve_repair = Some _; _ } -> ()
+  | _ -> Alcotest.fail "first enqueue should repair");
+  (* ...the second sees the flag and does not. *)
+  match Circular_queue.enqueue q (ctx ()) (entry 2) with
+  | Circular_queue.Enqueued { retrieve_repair = None; _ } -> ()
+  | _ -> Alcotest.fail "second enqueue must not launch another repair"
+
+(* -- full-queue behaviour (add repair, §4.5/§4.7.1) ---------------------------- *)
+
+let fill q n =
+  for i = 1 to n do
+    ignore (enqueue_ok q (entry i))
+  done
+
+let test_full_rejection_and_repair () =
+  let q = Circular_queue.create ~name:"q" ~capacity:2 () in
+  fill q 2;
+  (* Full: the mistaken increment must be repaired by this packet. *)
+  let repair_target =
+    match Circular_queue.enqueue q (ctx ()) (entry 3) with
+    | Circular_queue.Rejected { add_repair = Some target } -> target
+    | _ -> Alcotest.fail "expected rejection with repair"
+  in
+  Alcotest.(check int) "add_ptr inflated" 3 (Circular_queue.peek_add_ptr q);
+  Alcotest.(check bool) "add flag set" true (Circular_queue.peek_add_repair_flag q);
+  (* A second full submission sees the flag: rejected, no second repair. *)
+  (match Circular_queue.enqueue q (ctx ()) (entry 4) with
+  | Circular_queue.Rejected { add_repair = None } -> ()
+  | _ -> Alcotest.fail "second rejection must not repair");
+  (* Repair lands: pointer restored, flag cleared. *)
+  Circular_queue.apply_repair_add q (ctx ()) ~target:repair_target;
+  Alcotest.(check int) "add_ptr restored" 2 (Circular_queue.peek_add_ptr q);
+  Alcotest.(check bool) "flag cleared" false (Circular_queue.peek_add_repair_flag q);
+  (* Queue still serves its 2 tasks, in order. *)
+  Alcotest.(check int) "head" 1 (tid (dequeue_ok q));
+  Alcotest.(check int) "second" 2 (tid (dequeue_ok q))
+
+let test_enqueue_while_add_repair_pending_rejected () =
+  let q = Circular_queue.create ~name:"q" ~capacity:2 () in
+  fill q 2;
+  ignore (Circular_queue.enqueue q (ctx ()) (entry 3));
+  (* Drain one slot: space exists, but the pending repair makes the
+     pointer untrustworthy — submissions are still bounced (§4.7.1). *)
+  ignore (dequeue_ok q);
+  (match Circular_queue.enqueue q (ctx ()) (entry 4) with
+  | Circular_queue.Rejected { add_repair = None } -> ()
+  | _ -> Alcotest.fail "must reject while add repair pending");
+  Circular_queue.apply_repair_add q (ctx ()) ~target:2;
+  (* Now the slot is usable again. *)
+  ignore (enqueue_ok q (entry 5));
+  Alcotest.(check int) "drains old then new" 2 (tid (dequeue_ok q));
+  Alcotest.(check int) "new task" 5 (tid (dequeue_ok q))
+
+(* -- stamp validity check -------------------------------------------------------- *)
+
+let test_stale_slot_not_returned () =
+  let q = Circular_queue.create ~name:"q" ~capacity:2 () in
+  fill q 2;
+  (* Inflate add_ptr via a full-queue mistake; do NOT apply the repair yet. *)
+  ignore (Circular_queue.enqueue q (ctx ()) (entry 3));
+  (* Drain both real tasks. *)
+  ignore (dequeue_ok q);
+  ignore (dequeue_ok q);
+  (* retrieve_ptr = 2 < add_ptr = 3, but slot 2 mod 2 holds stale data;
+     the stamp check must catch it. *)
+  match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Empty -> ()
+  | Circular_queue.Dequeued _ -> Alcotest.fail "returned a stale slot!"
+  | Circular_queue.Repair_pending -> Alcotest.fail "unexpected repair state"
+
+(* -- swapping (§5.1) --------------------------------------------------------------- *)
+
+let test_swap_exchanges_entries () =
+  let q = Circular_queue.create ~name:"q" ~capacity:8 () in
+  fill q 3;
+  (* Swap a travelling task with the task at index 1. *)
+  let travelling = entry ~skip:5 42 in
+  (match Circular_queue.swap q (ctx ()) ~index:1 travelling with
+  | Circular_queue.Swapped popped -> Alcotest.(check int) "old occupant" 2 (tid popped)
+  | Circular_queue.Slot_invalid -> Alcotest.fail "slot should be valid");
+  (* Pointers untouched. *)
+  Alcotest.(check int) "retrieve_ptr unchanged" 0 (Circular_queue.peek_retrieve_ptr q);
+  Alcotest.(check int) "add_ptr unchanged" 3 (Circular_queue.peek_add_ptr q);
+  (* Queue order now 1, 42, 3; skip counter preserved through registers. *)
+  Alcotest.(check int) "head" 1 (tid (dequeue_ok q));
+  let swapped_in = dequeue_ok q in
+  Alcotest.(check int) "swapped task" 42 (tid swapped_in);
+  Alcotest.(check int) "skip preserved" 5 swapped_in.Entry.skip;
+  Alcotest.(check int) "tail" 3 (tid (dequeue_ok q))
+
+let test_swap_invalid_slot () =
+  let q = Circular_queue.create ~name:"q" ~capacity:4 () in
+  fill q 1;
+  (match Circular_queue.swap q (ctx ()) ~index:3 (entry 9) with
+  | Circular_queue.Slot_invalid -> ()
+  | Circular_queue.Swapped _ -> Alcotest.fail "empty slot must be invalid");
+  (* The probe must not corrupt the pending task. *)
+  Alcotest.(check int) "pending task intact" 1 (tid (dequeue_ok q))
+
+let test_read_pointers () =
+  let q = Circular_queue.create ~name:"q" ~capacity:4 () in
+  fill q 2;
+  ignore (dequeue_ok q);
+  let add_ptr, retrieve_ptr = Circular_queue.read_pointers q (ctx ()) in
+  Alcotest.(check (pair int int)) "pointers" (2, 1) (add_ptr, retrieve_ptr)
+
+let test_peek_entry () =
+  let q = Circular_queue.create ~name:"q" ~capacity:4 () in
+  fill q 1;
+  (match Circular_queue.peek_entry q ~index:0 with
+  | Some e -> Alcotest.(check int) "peek sees task" 1 (tid e)
+  | None -> Alcotest.fail "expected entry");
+  Alcotest.(check bool) "empty slot peeks None" true
+    (Circular_queue.peek_entry q ~index:1 = None)
+
+let test_register_bits_accounting () =
+  let q = Circular_queue.create ~name:"q" ~capacity:100 () in
+  (* 11 word arrays + stamp array, each 100 cells, plus 4 single cells. *)
+  Alcotest.(check int) "register bits" ((12 * 100 * 32) + (4 * 32))
+    (Circular_queue.register_bits q)
+
+let test_create_validation () =
+  match Circular_queue.create ~name:"bad" ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must raise"
+
+(* -- model-based property test ---------------------------------------------------- *)
+
+(* Drive random enqueue/dequeue sequences (applying requested repairs
+   immediately, as the pipeline's recirculation would within ~1us) and
+   compare against a plain FIFO model. *)
+let prop_matches_fifo_model =
+  QCheck.Test.make ~name:"circular queue behaves as a bounded FIFO under repairs"
+    ~count:300
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 200) bool))
+    (fun (capacity, ops) ->
+      let q = Circular_queue.create ~name:"model" ~capacity () in
+      let model = Queue.create () in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun is_enqueue ->
+          if is_enqueue then begin
+            incr next;
+            let e = entry !next in
+            match Circular_queue.enqueue q (ctx ()) e with
+            | Circular_queue.Enqueued { retrieve_repair; _ } ->
+              if Queue.length model >= capacity then ok := false;
+              Queue.add !next model;
+              (match retrieve_repair with
+              | Some target -> Circular_queue.apply_repair_retrieve q (ctx ()) ~target
+              | None -> ())
+            | Circular_queue.Rejected { add_repair } -> (
+              if Queue.length model < capacity then ok := false;
+              match add_repair with
+              | Some target -> Circular_queue.apply_repair_add q (ctx ()) ~target
+              | None -> ())
+          end
+          else begin
+            match Circular_queue.dequeue q (ctx ()) with
+            | Circular_queue.Dequeued { entry = e; _ } -> (
+              match Queue.take_opt model with
+              | Some expected -> if tid e <> expected then ok := false
+              | None -> ok := false)
+            | Circular_queue.Empty -> if not (Queue.is_empty model) then ok := false
+            | Circular_queue.Repair_pending -> ok := false
+          end)
+        ops;
+      !ok && Circular_queue.occupancy q = Queue.length model)
+
+(* With repairs applied immediately, every data-path op leaves the
+   registers consistent: pointers never differ by more than capacity. *)
+let prop_pointer_invariant =
+  QCheck.Test.make ~name:"pointer gap never exceeds capacity (repairs applied)"
+    ~count:200
+    QCheck.(pair (int_range 1 6) (list_of_size (Gen.int_range 1 100) bool))
+    (fun (capacity, ops) ->
+      let q = Circular_queue.create ~name:"inv" ~capacity () in
+      let ok = ref true in
+      List.iter
+        (fun is_enqueue ->
+          (if is_enqueue then begin
+             match Circular_queue.enqueue q (ctx ()) (entry 1) with
+             | Circular_queue.Enqueued { retrieve_repair = Some target; _ } ->
+               Circular_queue.apply_repair_retrieve q (ctx ()) ~target
+             | Circular_queue.Rejected { add_repair = Some target } ->
+               Circular_queue.apply_repair_add q (ctx ()) ~target
+             | Circular_queue.Enqueued { retrieve_repair = None; _ }
+             | Circular_queue.Rejected { add_repair = None } ->
+               ()
+           end
+           else ignore (Circular_queue.dequeue q (ctx ())));
+          let gap =
+            Circular_queue.peek_add_ptr q - Circular_queue.peek_retrieve_ptr q
+          in
+          if gap > capacity then ok := false)
+        ops;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "FIFO order" `Quick test_fifo_order;
+    Alcotest.test_case "entry payload preserved" `Quick test_entry_payload_preserved;
+    Alcotest.test_case "wraparound slot reuse" `Quick test_wraparound;
+    Alcotest.test_case "empty dequeue + lazy retrieve repair" `Quick
+      test_empty_dequeue_and_lazy_repair;
+    Alcotest.test_case "single retrieve repair in flight" `Quick
+      test_only_one_retrieve_repair;
+    Alcotest.test_case "full rejection + add repair" `Quick test_full_rejection_and_repair;
+    Alcotest.test_case "reject while add repair pending" `Quick
+      test_enqueue_while_add_repair_pending_rejected;
+    Alcotest.test_case "stale slot caught by stamp" `Quick test_stale_slot_not_returned;
+    Alcotest.test_case "swap exchanges entries" `Quick test_swap_exchanges_entries;
+    Alcotest.test_case "swap into invalid slot" `Quick test_swap_invalid_slot;
+    Alcotest.test_case "read_pointers" `Quick test_read_pointers;
+    Alcotest.test_case "peek_entry" `Quick test_peek_entry;
+    Alcotest.test_case "register bits accounting" `Quick test_register_bits_accounting;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    QCheck_alcotest.to_alcotest prop_matches_fifo_model;
+    QCheck_alcotest.to_alcotest prop_pointer_invariant;
+  ]

@@ -1,0 +1,265 @@
+(* Focused tests of the host components: client job splitting and
+   retries, executor pull loop and no-op backoff, worker demux, and the
+   metrics correlation layer. *)
+
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+open Draconis
+
+let no_jitter = { Fabric.default_config with host_to_switch = Time.us 1; jitter = 0 }
+
+let make_env () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:3 in
+  let fabric = Fabric.create ~config:no_jitter engine rng in
+  let metrics = Metrics.create engine in
+  (engine, fabric, metrics)
+
+let busy_task n =
+  Task.make ~uid:0 ~jid:0 ~tid:n ~fn_id:Task.Fn.busy_loop ~fn_par:(Time.us 10) ()
+
+(* -- Client ------------------------------------------------------------------ *)
+
+let test_client_splits_large_jobs () =
+  let engine, fabric, metrics = make_env () in
+  let packets = ref [] in
+  Fabric.register fabric Addr.Switch (fun env -> packets := env.Fabric.payload :: !packets);
+  let client =
+    Client.create ~config:(Client.default_config ~host:5 ~uid:7) ~fabric ~metrics ()
+  in
+  let n = Codec.max_tasks_per_packet + 10 in
+  ignore (Client.submit_job client (List.init n busy_task));
+  Engine.run engine;
+  let sizes =
+    List.filter_map
+      (function Message.Job_submission { tasks; _ } -> Some (List.length tasks) | _ -> None)
+      !packets
+  in
+  Alcotest.(check int) "two packets" 2 (List.length sizes);
+  Alcotest.(check int) "all tasks shipped" n (List.fold_left ( + ) 0 sizes);
+  List.iter
+    (fun size ->
+      Alcotest.(check bool) "each within MTU" true (size <= Codec.max_tasks_per_packet))
+    sizes;
+  Alcotest.(check int) "outstanding tracked" n (Client.outstanding client)
+
+let test_client_rewrites_ids () =
+  let engine, fabric, metrics = make_env () in
+  let seen = ref [] in
+  Fabric.register fabric Addr.Switch (fun env ->
+      match env.Fabric.payload with
+      | Message.Job_submission { uid; jid; tasks; _ } ->
+        List.iter (fun (t : Task.t) -> seen := (uid, jid, t.id) :: !seen) tasks
+      | _ -> ());
+  let client =
+    Client.create ~config:(Client.default_config ~host:5 ~uid:7) ~fabric ~metrics ()
+  in
+  let jid0 = Client.submit_job client [ busy_task 99 ] in
+  let jid1 = Client.submit_job client [ busy_task 99; busy_task 99 ] in
+  Engine.run engine;
+  Alcotest.(check bool) "jids increase" true (jid1 = jid0 + 1);
+  List.iter
+    (fun (uid, jid, (id : Task.id)) ->
+      Alcotest.(check int) "uid stamped" 7 uid;
+      Alcotest.(check bool) "task id matches packet header" true
+        (id.uid = 7 && id.jid = jid))
+    !seen
+
+let test_client_queue_full_retry () =
+  let engine, fabric, metrics = make_env () in
+  let submissions = ref 0 in
+  (* A "switch" that bounces the first submission and accepts the rest. *)
+  Fabric.register fabric Addr.Switch (fun env ->
+      match env.Fabric.payload with
+      | Message.Job_submission { client; uid; jid; tasks } ->
+        incr submissions;
+        if !submissions = 1 then
+          Fabric.send fabric ~src:Addr.Switch ~dst:client
+            (Message.Queue_full { uid; jid; tasks })
+      | _ -> ());
+  let client =
+    Client.create ~config:(Client.default_config ~host:5 ~uid:0) ~fabric ~metrics ()
+  in
+  ignore (Client.submit_job client [ busy_task 1; busy_task 2 ]);
+  Engine.run engine;
+  Alcotest.(check int) "retried once" 2 !submissions;
+  Alcotest.(check int) "bounce counted" 2 (Client.queue_full_bounces client)
+
+let test_client_completion_dedup () =
+  let engine, fabric, metrics = make_env () in
+  Fabric.register fabric Addr.Switch (fun _ -> ());
+  let client =
+    Client.create ~config:(Client.default_config ~host:5 ~uid:0) ~fabric ~metrics ()
+  in
+  let jid = Client.submit_job client [ busy_task 0 ] in
+  let completion =
+    Message.Task_completion
+      {
+        task_id = { uid = 0; jid; tid = 0 };
+        client = Addr.Host 5;
+        info = { exec_addr = Addr.Host 0; exec_port = 0; exec_rsrc = 0; exec_node = 0 };
+        rtrv_prio = 1;
+      }
+  in
+  Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 5) completion;
+  Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 5) completion;
+  Engine.run engine;
+  Alcotest.(check int) "duplicate completion counted once" 1 (Client.completions client);
+  Alcotest.(check int) "metrics counted once" 1 (Metrics.completed metrics)
+
+(* -- Executor ------------------------------------------------------------------ *)
+
+let exec_config ?(watchdog = None) () =
+  {
+    Executor.node = 0;
+    port = 2;
+    rsrc = 0xF;
+    noop_retry = Time.us 4;
+    fn_model = Fn_model.default;
+    scheduler = Addr.Switch;
+    watchdog;
+  }
+
+let test_executor_pull_loop () =
+  let engine, fabric, _ = make_env () in
+  let requests = ref 0 in
+  let completions = ref [] in
+  Fabric.register fabric Addr.Switch (fun env ->
+      match env.Fabric.payload with
+      | Message.Task_request { info; _ } ->
+        incr requests;
+        Alcotest.(check int) "request carries port" 2 info.exec_port;
+        if !requests = 1 then
+          Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 0)
+            (Message.Task_assignment
+               { task = busy_task 1; client = Addr.Host 9; port = 2 })
+      | Message.Task_completion { task_id; rtrv_prio; _ } ->
+        completions := (task_id.tid, rtrv_prio) :: !completions
+      | _ -> ());
+  let exec = Executor.create ~config:(exec_config ()) ~fabric () in
+  (* Route switch->host traffic to the executor directly. *)
+  Fabric.register fabric (Addr.Host 0) (fun env -> Executor.deliver exec env.Fabric.payload);
+  Executor.start exec;
+  Engine.run ~until:(Time.us 100) engine;
+  Alcotest.(check (list (pair int int))) "completed with piggyback prio" [ (1, 1) ]
+    !completions;
+  Alcotest.(check int) "one task executed" 1 (Executor.tasks_executed exec);
+  Alcotest.(check int) "busy time recorded" (Time.us 10) (Executor.busy_time exec)
+
+let test_executor_noop_backoff () =
+  let engine, fabric, _ = make_env () in
+  let request_times = ref [] in
+  Fabric.register fabric Addr.Switch (fun env ->
+      match env.Fabric.payload with
+      | Message.Task_request _ ->
+        request_times := Engine.now engine :: !request_times;
+        Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 0)
+          (Message.Noop_assignment { port = 2 })
+      | _ -> ());
+  let exec = Executor.create ~config:(exec_config ()) ~fabric () in
+  Fabric.register fabric (Addr.Host 0) (fun env -> Executor.deliver exec env.Fabric.payload);
+  Executor.start exec;
+  Engine.run ~until:(Time.us 40) engine;
+  let times = List.rev !request_times in
+  Alcotest.(check bool) "several polls" true (List.length times >= 3);
+  (* Consecutive polls are spaced by RTT + noop_retry (= 6 us here). *)
+  (match times with
+  | t0 :: t1 :: _ -> Alcotest.(check int) "poll period" (Time.us 6) (t1 - t0)
+  | _ -> Alcotest.fail "unreachable");
+  Alcotest.(check int) "nothing executed" 0 (Executor.tasks_executed exec)
+
+let test_executor_watchdog_resends () =
+  let engine, fabric, _ = make_env () in
+  let requests = ref 0 in
+  (* A scheduler that never answers. *)
+  Fabric.register fabric Addr.Switch (fun _ -> incr requests);
+  let exec =
+    Executor.create ~config:(exec_config ~watchdog:(Some (Time.us 50)) ()) ~fabric ()
+  in
+  Fabric.register fabric (Addr.Host 0) (fun env -> Executor.deliver exec env.Fabric.payload);
+  Executor.start exec;
+  Engine.run ~until:(Time.us 220) engine;
+  Alcotest.(check bool) "watchdog re-sent the pull" true (!requests >= 4)
+
+let test_executor_stop () =
+  let engine, fabric, _ = make_env () in
+  let requests = ref 0 in
+  Fabric.register fabric Addr.Switch (fun _ -> incr requests);
+  let exec = Executor.create ~config:(exec_config ()) ~fabric () in
+  Executor.stop exec;
+  Executor.start exec;
+  Engine.run engine;
+  Alcotest.(check int) "stopped executor stays silent" 0 !requests
+
+(* -- Worker demux ----------------------------------------------------------------- *)
+
+let test_worker_routes_by_port () =
+  let engine, fabric, _ = make_env () in
+  Fabric.register fabric Addr.Switch (fun _ -> ());
+  let worker =
+    Worker.create ~node:0 ~executors:4 ~fabric
+      ~make_config:(fun ~port -> { (exec_config ()) with port })
+      ()
+  in
+  Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 0)
+    (Message.Task_assignment { task = busy_task 1; client = Addr.Host 9; port = 2 });
+  (* Out-of-range port must be ignored, not crash. *)
+  Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 0)
+    (Message.Task_assignment { task = busy_task 2; client = Addr.Host 9; port = 9 });
+  Engine.run ~until:(Time.us 50) engine;
+  Alcotest.(check int) "port 2 executed" 1 (Executor.tasks_executed (Worker.executor worker 2));
+  Alcotest.(check int) "port 0 idle" 0 (Executor.tasks_executed (Worker.executor worker 0));
+  Alcotest.(check int) "worker total" 1 (Worker.tasks_executed worker)
+
+(* -- Metrics ---------------------------------------------------------------------- *)
+
+let test_metrics_correlation () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create engine in
+  let id : Task.id = { uid = 1; jid = 2; tid = 3 } in
+  let task = Task.make ~uid:1 ~jid:2 ~tid:3 ~fn_id:1 ~fn_par:1 () in
+  Metrics.note_submit metrics id;
+  ignore
+    (Engine.schedule engine ~after:(Time.us 7) (fun () ->
+         Metrics.note_exec_start metrics task ~node:0));
+  Engine.run engine;
+  let delays = Metrics.scheduling_delay metrics in
+  Alcotest.(check int) "delay = start - submit" (Time.us 7)
+    (Draconis_stats.Sampler.percentile delays 50.0);
+  (* Re-submission does not reset the clock. *)
+  Metrics.note_submit metrics id;
+  Alcotest.(check int) "first submission wins" 1 (Metrics.submitted metrics)
+
+let test_metrics_queueing_by_level () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create engine in
+  let id : Task.id = { uid = 0; jid = 0; tid = 1 } in
+  Metrics.note_enqueue metrics id ~level:2;
+  ignore
+    (Engine.schedule engine ~after:(Time.us 30) (fun () ->
+         Metrics.note_assign metrics id ~requested_at:(Time.us 25)));
+  Engine.run engine;
+  let q = Metrics.queueing_delay metrics ~level:2 in
+  Alcotest.(check int) "queueing delay" (Time.us 30)
+    (Draconis_stats.Sampler.percentile q 50.0);
+  let g = Metrics.get_task_delay metrics ~level:2 in
+  Alcotest.(check int) "get_task delay" (Time.us 5)
+    (Draconis_stats.Sampler.percentile g 50.0);
+  Alcotest.(check int) "other level empty" 0
+    (Draconis_stats.Sampler.count (Metrics.queueing_delay metrics ~level:0))
+
+let suite =
+  [
+    Alcotest.test_case "client splits large jobs" `Quick test_client_splits_large_jobs;
+    Alcotest.test_case "client rewrites task ids" `Quick test_client_rewrites_ids;
+    Alcotest.test_case "client queue-full retry" `Quick test_client_queue_full_retry;
+    Alcotest.test_case "client dedups completions" `Quick test_client_completion_dedup;
+    Alcotest.test_case "executor pull loop" `Quick test_executor_pull_loop;
+    Alcotest.test_case "executor no-op backoff" `Quick test_executor_noop_backoff;
+    Alcotest.test_case "executor watchdog" `Quick test_executor_watchdog_resends;
+    Alcotest.test_case "executor stop" `Quick test_executor_stop;
+    Alcotest.test_case "worker routes by port" `Quick test_worker_routes_by_port;
+    Alcotest.test_case "metrics correlation" `Quick test_metrics_correlation;
+    Alcotest.test_case "metrics per-level queueing" `Quick test_metrics_queueing_by_level;
+  ]

@@ -1,0 +1,188 @@
+(* Tests for the experiment harness: the unified system handles, the
+   runner, and paper-shape regression checks that pin the headline
+   qualitative results of the evaluation. *)
+
+open Draconis_sim
+open Draconis_workload
+module H = Draconis_harness
+
+let small_spec =
+  { H.Systems.workers = 4; executors_per_worker = 4; clients = 1; seed = 7 }
+
+let driver_of kind ~rate ~horizon = H.Exp_common.synthetic_driver kind ~rate_tps:rate ~horizon
+
+let run_system system kind ~rate ~horizon =
+  H.Runner.run system ~driver:(driver_of kind ~rate ~horizon) ~load_tps:rate ~horizon ()
+
+(* -- plumbing --------------------------------------------------------------- *)
+
+let test_capacity_and_loads () =
+  let capacity = H.Exp_common.capacity_tps Synthetic.Fixed_500us ~executors:160 in
+  Alcotest.(check (float 1.0)) "160 executors / 500us" 320_000.0 capacity;
+  match H.Exp_common.loads Synthetic.Fixed_100us ~executors:10 ~utilizations:[ 0.5 ] with
+  | [ load ] -> Alcotest.(check (float 1.0)) "half of 100k" 50_000.0 load
+  | _ -> Alcotest.fail "expected one load"
+
+let test_horizon_for_clamps () =
+  let h = H.Exp_common.horizon_for ~rate_tps:1e9 () in
+  Alcotest.(check int) "min clamp" (Time.ms 50) h;
+  let h = H.Exp_common.horizon_for ~rate_tps:1.0 () in
+  Alcotest.(check int) "max clamp" (Time.ms 400) h
+
+let test_runner_outcome_consistency () =
+  let system = H.Systems.draconis small_spec in
+  let o = run_system system Synthetic.Fixed_100us ~rate:40_000.0 ~horizon:(Time.ms 20) in
+  Alcotest.(check bool) "submitted > 0" true (o.submitted > 0);
+  Alcotest.(check bool) "drained" true o.drained;
+  Alcotest.(check int) "completed all" o.submitted o.completed;
+  Alcotest.(check bool) "p50 <= p99" true (o.sched_p50 <= o.sched_p99);
+  Alcotest.(check string) "name" "Draconis" o.system
+
+let test_all_systems_run () =
+  List.iter
+    (fun make ->
+      let system : H.Systems.running = make () in
+      let o =
+        run_system system Synthetic.Fixed_100us ~rate:20_000.0 ~horizon:(Time.ms 10)
+      in
+      if not o.drained then Alcotest.failf "%s did not drain" o.system;
+      if o.completed <> o.submitted then Alcotest.failf "%s lost tasks" o.system)
+    [
+      (fun () -> H.Systems.draconis small_spec);
+      (fun () -> H.Systems.r2p2 ~k:3 ~client_timeout:(Time.ms 2) small_spec);
+      (fun () -> H.Systems.r2p2 ~k:1 ~client_timeout:(Time.ms 2) small_spec);
+      (fun () -> H.Systems.racksched small_spec);
+      (fun () -> H.Systems.sparrow ~schedulers:1 small_spec);
+      (fun () -> H.Systems.central_server Draconis_baselines.Central_server.Dpdk small_spec);
+      (fun () -> H.Systems.central_server Draconis_baselines.Central_server.Socket small_spec);
+    ]
+
+(* -- paper-shape regressions (the headline qualitative claims) ---------------- *)
+
+let paper_spec = H.Systems.default_spec
+
+let test_shape_draconis_low_tail_at_moderate_load () =
+  let system = H.Systems.draconis paper_spec in
+  let o = run_system system Synthetic.Fixed_500us ~rate:160_000.0 ~horizon:(Time.ms 80) in
+  (* Paper: ~4.7us p99 below 90% utilization. *)
+  Alcotest.(check bool) "p99 below 15us" true (o.sched_p99 < Time.us 15)
+
+let test_shape_r2p2_3_blocked_at_service_time () =
+  let system = H.Systems.r2p2 ~k:3 ~client_timeout:(Time.ms 2) paper_spec in
+  let o = run_system system Synthetic.Fixed_500us ~rate:200_000.0 ~horizon:(Time.ms 80) in
+  (* Node-level blocking pins the tail near the 500us service time. *)
+  Alcotest.(check bool) "p99 within [250us, 1.5ms]" true
+    (o.sched_p99 > Time.us 250 && o.sched_p99 < Time.us 1500)
+
+let test_shape_r2p2_1_drops_under_overload () =
+  let system = H.Systems.r2p2 ~k:1 ~client_timeout:(Time.us 500) paper_spec in
+  let o = run_system system Synthetic.Fixed_250us ~rate:610_000.0 ~horizon:(Time.ms 60) in
+  Alcotest.(check bool) "recirculation storm" true (o.recirc_fraction > 0.3);
+  Alcotest.(check bool) "tasks dropped" true (o.recirc_drops > 0)
+
+let test_shape_draconis_beats_r2p2_tail () =
+  let rate = 200_000.0 and horizon = Time.ms 60 in
+  let d = run_system (H.Systems.draconis paper_spec) Synthetic.Fixed_500us ~rate ~horizon in
+  let r =
+    run_system
+      (H.Systems.r2p2 ~k:3 ~client_timeout:(Time.ms 2) paper_spec)
+      Synthetic.Fixed_500us ~rate ~horizon
+  in
+  Alcotest.(check bool) "draconis p99 at least 10x lower" true
+    (r.sched_p99 > 10 * d.sched_p99)
+
+let test_shape_racksched_overhead_floor () =
+  let rate = 64_000.0 and horizon = Time.ms 60 in
+  let d = run_system (H.Systems.draconis paper_spec) Synthetic.Fixed_500us ~rate ~horizon in
+  let r = run_system (H.Systems.racksched paper_spec) Synthetic.Fixed_500us ~rate ~horizon in
+  (* RackSched pays the intra-node dispatch even at 20% load. *)
+  Alcotest.(check bool) "racksched above draconis" true (r.sched_p50 > d.sched_p50)
+
+let test_shape_socket_server_saturates () =
+  let system =
+    H.Systems.central_server Draconis_baselines.Central_server.Socket paper_spec
+  in
+  (* 200 ktps >> the ~160 ktps socket ceiling: must fail to drain and
+     queue severely. *)
+  let o =
+    H.Runner.run system
+      ~driver:(driver_of Synthetic.Fixed_500us ~rate:200_000.0 ~horizon:(Time.ms 60))
+      ~load_tps:200_000.0 ~horizon:(Time.ms 60) ~drain:(Time.ms 30) ()
+  in
+  Alcotest.(check bool) "overloaded socket server" true
+    ((not o.drained) || o.sched_p99 > Time.ms 1)
+
+let test_shape_throughput_ordering () =
+  (* No-op decision throughput: Draconis >> DPDK server > socket server. *)
+  let feed_rate make =
+    let system : H.Systems.running = make () in
+    let horizon = Time.ms 4 in
+    (* Closed-loop no-op feeding, as in Fig 5b. *)
+    let submitted = ref 0 in
+    let submit n =
+      let open Draconis_proto in
+      let rec go n =
+        if n > 0 then begin
+          let chunk = min n Codec.max_tasks_per_packet in
+          system.H.Systems.submit
+            (List.init chunk (fun tid ->
+                 Task.make ~uid:0 ~jid:0 ~tid ~fn_id:Task.Fn.noop ~fn_par:0 ()));
+          submitted := !submitted + chunk;
+          go (n - chunk)
+        end
+      in
+      go n
+    in
+    submit 1024;
+    Engine.every system.H.Systems.engine ~interval:(Time.us 10) ~until:horizon (fun () ->
+        let deficit =
+          Draconis.Metrics.started system.H.Systems.metrics + 1024 - !submitted
+        in
+        if deficit > 0 then submit deficit);
+    Engine.run ~until:horizon system.H.Systems.engine;
+    Draconis_stats.Meter.rate_over
+      (Draconis.Metrics.decisions system.H.Systems.metrics)
+      ~duration:horizon
+  in
+  let fat_recirc =
+    {
+      Draconis_p4.Pipeline.default_config with
+      recirc_slot = Time.ns 10;
+      recirc_queue_limit = 8192;
+    }
+  in
+  let draconis =
+    feed_rate (fun () -> H.Systems.draconis ~pipeline_config:fat_recirc small_spec)
+  in
+  let dpdk =
+    feed_rate (fun () ->
+        H.Systems.central_server Draconis_baselines.Central_server.Dpdk small_spec)
+  in
+  let socket =
+    feed_rate (fun () ->
+        H.Systems.central_server Draconis_baselines.Central_server.Socket small_spec)
+  in
+  Alcotest.(check bool) "draconis >> dpdk" true (draconis > 2.0 *. dpdk);
+  Alcotest.(check bool) "dpdk > socket" true (dpdk > socket)
+
+let suite =
+  [
+    Alcotest.test_case "capacity and load grid" `Quick test_capacity_and_loads;
+    Alcotest.test_case "horizon clamps" `Quick test_horizon_for_clamps;
+    Alcotest.test_case "runner outcome consistency" `Quick test_runner_outcome_consistency;
+    Alcotest.test_case "all systems run and drain" `Slow test_all_systems_run;
+    Alcotest.test_case "shape: draconis low tail" `Slow
+      test_shape_draconis_low_tail_at_moderate_load;
+    Alcotest.test_case "shape: r2p2-3 node-level blocking" `Slow
+      test_shape_r2p2_3_blocked_at_service_time;
+    Alcotest.test_case "shape: r2p2-1 drops at overload" `Slow
+      test_shape_r2p2_1_drops_under_overload;
+    Alcotest.test_case "shape: draconis beats r2p2 tail" `Slow
+      test_shape_draconis_beats_r2p2_tail;
+    Alcotest.test_case "shape: racksched overhead floor" `Slow
+      test_shape_racksched_overhead_floor;
+    Alcotest.test_case "shape: socket server saturates" `Slow
+      test_shape_socket_server_saturates;
+    Alcotest.test_case "shape: no-op throughput ordering" `Slow
+      test_shape_throughput_ordering;
+  ]

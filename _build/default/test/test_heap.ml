@@ -1,0 +1,82 @@
+(* Unit and property tests for the binary heap backing the event queue. *)
+
+open Draconis_sim
+
+let make () = Heap.create ~compare:Stdlib.compare ()
+
+let test_empty () =
+  let heap = make () in
+  Alcotest.(check int) "length" 0 (Heap.length heap);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty heap);
+  Alcotest.check_raises "pop raises" Not_found (fun () -> ignore (Heap.pop heap));
+  Alcotest.check_raises "peek raises" Not_found (fun () -> ignore (Heap.peek heap))
+
+let test_ordering () =
+  let heap = make () in
+  List.iter (fun k -> Heap.push heap k (10 * k)) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "length" 7 (Heap.length heap);
+  Alcotest.(check (pair int int)) "peek min" (1, 10) (Heap.peek heap);
+  let keys = ref [] in
+  Heap.drain heap (fun k _ -> keys := k :: !keys);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] (List.rev !keys);
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty heap)
+
+let test_clear () =
+  let heap = make () in
+  for i = 0 to 9 do
+    Heap.push heap i i
+  done;
+  Heap.clear heap;
+  Alcotest.(check int) "cleared" 0 (Heap.length heap)
+
+let test_interleaved () =
+  let heap = make () in
+  Heap.push heap 3 30;
+  Heap.push heap 1 10;
+  Alcotest.(check (pair int int)) "pop 1" (1, 10) (Heap.pop heap);
+  Heap.push heap 2 20;
+  Heap.push heap 0 0;
+  Alcotest.(check (pair int int)) "pop 0" (0, 0) (Heap.pop heap);
+  Alcotest.(check (pair int int)) "pop 2" (2, 20) (Heap.pop heap);
+  Alcotest.(check (pair int int)) "pop 3" (3, 30) (Heap.pop heap)
+
+let test_growth () =
+  let heap = make () in
+  for i = 1000 downto 1 do
+    Heap.push heap i i
+  done;
+  Alcotest.(check int) "length after growth" 1000 (Heap.length heap);
+  Alcotest.(check (pair int int)) "min after growth" (1, 1) (Heap.peek heap)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops any int list in sorted order" ~count:200
+    QCheck.(list int)
+    (fun keys ->
+      let heap = make () in
+      List.iter (fun k -> Heap.push heap k ()) keys;
+      let out = ref [] in
+      Heap.drain heap (fun k () -> out := k :: !out);
+      List.rev !out = List.sort compare keys)
+
+let prop_heap_partial =
+  QCheck.Test.make ~name:"push/pop prefix matches sorted prefix" ~count:200
+    QCheck.(pair (list small_int) small_int)
+    (fun (keys, take) ->
+      QCheck.assume (keys <> []);
+      let take = take mod List.length keys in
+      let heap = make () in
+      List.iter (fun k -> Heap.push heap k ()) keys;
+      let popped = List.init take (fun _ -> fst (Heap.pop heap)) in
+      let expected = List.filteri (fun i _ -> i < take) (List.sort compare keys) in
+      popped = expected)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "growth past initial capacity" `Quick test_growth;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_partial;
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "draconis"
+    [
+      ("heap", Test_heap.suite);
+      ("sim", Test_sim.suite);
+      ("trace", Test_trace.suite);
+      ("stats", Test_stats.suite);
+      ("net", Test_net.suite);
+      ("p4", Test_p4.suite);
+      ("layout", Test_layout.suite);
+      ("proto", Test_proto.suite);
+      ("table", Test_table.suite);
+      ("param-fetch", Test_param_fetch.suite);
+      ("circular-queue", Test_circular_queue.suite);
+      ("wraparound", Test_wraparound.suite);
+      ("switch-program", Test_switch_program.suite);
+      ("policy", Test_policy.suite);
+      ("client-executor", Test_client_executor.suite);
+      ("cluster", Test_cluster.suite);
+      ("baselines", Test_baselines.suite);
+      ("fault-tolerance", Test_fault_tolerance.suite);
+      ("workload", Test_workload.suite);
+      ("trace-file", Test_trace_file.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,237 @@
+(* Tests for the network substrate: Addr, Topology, Fabric, Cpu. *)
+
+open Draconis_sim
+open Draconis_net
+
+(* -- Addr -------------------------------------------------------------------- *)
+
+let test_addr () =
+  Alcotest.(check bool) "switch = switch" true (Addr.equal Addr.Switch Addr.Switch);
+  Alcotest.(check bool) "host eq" true (Addr.equal (Addr.Host 3) (Addr.Host 3));
+  Alcotest.(check bool) "host neq" false (Addr.equal (Addr.Host 3) (Addr.Host 4));
+  Alcotest.(check bool) "switch != host" false (Addr.equal Addr.Switch (Addr.Host 0));
+  Alcotest.(check string) "to_string" "host-7" (Addr.to_string (Addr.Host 7));
+  Alcotest.(check int) "host_id" 7 (Addr.host_id (Addr.Host 7));
+  Alcotest.(check bool) "is_switch" true (Addr.is_switch Addr.Switch);
+  Alcotest.check_raises "host_id of switch"
+    (Invalid_argument "Addr.host_id: switch has no host id") (fun () ->
+      ignore (Addr.host_id Addr.Switch))
+
+let test_addr_ordering () =
+  Alcotest.(check int) "switch sorts first" (-1) (Addr.compare Addr.Switch (Addr.Host 0));
+  Alcotest.(check bool) "host order" true (Addr.compare (Addr.Host 1) (Addr.Host 2) < 0)
+
+(* -- Topology ------------------------------------------------------------------ *)
+
+let test_topology_even_split () =
+  let topo = Topology.create ~nodes:9 ~racks:3 in
+  Alcotest.(check (list int)) "rack 0" [ 0; 1; 2 ] (Topology.hosts_in_rack topo 0);
+  Alcotest.(check (list int)) "rack 1" [ 3; 4; 5 ] (Topology.hosts_in_rack topo 1);
+  Alcotest.(check (list int)) "rack 2" [ 6; 7; 8 ] (Topology.hosts_in_rack topo 2);
+  Alcotest.(check bool) "same rack" true (Topology.same_rack topo 0 2);
+  Alcotest.(check bool) "different rack" false (Topology.same_rack topo 2 3)
+
+let test_topology_uneven () =
+  let topo = Topology.create ~nodes:10 ~racks:3 in
+  let sizes =
+    List.map (fun r -> List.length (Topology.hosts_in_rack topo r)) [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "all nodes covered" 10 (List.fold_left ( + ) 0 sizes);
+  List.iter
+    (fun size -> Alcotest.(check bool) "balanced" true (size >= 3 && size <= 4))
+    sizes
+
+let test_topology_validation () =
+  Alcotest.check_raises "zero racks"
+    (Invalid_argument "Topology.create: need 1 <= racks <= nodes") (fun () ->
+      ignore (Topology.create ~nodes:4 ~racks:0));
+  Alcotest.check_raises "more racks than nodes"
+    (Invalid_argument "Topology.create: need 1 <= racks <= nodes") (fun () ->
+      ignore (Topology.create ~nodes:2 ~racks:3))
+
+let prop_topology_partition =
+  QCheck.Test.make ~name:"racks partition the nodes" ~count:100
+    QCheck.(pair (int_range 1 64) (int_range 1 64))
+    (fun (nodes, racks) ->
+      QCheck.assume (racks <= nodes);
+      let topo = Topology.create ~nodes ~racks in
+      let total =
+        List.fold_left
+          (fun acc r -> acc + List.length (Topology.hosts_in_rack topo r))
+          0
+          (List.init racks Fun.id)
+      in
+      total = nodes
+      && List.for_all
+           (fun h ->
+             let r = Topology.rack_of topo h in
+             r >= 0 && r < racks)
+           (List.init nodes Fun.id))
+
+(* -- Fabric ---------------------------------------------------------------------- *)
+
+let make_fabric ?config () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:5 in
+  (engine, Fabric.create ?config engine rng)
+
+let no_jitter = { Fabric.default_config with host_to_switch = Time.us 1; jitter = 0 }
+
+let test_fabric_delivery_latency () =
+  let engine, fabric = make_fabric ~config:no_jitter () in
+  let delivered_at = ref (-1) in
+  Fabric.register fabric (Addr.Host 1) (fun env ->
+      Alcotest.(check string) "payload" "hello" env.Fabric.payload;
+      Alcotest.(check bool) "src" true (Addr.equal env.Fabric.src Addr.Switch);
+      delivered_at := Engine.now engine);
+  Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 1) "hello";
+  Engine.run engine;
+  Alcotest.(check int) "one-way latency" (Time.us 1) !delivered_at;
+  Alcotest.(check int) "delivered counter" 1 (Fabric.delivered fabric)
+
+let test_fabric_host_to_host_two_hops () =
+  let engine, fabric = make_fabric ~config:no_jitter () in
+  let delivered_at = ref (-1) in
+  Fabric.register fabric (Addr.Host 2) (fun _ -> delivered_at := Engine.now engine);
+  Fabric.send fabric ~src:(Addr.Host 1) ~dst:(Addr.Host 2) "x";
+  Engine.run engine;
+  Alcotest.(check int) "two-hop latency" (Time.us 2) !delivered_at
+
+let test_fabric_unregistered () =
+  let engine, fabric = make_fabric ~config:no_jitter () in
+  Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 9) "lost";
+  Engine.run engine;
+  Alcotest.(check int) "undeliverable" 1 (Fabric.undeliverable fabric)
+
+let test_fabric_loss () =
+  let engine, fabric =
+    make_fabric ~config:{ no_jitter with loss = 1.0 } ()
+  in
+  let got = ref 0 in
+  Fabric.register fabric (Addr.Host 1) (fun _ -> incr got);
+  for _ = 1 to 50 do
+    Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 1) "drop me"
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all lost" 0 !got;
+  Alcotest.(check int) "lost counter" 50 (Fabric.lost fabric)
+
+let test_fabric_self_send_rejected () =
+  let _, fabric = make_fabric () in
+  match Fabric.send fabric ~src:(Addr.Host 1) ~dst:(Addr.Host 1) "loop" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "self-send must raise"
+
+let test_fabric_jitter_bounded () =
+  let engine, fabric =
+    make_fabric ~config:{ no_jitter with jitter = Time.ns 200 } ()
+  in
+  let latencies = ref [] in
+  Fabric.register fabric (Addr.Host 1) (fun env ->
+      latencies := (Engine.now engine - env.Fabric.sent_at) :: !latencies);
+  (* Send at distinct times to observe per-message latency. *)
+  for i = 0 to 49 do
+    ignore
+      (Engine.schedule engine ~after:(i * Time.us 10) (fun () ->
+           Fabric.send fabric ~src:Addr.Switch ~dst:(Addr.Host 1) "j"))
+  done;
+  Engine.run engine;
+  List.iter
+    (fun l ->
+      if l < Time.us 1 || l > Time.us 1 + Time.ns 200 then
+        Alcotest.fail "jitter out of bounds")
+    !latencies
+
+let test_fabric_detour () =
+  let config =
+    { no_jitter with detour_fraction = 0.5; detour_extra = Time.us 3 }
+  in
+  let engine, fabric = make_fabric ~config () in
+  (* Deterministic membership, and roughly the configured fraction. *)
+  let members = List.filter (fun h -> Fabric.detoured fabric h) (List.init 100 Fun.id) in
+  Alcotest.(check bool) "fraction roughly honored" true
+    (List.length members > 30 && List.length members < 70);
+  let member = List.hd members in
+  let outsider = List.hd (List.filter (fun h -> not (Fabric.detoured fabric h)) (List.init 100 Fun.id)) in
+  let arrival = ref 0 in
+  Fabric.register fabric Addr.Switch (fun _ -> arrival := Engine.now engine);
+  Fabric.send fabric ~src:(Addr.Host outsider) ~dst:Addr.Switch "direct";
+  Engine.run engine;
+  Alcotest.(check int) "direct path" (Time.us 1) !arrival;
+  let engine2, fabric2 = make_fabric ~config () in
+  let arrival2 = ref 0 in
+  Fabric.register fabric2 Addr.Switch (fun _ -> arrival2 := Engine.now engine2);
+  Fabric.send fabric2 ~src:(Addr.Host member) ~dst:Addr.Switch "detoured";
+  Engine.run engine2;
+  Alcotest.(check int) "detoured path" (Time.us 4) !arrival2
+
+let test_fabric_no_detour_by_default () =
+  let _, fabric = make_fabric () in
+  Alcotest.(check bool) "no hosts detoured" true
+    (List.for_all (fun h -> not (Fabric.detoured fabric h)) (List.init 50 Fun.id))
+
+(* -- Cpu --------------------------------------------------------------------------- *)
+
+let test_cpu_serial_service () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create engine in
+  let finished = ref [] in
+  for i = 1 to 3 do
+    Cpu.submit cpu ~cost:100 (fun () -> finished := (i, Engine.now engine) :: !finished)
+  done;
+  Alcotest.(check int) "backlog while queued" 3 (Cpu.backlog cpu);
+  Engine.run engine;
+  Alcotest.(check (list (pair int int)))
+    "serial completion times"
+    [ (1, 100); (2, 200); (3, 300) ]
+    (List.rev !finished);
+  Alcotest.(check int) "completed" 3 (Cpu.completed cpu);
+  Alcotest.(check int) "busy time" 300 (Cpu.busy_time cpu)
+
+let test_cpu_idle_gap () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create engine in
+  let second_done = ref 0 in
+  Cpu.submit cpu ~cost:50 (fun () -> ());
+  ignore
+    (Engine.schedule engine ~after:1_000 (fun () ->
+         Cpu.submit cpu ~cost:50 (fun () -> second_done := Engine.now engine)));
+  Engine.run engine;
+  Alcotest.(check int) "idle gap not billed" 1_050 !second_done;
+  Alcotest.(check (float 1e-9)) "utilization" 0.1
+    (Cpu.utilization cpu ~over:1_000)
+
+let prop_cpu_work_conserving =
+  QCheck.Test.make ~name:"cpu finishes all work after sum of costs" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 1_000))
+    (fun costs ->
+      let engine = Engine.create () in
+      let cpu = Cpu.create engine in
+      let done_count = ref 0 in
+      List.iter (fun cost -> Cpu.submit cpu ~cost (fun () -> incr done_count)) costs;
+      Engine.run engine;
+      !done_count = List.length costs
+      && Engine.now engine = List.fold_left ( + ) 0 costs)
+
+let suite =
+  [
+    Alcotest.test_case "addr basics" `Quick test_addr;
+    Alcotest.test_case "addr ordering" `Quick test_addr_ordering;
+    Alcotest.test_case "topology even split" `Quick test_topology_even_split;
+    Alcotest.test_case "topology uneven split" `Quick test_topology_uneven;
+    Alcotest.test_case "topology validation" `Quick test_topology_validation;
+    QCheck_alcotest.to_alcotest prop_topology_partition;
+    Alcotest.test_case "fabric delivery and latency" `Quick test_fabric_delivery_latency;
+    Alcotest.test_case "fabric host-to-host is two hops" `Quick
+      test_fabric_host_to_host_two_hops;
+    Alcotest.test_case "fabric unregistered destination" `Quick test_fabric_unregistered;
+    Alcotest.test_case "fabric loss injection" `Quick test_fabric_loss;
+    Alcotest.test_case "fabric rejects self-send" `Quick test_fabric_self_send_rejected;
+    Alcotest.test_case "fabric jitter bounded" `Quick test_fabric_jitter_bounded;
+    Alcotest.test_case "fabric multi-rack detour" `Quick test_fabric_detour;
+    Alcotest.test_case "fabric no detour by default" `Quick
+      test_fabric_no_detour_by_default;
+    Alcotest.test_case "cpu serial service" `Quick test_cpu_serial_service;
+    Alcotest.test_case "cpu idle gap" `Quick test_cpu_idle_gap;
+    QCheck_alcotest.to_alcotest prop_cpu_work_conserving;
+  ]

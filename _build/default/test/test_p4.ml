@@ -1,0 +1,216 @@
+(* Tests for the P4 switch model: the one-access-per-packet rule,
+   register semantics, pipeline behaviour including recirculation
+   bandwidth and drops, and the resource estimates. *)
+
+open Draconis_sim
+open Draconis_net
+open Draconis_p4
+
+(* -- Packet_ctx / Register: the memory-model rule ---------------------------- *)
+
+let test_single_access_enforced () =
+  let reg = Register.create ~name:"r" ~size:4 () in
+  let ctx = Packet_ctx.create () in
+  ignore (Register.read reg ctx 0);
+  (match Register.read reg ctx 1 with
+  | exception Packet_ctx.Access_violation "r" -> ()
+  | _ -> Alcotest.fail "second access to the same register must raise");
+  (* A different packet may access it again. *)
+  let ctx2 = Packet_ctx.create () in
+  ignore (Register.read reg ctx2 0)
+
+let test_distinct_registers_ok () =
+  let a = Register.create ~name:"a" ~size:1 () in
+  let b = Register.create ~name:"b" ~size:1 () in
+  let ctx = Packet_ctx.create () in
+  ignore (Register.read a ctx 0);
+  ignore (Register.read b ctx 0);
+  Alcotest.(check int) "two registers accessed" 2 (Packet_ctx.access_count ctx)
+
+let test_read_and_increment () =
+  let reg = Register.create ~name:"ptr" ~size:1 () in
+  let old1 = Register.read_and_increment reg (Packet_ctx.create ()) 0 in
+  let old2 = Register.read_and_increment reg (Packet_ctx.create ()) 0 in
+  Alcotest.(check int) "returns old" 0 old1;
+  Alcotest.(check int) "increments" 1 old2;
+  Alcotest.(check int) "value" 2 (Register.peek reg 0)
+
+let test_rmw_and_write () =
+  let reg = Register.create ~name:"x" ~size:2 () in
+  Register.write reg (Packet_ctx.create ()) 1 42;
+  let old = Register.read_modify_write reg (Packet_ctx.create ()) 1 (fun v -> v * 2) in
+  Alcotest.(check int) "rmw returns old" 42 old;
+  Alcotest.(check int) "rmw applied" 84 (Register.peek reg 1)
+
+let test_register_bounds () =
+  let reg = Register.create ~name:"b" ~size:2 () in
+  (match Register.read reg (Packet_ctx.create ()) 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds read must raise");
+  match Register.poke reg (-1) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds poke must raise"
+
+let test_register_metadata () =
+  let reg = Register.create ~name:"meta" ~size:8 () in
+  Alcotest.(check int) "size" 8 (Register.size reg);
+  Alcotest.(check int) "bits" 256 (Register.bits reg);
+  Alcotest.(check string) "name" "meta" (Register.name reg);
+  ignore (Register.read reg (Packet_ctx.create ()) 0);
+  Alcotest.(check int) "access counter" 1 (Register.access_count reg)
+
+let prop_one_access_per_packet =
+  QCheck.Test.make ~name:"a packet can access n distinct registers but no repeats"
+    ~count:50
+    QCheck.(int_range 1 20)
+    (fun n ->
+      let regs = Array.init n (fun i -> Register.create ~name:(string_of_int i) ~size:1 ()) in
+      let ctx = Packet_ctx.create () in
+      Array.iter (fun reg -> ignore (Register.read reg ctx 0)) regs;
+      (* Now every repeat must raise. *)
+      Array.for_all
+        (fun reg ->
+          match Register.read reg ctx 0 with
+          | exception Packet_ctx.Access_violation _ -> true
+          | _ -> false)
+        regs)
+
+(* -- Pipeline ------------------------------------------------------------------ *)
+
+type pkt = Ping of int | Loop of int
+
+let make_pipeline ?config program =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:9 in
+  let fabric =
+    Fabric.create
+      ~config:{ Fabric.default_config with host_to_switch = Time.us 1; jitter = 0 }
+      engine rng
+  in
+  let pipeline = Pipeline.attach ?config fabric ~wrap:(fun m -> m) program in
+  (engine, fabric, pipeline)
+
+let test_pipeline_emit () =
+  let engine, fabric, pipeline =
+    make_pipeline (fun _ctx pkt ->
+        match pkt with
+        | Ping n -> [ Pipeline.Emit (Addr.Host 1, Ping (n + 1)) ]
+        | Loop _ -> [ Pipeline.Drop ])
+  in
+  let got = ref [] in
+  Fabric.register fabric (Addr.Host 1) (fun env -> got := env.Fabric.payload :: !got);
+  Fabric.send fabric ~src:(Addr.Host 0) ~dst:Addr.Switch (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "one emitted" 1 (List.length !got);
+  (match !got with
+  | [ Ping 2 ] -> ()
+  | _ -> Alcotest.fail "program output wrong");
+  Alcotest.(check int) "processed" 1 (Pipeline.processed pipeline);
+  Alcotest.(check int) "emitted" 1 (Pipeline.emitted pipeline)
+
+let test_pipeline_recirculation () =
+  let engine, _fabric, pipeline =
+    make_pipeline (fun _ctx pkt ->
+        match pkt with
+        | Loop n when n > 0 -> [ Pipeline.Recirculate (Loop (n - 1)) ]
+        | Loop _ -> [ Pipeline.Drop ]
+        | Ping _ -> [ Pipeline.Drop ])
+  in
+  Pipeline.inject pipeline (Loop 5);
+  Engine.run engine;
+  Alcotest.(check int) "traversals = 1 + recircs" 6 (Pipeline.processed pipeline);
+  Alcotest.(check int) "recirculated" 5 (Pipeline.recirculated pipeline);
+  Alcotest.(check (float 1e-3)) "recirc fraction" (5.0 /. 6.0)
+    (Pipeline.recirculation_fraction pipeline)
+
+let test_pipeline_recirc_drops_when_saturated () =
+  (* Slow recirculation port with a tiny queue: a burst must overflow. *)
+  let config =
+    {
+      Pipeline.default_config with
+      recirc_slot = Time.us 10;
+      recirc_queue_limit = 4;
+    }
+  in
+  let engine, _fabric, pipeline =
+    make_pipeline ~config (fun _ctx pkt ->
+        match pkt with
+        | Ping _ -> [ Pipeline.Recirculate (Loop 0) ]
+        | Loop _ -> [ Pipeline.Drop ])
+  in
+  for i = 1 to 50 do
+    Pipeline.inject pipeline (Ping i)
+  done;
+  Engine.run engine;
+  Alcotest.(check bool) "some dropped" true (Pipeline.recirc_dropped pipeline > 0);
+  Alcotest.(check int) "dropped + recirculated = offered" 50
+    (Pipeline.recirc_dropped pipeline + Pipeline.recirculated pipeline)
+
+let test_pipeline_fresh_ctx_per_traversal () =
+  (* A recirculated packet must be able to access the same register
+     again: it is a new packet. *)
+  let reg = Register.create ~name:"shared" ~size:1 () in
+  let engine, _fabric, pipeline =
+    make_pipeline (fun ctx pkt ->
+        ignore (Register.read_and_increment reg ctx 0);
+        match pkt with
+        | Ping n when n > 0 -> [ Pipeline.Recirculate (Ping (n - 1)) ]
+        | Ping _ | Loop _ -> [ Pipeline.Drop ])
+  in
+  Pipeline.inject pipeline (Ping 3);
+  Engine.run engine;
+  Alcotest.(check int) "register touched once per traversal" 4 (Register.peek reg 0)
+
+let test_pipeline_set_program () =
+  let engine, fabric, pipeline = make_pipeline (fun _ _ -> [ Pipeline.Drop ]) in
+  let got = ref 0 in
+  Fabric.register fabric (Addr.Host 1) (fun _ -> incr got);
+  Pipeline.set_program pipeline (fun _ _ -> [ Pipeline.Emit (Addr.Host 1, Ping 0) ]);
+  Pipeline.inject pipeline (Ping 9);
+  Engine.run engine;
+  Alcotest.(check int) "new program in effect" 1 !got
+
+(* -- Resources -------------------------------------------------------------------- *)
+
+let test_resources_paper_numbers () =
+  Alcotest.(check bool) "tofino1 fits 164K FCFS" true
+    (Resources.fits Resources.tofino1 ~queue_entries:164_000 ~priority_levels:1);
+  Alcotest.(check int) "tofino1 max levels" 4
+    (Resources.max_priority_levels Resources.tofino1);
+  Alcotest.(check bool) "tofino2 fits 1M FCFS" true
+    (Resources.fits Resources.tofino2 ~queue_entries:1_000_000 ~priority_levels:1);
+  Alcotest.(check int) "tofino2 max levels" 12
+    (Resources.max_priority_levels Resources.tofino2)
+
+let test_resources_monotone () =
+  let e1 = Resources.max_queue_entries Resources.tofino1 ~priority_levels:1 in
+  let e4 = Resources.max_queue_entries Resources.tofino1 ~priority_levels:4 in
+  Alcotest.(check bool) "more levels, less capacity" true (e4 <= e1);
+  Alcotest.(check bool) "oversubscribed does not fit" false
+    (Resources.fits Resources.tofino1 ~queue_entries:(e1 + 1) ~priority_levels:1)
+
+let test_resources_validation () =
+  match Resources.max_queue_entries Resources.tofino1 ~priority_levels:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero levels must raise"
+
+let suite =
+  [
+    Alcotest.test_case "one access per packet enforced" `Quick test_single_access_enforced;
+    Alcotest.test_case "distinct registers allowed" `Quick test_distinct_registers_ok;
+    Alcotest.test_case "read_and_increment" `Quick test_read_and_increment;
+    Alcotest.test_case "rmw and write" `Quick test_rmw_and_write;
+    Alcotest.test_case "register bounds" `Quick test_register_bounds;
+    Alcotest.test_case "register metadata" `Quick test_register_metadata;
+    QCheck_alcotest.to_alcotest prop_one_access_per_packet;
+    Alcotest.test_case "pipeline emit" `Quick test_pipeline_emit;
+    Alcotest.test_case "pipeline recirculation" `Quick test_pipeline_recirculation;
+    Alcotest.test_case "pipeline recirc saturation drops" `Quick
+      test_pipeline_recirc_drops_when_saturated;
+    Alcotest.test_case "pipeline fresh ctx per traversal" `Quick
+      test_pipeline_fresh_ctx_per_traversal;
+    Alcotest.test_case "pipeline program swap" `Quick test_pipeline_set_program;
+    Alcotest.test_case "resource estimates match paper" `Quick test_resources_paper_numbers;
+    Alcotest.test_case "resource capacity monotone" `Quick test_resources_monotone;
+    Alcotest.test_case "resource validation" `Quick test_resources_validation;
+  ]

@@ -1,0 +1,131 @@
+(* Unit tests for the policy layer: queue mapping, satisfaction checks,
+   swap bounds. *)
+
+open Draconis_net
+open Draconis_proto
+open Draconis
+
+let info ?(rsrc = 0) ~node () : Message.executor_info =
+  { exec_addr = Addr.Host node; exec_port = 0; exec_rsrc = rsrc; exec_node = node }
+
+let entry ?(skip = 0) ~tprops () =
+  Entry.make ~skip
+    ~task:(Task.make ~uid:0 ~jid:0 ~tid:0 ~tprops ~fn_id:1 ~fn_par:1 ())
+    ~client:(Addr.Host 9) ()
+
+let test_queue_count () =
+  Alcotest.(check int) "fcfs one queue" 1 (Policy.queue_count Policy.Fcfs);
+  Alcotest.(check int) "resource one queue" 1
+    (Policy.queue_count (Policy.Resource_aware { max_swaps = 3 }));
+  Alcotest.(check int) "priority n queues" 4
+    (Policy.queue_count (Policy.Priority { levels = 4 }))
+
+let test_queue_of_task () =
+  let priority = Policy.Priority { levels = 4 } in
+  let task p = Task.make ~uid:0 ~jid:0 ~tid:0 ~tprops:(Task.Priority p) ~fn_id:0 ~fn_par:0 () in
+  Alcotest.(check int) "p1 -> queue 0" 0 (Policy.queue_of_task priority (task 1));
+  Alcotest.(check int) "p4 -> queue 3" 3 (Policy.queue_of_task priority (task 4));
+  Alcotest.(check int) "p9 clamps to lowest" 3 (Policy.queue_of_task priority (task 9));
+  let untagged = Task.make ~uid:0 ~jid:0 ~tid:0 ~fn_id:0 ~fn_par:0 () in
+  Alcotest.(check int) "untagged -> queue 0 (priority 1)" 0
+    (Policy.queue_of_task priority untagged);
+  Alcotest.(check int) "fcfs always 0" 0 (Policy.queue_of_task Policy.Fcfs (task 3))
+
+let test_fcfs_always_satisfied () =
+  let e = entry ~tprops:(Task.Resources 0xFF) () in
+  Alcotest.(check bool) "fcfs ignores props" true
+    (Policy.satisfies Policy.Fcfs ~entry:e ~info:(info ~node:0 ()))
+
+let test_resource_subset () =
+  let policy = Policy.Resource_aware { max_swaps = 3 } in
+  let needs_ab = entry ~tprops:(Task.Resources 0b11) () in
+  Alcotest.(check bool) "exact match" true
+    (Policy.satisfies policy ~entry:needs_ab ~info:(info ~rsrc:0b11 ~node:0 ()));
+  Alcotest.(check bool) "superset ok" true
+    (Policy.satisfies policy ~entry:needs_ab ~info:(info ~rsrc:0b111 ~node:0 ()));
+  Alcotest.(check bool) "missing bit fails" false
+    (Policy.satisfies policy ~entry:needs_ab ~info:(info ~rsrc:0b01 ~node:0 ()));
+  let needs_nothing = entry ~tprops:(Task.Resources 0) () in
+  Alcotest.(check bool) "no requirement runs anywhere" true
+    (Policy.satisfies policy ~entry:needs_nothing ~info:(info ~rsrc:0 ~node:0 ()))
+
+let locality rack_limit global_limit =
+  Policy.Locality_aware
+    {
+      rack_start_limit = rack_limit;
+      global_start_limit = global_limit;
+      topology = Topology.create ~nodes:4 ~racks:2;
+    }
+
+let test_locality_levels () =
+  let policy = locality 2 5 in
+  (* Data on node 0 (rack 0); node 1 same rack; node 3 other rack. *)
+  let at skip = entry ~skip ~tprops:(Task.Locality [ 0 ]) () in
+  Alcotest.(check bool) "local always ok" true
+    (Policy.satisfies policy ~entry:(at 0) ~info:(info ~node:0 ()));
+  Alcotest.(check bool) "same rack blocked below rack limit" false
+    (Policy.satisfies policy ~entry:(at 1) ~info:(info ~node:1 ()));
+  Alcotest.(check bool) "same rack allowed past rack limit" true
+    (Policy.satisfies policy ~entry:(at 3) ~info:(info ~node:1 ()));
+  Alcotest.(check bool) "other rack still blocked" false
+    (Policy.satisfies policy ~entry:(at 3) ~info:(info ~node:3 ()));
+  Alcotest.(check bool) "anywhere past global limit" true
+    (Policy.satisfies policy ~entry:(at 6) ~info:(info ~node:3 ()));
+  Alcotest.(check bool) "no locality tag runs anywhere" true
+    (Policy.satisfies policy
+       ~entry:(entry ~tprops:Task.No_props ())
+       ~info:(info ~node:3 ()))
+
+let test_swap_bounds () =
+  Alcotest.(check int) "fcfs never swaps" 0
+    (Policy.swap_bound Policy.Fcfs ~queue_occupancy:100);
+  Alcotest.(check int) "resource bound by max_swaps" 5
+    (Policy.swap_bound (Policy.Resource_aware { max_swaps = 5 }) ~queue_occupancy:100);
+  Alcotest.(check int) "resource bound by occupancy" 2
+    (Policy.swap_bound (Policy.Resource_aware { max_swaps = 5 }) ~queue_occupancy:2);
+  Alcotest.(check int) "locality bound by global limit" 10
+    (Policy.swap_bound (locality 3 9) ~queue_occupancy:100);
+  Alcotest.(check bool) "fcfs/priority do not swap" false
+    (Policy.uses_swapping Policy.Fcfs || Policy.uses_swapping (Policy.Priority { levels = 2 }));
+  Alcotest.(check bool) "constraint policies swap" true
+    (Policy.uses_swapping (locality 1 2)
+    && Policy.uses_swapping (Policy.Resource_aware { max_swaps = 1 }))
+
+(* -- Fn_model ------------------------------------------------------------------ *)
+
+let test_fn_model () =
+  let open Draconis_sim in
+  let topo = Topology.create ~nodes:4 ~racks:2 in
+  let model = Fn_model.with_topology topo in
+  let noop = Task.make ~uid:0 ~jid:0 ~tid:0 ~fn_id:Task.Fn.noop ~fn_par:999 () in
+  Alcotest.(check int) "noop is instant" 0 (Fn_model.service_time model noop ~node:0);
+  let busy = Task.make ~uid:0 ~jid:0 ~tid:0 ~fn_id:Task.Fn.busy_loop ~fn_par:(Time.us 100) () in
+  Alcotest.(check int) "busy loop runs fn_par" (Time.us 100)
+    (Fn_model.service_time model busy ~node:0);
+  let data =
+    Task.make ~uid:0 ~jid:0 ~tid:0 ~tprops:(Task.Locality [ 0 ]) ~fn_id:Task.Fn.data_task
+      ~fn_par:(Time.us 100) ()
+  in
+  Alcotest.(check int) "local data free" (Time.us 100)
+    (Fn_model.service_time model data ~node:0);
+  Alcotest.(check int) "same rack +20us" (Time.us 120)
+    (Fn_model.service_time model data ~node:1);
+  Alcotest.(check int) "other rack +100us" (Time.us 200)
+    (Fn_model.service_time model data ~node:3);
+  (* Without a topology, any non-local access is inter-rack. *)
+  Alcotest.(check int) "no topology worst-cases" (Time.us 200)
+    (Fn_model.service_time Fn_model.default data ~node:1);
+  let unknown = Task.make ~uid:0 ~jid:0 ~tid:0 ~fn_id:77 ~fn_par:(Time.us 5) () in
+  Alcotest.(check int) "unknown fn behaves like busy loop" (Time.us 5)
+    (Fn_model.service_time model unknown ~node:0)
+
+let suite =
+  [
+    Alcotest.test_case "queue count" `Quick test_queue_count;
+    Alcotest.test_case "queue of task" `Quick test_queue_of_task;
+    Alcotest.test_case "fcfs always satisfied" `Quick test_fcfs_always_satisfied;
+    Alcotest.test_case "resource subset check" `Quick test_resource_subset;
+    Alcotest.test_case "locality escalation levels" `Quick test_locality_levels;
+    Alcotest.test_case "swap bounds" `Quick test_swap_bounds;
+    Alcotest.test_case "fn model service times" `Quick test_fn_model;
+  ]

@@ -1,0 +1,208 @@
+(* Tests for the statistics library: Sampler, Histogram, Meter, Table. *)
+
+open Draconis_stats
+
+(* -- Sampler ---------------------------------------------------------------- *)
+
+let test_sampler_basic () =
+  let s = Sampler.create () in
+  List.iter (Sampler.record s) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check int) "count" 5 (Sampler.count s);
+  Alcotest.(check int) "min" 1 (Sampler.min s);
+  Alcotest.(check int) "max" 9 (Sampler.max s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Sampler.mean s);
+  Alcotest.(check int) "p0" 1 (Sampler.percentile s 0.0);
+  Alcotest.(check int) "p50" 5 (Sampler.percentile s 50.0);
+  Alcotest.(check int) "p100" 9 (Sampler.percentile s 100.0)
+
+let test_sampler_empty_raises () =
+  let s = Sampler.create () in
+  Alcotest.check_raises "percentile on empty"
+    (Invalid_argument "Sampler.percentile: no samples") (fun () ->
+      ignore (Sampler.percentile s 50.0))
+
+let test_sampler_bad_percentile () =
+  let s = Sampler.create () in
+  Sampler.record s 1;
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Sampler.percentile: p out of range") (fun () ->
+      ignore (Sampler.percentile s 101.0))
+
+let test_sampler_cache_invalidation () =
+  let s = Sampler.create () in
+  Sampler.record s 10;
+  Alcotest.(check int) "first" 10 (Sampler.percentile s 50.0);
+  Sampler.record s 0;
+  Alcotest.(check int) "min updates after new record" 0 (Sampler.min s)
+
+let test_sampler_merge () =
+  let a = Sampler.create () and b = Sampler.create () in
+  Sampler.record a 1;
+  Sampler.record b 2;
+  let m = Sampler.merge a b in
+  Alcotest.(check int) "merged count" 2 (Sampler.count m);
+  Alcotest.(check int) "merged max" 2 (Sampler.max m)
+
+let test_sampler_cdf () =
+  let s = Sampler.create () in
+  for i = 1 to 100 do
+    Sampler.record s i
+  done;
+  let cdf = Sampler.cdf s ~points:4 in
+  Alcotest.(check int) "cdf points" 4 (Array.length cdf);
+  let _, last_frac = cdf.(3) in
+  Alcotest.(check (float 1e-9)) "cdf reaches 1" 1.0 last_frac
+
+let test_sampler_clear () =
+  let s = Sampler.create () in
+  Sampler.record s 1;
+  Sampler.clear s;
+  Alcotest.(check int) "cleared" 0 (Sampler.count s)
+
+let prop_sampler_percentile_member =
+  QCheck.Test.make ~name:"sampler percentile is always a recorded sample" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) int) (int_range 0 100))
+    (fun (samples, p) ->
+      let s = Sampler.create () in
+      List.iter (Sampler.record s) samples;
+      List.mem (Sampler.percentile s (float_of_int p)) samples)
+
+let prop_sampler_monotone =
+  QCheck.Test.make ~name:"sampler percentiles are monotone in p" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) int)
+    (fun samples ->
+      let s = Sampler.create () in
+      List.iter (Sampler.record s) samples;
+      let prev = ref min_int in
+      List.for_all
+        (fun p ->
+          let v = Sampler.percentile s (float_of_int p) in
+          let ok = v >= !prev in
+          prev := v;
+          ok)
+        [ 0; 25; 50; 75; 90; 99; 100 ])
+
+(* -- Histogram --------------------------------------------------------------- *)
+
+let test_histogram_small_exact () =
+  let h = Histogram.create ~max_value:1_000_000 () in
+  List.iter (Histogram.record h) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  (* Values below sub_buckets are exact. *)
+  Alcotest.(check int) "p0 exact" 1 (Histogram.percentile h 0.0);
+  Alcotest.(check int) "p100 exact" 5 (Histogram.percentile h 100.0)
+
+let test_histogram_bounded_error () =
+  let h = Histogram.create ~max_value:10_000_000 () in
+  for _ = 1 to 1_000 do
+    Histogram.record h 123_456
+  done;
+  let p50 = Histogram.percentile h 50.0 in
+  let err = abs_float (float_of_int p50 -. 123_456.) /. 123_456. in
+  Alcotest.(check bool) "relative error < 10%" true (err < 0.10)
+
+let test_histogram_overflow () =
+  let h = Histogram.create ~max_value:1_000 () in
+  Histogram.record h 5_000;
+  Alcotest.(check int) "overflow counted" 1 (Histogram.overflows h);
+  Alcotest.(check int) "max recorded raw" 5_000 (Histogram.max_recorded h)
+
+let test_histogram_mean_clear () =
+  let h = Histogram.create ~max_value:1_000 () in
+  List.iter (Histogram.record h) [ 10; 20; 30 ];
+  Alcotest.(check (float 1e-9)) "mean" 20.0 (Histogram.mean h);
+  Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Histogram.count h)
+
+let prop_histogram_quantile_error =
+  QCheck.Test.make ~name:"histogram p50 within bounded relative error" ~count:100
+    QCheck.(int_range 1 50_000_000)
+    (fun v ->
+      let h = Histogram.create ~max_value:100_000_000 () in
+      for _ = 1 to 100 do
+        Histogram.record h v
+      done;
+      let p50 = float_of_int (Histogram.percentile h 50.0) in
+      abs_float (p50 -. float_of_int v) /. float_of_int v < 0.10)
+
+(* -- Meter -------------------------------------------------------------------- *)
+
+let test_meter_rate () =
+  let m = Meter.create () in
+  for i = 1 to 11 do
+    Meter.mark m ~now:(i * 100_000_000) ()
+  done;
+  Alcotest.(check int) "total" 11 (Meter.total m);
+  (* 11 marks over 1 simulated second (span first..last). *)
+  Alcotest.(check (float 0.5)) "rate over window" 11.0
+    (Meter.rate_over m ~duration:1_000_000_000)
+
+let test_meter_weight_and_timeline () =
+  let m = Meter.create () in
+  Meter.mark m ~weight:5 ~now:100 ();
+  Meter.mark m ~weight:3 ~now:1_100 ();
+  Alcotest.(check int) "weighted total" 8 (Meter.total m);
+  let timeline = Meter.timeline m ~bucket:1_000 in
+  Alcotest.(check int) "two buckets" 2 (Array.length timeline);
+  Alcotest.(check (pair int int)) "bucket 0" (0, 5) timeline.(0);
+  Alcotest.(check (pair int int)) "bucket 1" (1, 3) timeline.(1)
+
+let test_meter_empty () =
+  let m = Meter.create () in
+  Alcotest.(check (float 0.0)) "empty rate" 0.0 (Meter.rate_per_sec m);
+  Alcotest.(check int) "empty timeline" 0 (Array.length (Meter.timeline m ~bucket:10))
+
+(* -- Table --------------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (Astring.String.is_infix ~affix:"name" out);
+  Alcotest.(check int) "row count" 2 (Table.row_count t)
+
+let test_table_pads_rows () =
+  let t = Table.create ~columns:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  Table.add_row t [ "x"; "y"; "z"; "extra" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "truncated extra" false
+    (Astring.String.is_infix ~affix:"extra" rendered)
+
+let test_table_csv () =
+  let t = Table.create ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "plain"; "with,comma" ];
+  Table.add_row t [ "with\"quote"; "x" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "header line" true
+    (Astring.String.is_prefix ~affix:"a,b\n" csv);
+  Alcotest.(check bool) "comma field quoted" true
+    (Astring.String.is_infix ~affix:"\"with,comma\"" csv);
+  Alcotest.(check bool) "quote doubled" true
+    (Astring.String.is_infix ~affix:"\"with\"\"quote\"" csv)
+
+let suite =
+  [
+    Alcotest.test_case "sampler basics" `Quick test_sampler_basic;
+    Alcotest.test_case "sampler empty raises" `Quick test_sampler_empty_raises;
+    Alcotest.test_case "sampler bad percentile" `Quick test_sampler_bad_percentile;
+    Alcotest.test_case "sampler cache invalidation" `Quick test_sampler_cache_invalidation;
+    Alcotest.test_case "sampler merge" `Quick test_sampler_merge;
+    Alcotest.test_case "sampler cdf" `Quick test_sampler_cdf;
+    Alcotest.test_case "sampler clear" `Quick test_sampler_clear;
+    QCheck_alcotest.to_alcotest prop_sampler_percentile_member;
+    QCheck_alcotest.to_alcotest prop_sampler_monotone;
+    Alcotest.test_case "histogram exact small values" `Quick test_histogram_small_exact;
+    Alcotest.test_case "histogram bounded error" `Quick test_histogram_bounded_error;
+    Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow;
+    Alcotest.test_case "histogram mean and clear" `Quick test_histogram_mean_clear;
+    QCheck_alcotest.to_alcotest prop_histogram_quantile_error;
+    Alcotest.test_case "meter rate" `Quick test_meter_rate;
+    Alcotest.test_case "meter weights and timeline" `Quick test_meter_weight_and_timeline;
+    Alcotest.test_case "meter empty" `Quick test_meter_empty;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table pads/truncates rows" `Quick test_table_pads_rows;
+    Alcotest.test_case "table csv export" `Quick test_table_csv;
+  ]

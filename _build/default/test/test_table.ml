@@ -1,0 +1,74 @@
+(* Tests for the match-action table model. *)
+
+open Draconis_p4
+
+let test_default_on_miss () =
+  let table = Table.create ~name:"t" ~default:"drop" () in
+  Alcotest.(check string) "miss yields default" "drop" (Table.lookup table ~key:42);
+  Alcotest.(check int) "miss counted" 1 (Table.misses table);
+  Alcotest.(check int) "no hits" 0 (Table.hits table)
+
+let test_exact_match () =
+  let table = Table.create ~name:"t" ~default:0 () in
+  Table.add_exact table ~key:7 70;
+  Table.add_exact table ~key:9 90;
+  Alcotest.(check int) "hit 7" 70 (Table.lookup table ~key:7);
+  Alcotest.(check int) "hit 9" 90 (Table.lookup table ~key:9);
+  Alcotest.(check int) "miss" 0 (Table.lookup table ~key:8);
+  Alcotest.(check int) "size" 2 (Table.size table);
+  Alcotest.(check int) "hits" 2 (Table.hits table)
+
+let test_exact_replace_and_remove () =
+  let table = Table.create ~name:"t" ~default:0 () in
+  Table.add_exact table ~key:1 10;
+  Table.add_exact table ~key:1 11;
+  Alcotest.(check int) "replaced" 11 (Table.lookup table ~key:1);
+  Table.remove_exact table ~key:1;
+  Alcotest.(check int) "removed" 0 (Table.lookup table ~key:1);
+  Table.remove_exact table ~key:1 (* idempotent *)
+
+let test_ternary_priority () =
+  let table = Table.create ~name:"t" ~default:"default" () in
+  (* Match any key with low nibble 0x4. *)
+  Table.add_ternary table ~value:0x4 ~mask:0xF ~priority:1 "low-nibble-4";
+  (* Higher-priority broader rule. *)
+  Table.add_ternary table ~value:0x24 ~mask:0xFF ~priority:5 "exact-byte-24";
+  Alcotest.(check string) "higher priority wins" "exact-byte-24"
+    (Table.lookup table ~key:0x124);
+  Alcotest.(check string) "falls to lower rule" "low-nibble-4"
+    (Table.lookup table ~key:0x14);
+  Alcotest.(check string) "no match" "default" (Table.lookup table ~key:0x15)
+
+let test_exact_beats_ternary () =
+  let table = Table.create ~name:"t" ~default:"default" () in
+  Table.add_ternary table ~value:0 ~mask:0 ~priority:100 "catch-all";
+  Table.add_exact table ~key:3 "exact";
+  Alcotest.(check string) "exact wins over ternary" "exact" (Table.lookup table ~key:3);
+  Alcotest.(check string) "ternary catches the rest" "catch-all"
+    (Table.lookup table ~key:4)
+
+let test_ternary_tie_break () =
+  let table = Table.create ~name:"t" ~default:"d" () in
+  Table.add_ternary table ~value:0 ~mask:0 ~priority:1 "first";
+  Table.add_ternary table ~value:0 ~mask:0 ~priority:1 "second";
+  Alcotest.(check string) "equal priority: first installed wins" "first"
+    (Table.lookup table ~key:0)
+
+let prop_installed_keys_hit =
+  QCheck.Test.make ~name:"every installed exact key is retrievable" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 0 10_000))
+    (fun keys ->
+      let table = Table.create ~name:"p" ~default:(-1) () in
+      List.iter (fun k -> Table.add_exact table ~key:k (k * 2)) keys;
+      List.for_all (fun k -> Table.lookup table ~key:k = k * 2) keys)
+
+let suite =
+  [
+    Alcotest.test_case "default on miss" `Quick test_default_on_miss;
+    Alcotest.test_case "exact match" `Quick test_exact_match;
+    Alcotest.test_case "replace and remove" `Quick test_exact_replace_and_remove;
+    Alcotest.test_case "ternary priority" `Quick test_ternary_priority;
+    Alcotest.test_case "exact beats ternary" `Quick test_exact_beats_ternary;
+    Alcotest.test_case "ternary tie-break" `Quick test_ternary_tie_break;
+    QCheck_alcotest.to_alcotest prop_installed_keys_hit;
+  ]

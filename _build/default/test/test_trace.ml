@@ -1,0 +1,85 @@
+(* Tests for the tracing facility and its integration points. *)
+
+open Draconis_sim
+open Draconis_proto
+open Draconis
+
+let test_disabled_by_default () =
+  Trace.disable ();
+  Trace.emit ~at:1 Trace.Host (lazy (Alcotest.fail "must not force when disabled"));
+  Alcotest.(check bool) "off" false (Trace.enabled ())
+
+let test_ring_buffer_bounds () =
+  let (), captured =
+    Trace.with_capture ~capacity:4 (fun () ->
+        for i = 1 to 10 do
+          Trace.emit ~at:i Trace.Host (lazy (Printf.sprintf "event %d" i))
+        done)
+  in
+  Alcotest.(check int) "bounded to capacity" 4 (List.length captured);
+  (match captured with
+  | { Trace.message = "event 7"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "oldest surviving record should be event 7");
+  Alcotest.(check bool) "off after capture" false (Trace.enabled ())
+
+let test_recent_and_counts () =
+  Trace.enable ~capacity:16 ();
+  for i = 1 to 5 do
+    Trace.emit ~at:i Trace.Queue (lazy (string_of_int i))
+  done;
+  Alcotest.(check int) "emitted" 5 (Trace.emitted ());
+  (match Trace.recent 2 with
+  | [ { Trace.message = "4"; _ }; { Trace.message = "5"; _ } ] -> ()
+  | _ -> Alcotest.fail "recent 2 wrong");
+  Trace.clear ();
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.records ()));
+  Trace.disable ()
+
+let test_cluster_emits_traces () =
+  let (), captured =
+    Trace.with_capture ~capacity:65536 (fun () ->
+        let cluster =
+          Cluster.create
+            { Cluster.default_config with workers = 2; executors_per_worker = 2; clients = 1 }
+        in
+        Cluster.start cluster;
+        ignore
+          (Client.submit_job (Cluster.client cluster 0)
+             [ Task.make ~uid:0 ~jid:0 ~tid:0 ~fn_id:Task.Fn.busy_loop ~fn_par:(Time.us 50) () ]);
+        ignore (Cluster.run_until_drained cluster ~deadline:(Time.s 1)))
+  in
+  let fabric_events =
+    List.filter (fun r -> r.Trace.category = Trace.Fabric) captured
+  in
+  Alcotest.(check bool) "fabric sends traced" true (List.length fabric_events > 3);
+  let rendered = Format.asprintf "%a" Trace.dump () in
+  ignore rendered;
+  (* Timestamps are monotone within the ring. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.Trace.at <= b.Trace.at && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps ordered" true (monotone captured)
+
+let test_dump_format () =
+  let (), _ =
+    Trace.with_capture (fun () ->
+        Trace.emit ~at:(Time.us 3) Trace.Pipeline (lazy "hello"))
+  in
+  Trace.enable ();
+  Trace.emit ~at:(Time.us 3) Trace.Pipeline (lazy "hello");
+  let out = Format.asprintf "%a" Trace.dump () in
+  Trace.disable ();
+  Alcotest.(check bool) "category in dump" true
+    (Astring.String.is_infix ~affix:"pipeline" out);
+  Alcotest.(check bool) "message in dump" true
+    (Astring.String.is_infix ~affix:"hello" out)
+
+let suite =
+  [
+    Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+    Alcotest.test_case "ring buffer bounds" `Quick test_ring_buffer_bounds;
+    Alcotest.test_case "recent and counters" `Quick test_recent_and_counts;
+    Alcotest.test_case "cluster emits traces" `Quick test_cluster_emits_traces;
+    Alcotest.test_case "dump format" `Quick test_dump_format;
+  ]

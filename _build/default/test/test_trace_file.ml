@@ -1,0 +1,126 @@
+(* Tests for trace-file recording and replay. *)
+
+open Draconis_sim
+open Draconis_proto
+open Draconis_workload
+
+let sample_trace () =
+  [
+    {
+      Trace_file.arrival = Time.us 10;
+      tasks =
+        [
+          Task.make ~uid:0 ~jid:0 ~tid:0 ~fn_id:Task.Fn.busy_loop ~fn_par:100_000 ();
+          Task.make ~uid:0 ~jid:0 ~tid:1 ~tprops:(Task.Priority 2) ~fn_id:Task.Fn.busy_loop
+            ~fn_par:50_000 ();
+        ];
+    };
+    {
+      Trace_file.arrival = Time.us 40;
+      tasks =
+        [
+          Task.make ~uid:0 ~jid:0 ~tid:0 ~tprops:(Task.Locality [ 3; 5 ])
+            ~fn_id:Task.Fn.busy_loop ~fn_par:250_000 ();
+        ];
+    };
+  ]
+
+let test_string_roundtrip () =
+  let trace = sample_trace () in
+  let parsed = Trace_file.of_string (Trace_file.to_string trace) in
+  Alcotest.(check int) "job count" 2 (List.length parsed);
+  Alcotest.(check int) "task count" 3 (Trace_file.task_count parsed);
+  let first = List.hd parsed in
+  Alcotest.(check int) "arrival preserved" (Time.us 10) first.Trace_file.arrival;
+  (match (List.nth first.Trace_file.tasks 1).tprops with
+  | Task.Priority 2 -> ()
+  | _ -> Alcotest.fail "priority lost");
+  match (List.hd (List.nth parsed 1).Trace_file.tasks).tprops with
+  | Task.Locality [ 3; 5 ] -> ()
+  | _ -> Alcotest.fail "locality lost"
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "draconis" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let trace = sample_trace () in
+      Trace_file.save trace ~path;
+      let loaded = Trace_file.load ~path in
+      Alcotest.(check int) "task count round-trips" (Trace_file.task_count trace)
+        (Trace_file.task_count loaded))
+
+let test_malformed_rejected () =
+  (match Trace_file.of_string "header\n1,2,3\n" with
+  | exception Failure msg ->
+    Alcotest.(check bool) "line number reported" true
+      (Astring.String.is_infix ~affix:"line 2" msg)
+  | _ -> Alcotest.fail "short line accepted");
+  match Trace_file.of_string "header\nx,0,0,1,0,\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "non-numeric accepted"
+
+let test_generate_matches_generator () =
+  let spec =
+    { Google_trace.default_spec with rate_tps = 50_000.0; horizon = Time.ms 50 }
+  in
+  let trace = Trace_file.generate (Rng.create ~seed:9) spec in
+  let n = Trace_file.task_count trace in
+  (* ~2500 tasks expected; generous bounds for burstiness. *)
+  Alcotest.(check bool) "plausible task count" true (n > 1_200 && n < 4_500);
+  List.iter
+    (fun job ->
+      Alcotest.(check bool) "arrivals within horizon" true
+        (job.Trace_file.arrival <= spec.horizon + Time.ms 1))
+    trace
+
+let test_generate_deterministic () =
+  let spec = { Google_trace.default_spec with rate_tps = 20_000.0; horizon = Time.ms 20 } in
+  let a = Trace_file.generate (Rng.create ~seed:4) spec in
+  let b = Trace_file.generate (Rng.create ~seed:4) spec in
+  Alcotest.(check string) "same seed, same trace" (Trace_file.to_string a)
+    (Trace_file.to_string b)
+
+let test_drive_replays () =
+  let engine = Engine.create () in
+  let trace = sample_trace () in
+  let seen = ref [] in
+  Trace_file.drive engine trace ~submit:(fun tasks ->
+      seen := (Engine.now engine, List.length tasks) :: !seen);
+  Engine.run engine;
+  Alcotest.(check (list (pair int int)))
+    "jobs replayed at recorded instants"
+    [ (Time.us 10, 2); (Time.us 40, 1) ]
+    (List.rev !seen)
+
+let test_replay_through_cluster () =
+  let trace =
+    Trace_file.generate (Rng.create ~seed:12)
+      { Google_trace.default_spec with rate_tps = 30_000.0; horizon = Time.ms 20 }
+  in
+  let cluster =
+    Draconis.Cluster.create
+      { Draconis.Cluster.default_config with workers = 4; executors_per_worker = 8; clients = 1 }
+  in
+  Draconis.Cluster.start cluster;
+  Trace_file.drive
+    (Draconis.Cluster.engine cluster)
+    trace
+    ~submit:(fun tasks ->
+      ignore (Draconis.Client.submit_job (Draconis.Cluster.client cluster 0) tasks));
+  Draconis.Cluster.run cluster ~until:(Time.ms 25);
+  let drained = Draconis.Cluster.run_until_drained cluster ~deadline:(Time.s 2) in
+  Alcotest.(check bool) "trace replay drains" true drained;
+  Alcotest.(check int) "every trace task completed" (Trace_file.task_count trace)
+    (Draconis.Metrics.completed (Draconis.Cluster.metrics cluster))
+
+let suite =
+  [
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+    Alcotest.test_case "generate plausible" `Quick test_generate_matches_generator;
+    Alcotest.test_case "generate deterministic" `Quick test_generate_deterministic;
+    Alcotest.test_case "drive replays" `Quick test_drive_replays;
+    Alcotest.test_case "replay through cluster" `Quick test_replay_through_cluster;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for the workload generators: the synthetic suite, the
+   open-loop arrival driver, and the Google-trace stand-in. *)
+
+open Draconis_sim
+open Draconis_proto
+open Draconis_workload
+
+(* -- Synthetic -------------------------------------------------------------- *)
+
+let test_synthetic_names_roundtrip () =
+  List.iter
+    (fun kind ->
+      match Synthetic.of_name (Synthetic.name kind) with
+      | Some k -> Alcotest.(check bool) "roundtrip" true (k = kind)
+      | None -> Alcotest.fail "name roundtrip failed")
+    Synthetic.all;
+  Alcotest.(check bool) "unknown name" true (Synthetic.of_name "nope" = None)
+
+let test_synthetic_means () =
+  let rng = Rng.create ~seed:1 in
+  List.iter
+    (fun kind ->
+      let expected = Synthetic.mean_duration kind in
+      let measured = Dist.mean_estimate (Synthetic.duration kind) rng ~n:30_000 in
+      let err = abs_float (measured -. expected) /. expected in
+      if err > 0.05 then
+        Alcotest.failf "%s mean off by %.1f%%" (Synthetic.name kind) (100. *. err))
+    Synthetic.all
+
+let test_trimodal_support () =
+  let rng = Rng.create ~seed:2 in
+  let dist = Synthetic.duration Synthetic.Trimodal in
+  for _ = 1 to 1_000 do
+    let v = dist rng in
+    if v <> Time.us 100 && v <> Time.us 250 && v <> Time.us 500 then
+      Alcotest.fail "trimodal produced an unexpected duration"
+  done
+
+(* -- Arrival ----------------------------------------------------------------- *)
+
+let test_arrival_rate () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:3 in
+  let count = ref 0 in
+  let spec =
+    Arrival.uniform_spec ~rate_tps:100_000.0 ~duration:(Dist.constant 1) ~horizon:(Time.ms 100)
+  in
+  Arrival.drive engine rng spec ~submit:(fun tasks -> count := !count + List.length tasks);
+  Engine.run engine;
+  (* 100k tps over 100ms => ~10_000 tasks; Poisson sd ~ 100. *)
+  Alcotest.(check bool) "rate within 5%" true (abs (!count - 10_000) < 500);
+  Alcotest.(check (float 1.0)) "expected_tasks" 10_000.0 (Arrival.expected_tasks spec)
+
+let test_arrival_batch () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:4 in
+  let sizes = ref [] in
+  let spec =
+    {
+      (Arrival.uniform_spec ~rate_tps:50_000.0 ~duration:(Dist.constant 1)
+         ~horizon:(Time.ms 10))
+      with
+      batch = 5;
+    }
+  in
+  Arrival.drive engine rng spec ~submit:(fun tasks -> sizes := List.length tasks :: !sizes);
+  Engine.run engine;
+  Alcotest.(check bool) "jobs produced" true (!sizes <> []);
+  List.iter (fun s -> Alcotest.(check int) "batch size" 5 s) !sizes
+
+let test_arrival_props_applied () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:5 in
+  let all_have_props = ref true in
+  let spec =
+    {
+      (Arrival.uniform_spec ~rate_tps:50_000.0 ~duration:(Dist.constant 1)
+         ~horizon:(Time.ms 5))
+      with
+      tprops_of = (fun _ -> Task.Priority 2);
+      fn_id = Task.Fn.noop;
+    }
+  in
+  Arrival.drive engine rng spec ~submit:(fun tasks ->
+      List.iter
+        (fun (t : Task.t) ->
+          if Task.priority_level t <> 2 || t.fn_id <> Task.Fn.noop then
+            all_have_props := false)
+        tasks);
+  Engine.run engine;
+  Alcotest.(check bool) "props and fn applied" true !all_have_props
+
+let test_arrival_validation () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:6 in
+  let spec = Arrival.uniform_spec ~rate_tps:0.0 ~duration:(Dist.constant 1) ~horizon:1 in
+  match Arrival.drive engine rng spec ~submit:(fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "zero rate must raise"
+
+(* -- Google trace ----------------------------------------------------------------- *)
+
+let test_trace_duration_mean () =
+  let rng = Rng.create ~seed:7 in
+  let spec = { Google_trace.default_spec with mean_duration = Time.us 500 } in
+  let n = 50_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. float_of_int (Google_trace.task_duration rng spec)
+  done;
+  let mean = !total /. float_of_int n in
+  (* Lognormal with sigma 1.3 converges slowly; 15% tolerance. *)
+  Alcotest.(check bool) "mean near 500us" true (abs_float (mean -. 500_000.) < 75_000.)
+
+let test_trace_priorities_mix () =
+  let rng = Rng.create ~seed:8 in
+  let spec = { Google_trace.default_spec with priority_levels = 4 } in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let p = Google_trace.priority rng spec in
+    counts.(p) <- counts.(p) + 1
+  done;
+  (* Paper mix: 1.2 / 1.7 / 64.6 / 32.2 %. *)
+  let frac level = float_of_int counts.(level) /. float_of_int n in
+  Alcotest.(check bool) "level 1 rare" true (frac 1 < 0.03);
+  Alcotest.(check bool) "level 3 dominant" true (frac 3 > 0.55);
+  Alcotest.(check bool) "level 4 large" true (frac 4 > 0.25)
+
+let test_trace_priorities_clamped () =
+  let rng = Rng.create ~seed:9 in
+  let spec = { Google_trace.default_spec with priority_levels = 2 } in
+  for _ = 1 to 1_000 do
+    let p = Google_trace.priority rng spec in
+    if p < 1 || p > 2 then Alcotest.fail "priority out of range"
+  done
+
+let test_trace_burstiness () =
+  let rng = Rng.create ~seed:10 in
+  let spec = { Google_trace.default_spec with burst_fraction = 0.05; burst_scale = 100 } in
+  let bursts = ref 0 and total = ref 0 in
+  for _ = 1 to 5_000 do
+    incr total;
+    if Google_trace.job_size rng spec >= 100 then incr bursts
+  done;
+  let frac = float_of_int !bursts /. float_of_int !total in
+  Alcotest.(check bool) "bursts present at ~5%" true (frac > 0.02 && frac < 0.10)
+
+let test_trace_drive_rate () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:11 in
+  let count = ref 0 in
+  let spec =
+    { Google_trace.default_spec with rate_tps = 100_000.0; horizon = Time.ms 200 }
+  in
+  Google_trace.drive engine rng spec ~submit:(fun tasks -> count := !count + List.length tasks);
+  Engine.run engine;
+  (* Bursty arrivals: generous 25% tolerance around 20k tasks. *)
+  Alcotest.(check bool) "aggregate rate respected" true
+    (!count > 15_000 && !count < 25_000)
+
+let suite =
+  [
+    Alcotest.test_case "synthetic names roundtrip" `Quick test_synthetic_names_roundtrip;
+    Alcotest.test_case "synthetic means" `Quick test_synthetic_means;
+    Alcotest.test_case "trimodal support" `Quick test_trimodal_support;
+    Alcotest.test_case "arrival rate" `Quick test_arrival_rate;
+    Alcotest.test_case "arrival batching" `Quick test_arrival_batch;
+    Alcotest.test_case "arrival applies props" `Quick test_arrival_props_applied;
+    Alcotest.test_case "arrival validation" `Quick test_arrival_validation;
+    Alcotest.test_case "trace duration mean" `Quick test_trace_duration_mean;
+    Alcotest.test_case "trace priority mix" `Quick test_trace_priorities_mix;
+    Alcotest.test_case "trace priorities clamped" `Quick test_trace_priorities_clamped;
+    Alcotest.test_case "trace burstiness" `Quick test_trace_burstiness;
+    Alcotest.test_case "trace drive rate" `Quick test_trace_drive_rate;
+  ]

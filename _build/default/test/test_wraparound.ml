@@ -1,0 +1,154 @@
+(* Tests of 32-bit pointer wraparound in the circular queue.  At the
+   paper's 58M decisions/s a 32-bit pointer wraps in ~74 seconds, so the
+   queue must stay correct across the wrap boundary: the wrap modulus is
+   a multiple of the capacity (continuous slot mapping), comparisons are
+   wrap-aware, and repairs still work when pointers sit just below the
+   modulus. *)
+
+open Draconis_net
+open Draconis_proto
+open Draconis
+
+let ctx () = Draconis_p4.Packet_ctx.create ()
+
+let entry n =
+  Entry.make
+    ~task:(Task.make ~uid:0 ~jid:0 ~tid:n ~fn_id:Task.Fn.busy_loop ~fn_par:(1000 * n) ())
+    ~client:(Addr.Host 99) ()
+
+let tid (e : Entry.t) = e.task.id.tid
+
+let enqueue_ok q e =
+  match Circular_queue.enqueue q (ctx ()) e with
+  | Circular_queue.Enqueued { retrieve_repair = Some target; _ } ->
+    Circular_queue.apply_repair_retrieve q (ctx ()) ~target
+  | Circular_queue.Enqueued { retrieve_repair = None; _ } -> ()
+  | Circular_queue.Rejected _ -> Alcotest.fail "unexpected rejection"
+
+let dequeue_ok q =
+  match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Dequeued { entry; _ } -> entry
+  | Circular_queue.Empty -> Alcotest.fail "unexpected empty"
+  | Circular_queue.Repair_pending -> Alcotest.fail "unexpected repair-pending"
+
+let test_wrap_modulus_multiple () =
+  List.iter
+    (fun capacity ->
+      let q = Circular_queue.create ~name:"w" ~capacity () in
+      let wrap = Circular_queue.wrap_modulus q in
+      Alcotest.(check int) "wrap divisible by capacity" 0 (wrap mod capacity);
+      Alcotest.(check bool) "wrap fits 32 bits" true (wrap <= 1 lsl 32);
+      Alcotest.(check bool) "wrap maximal" true (wrap + capacity > 1 lsl 32))
+    [ 1; 2; 3; 7; 164_000; 1 lsl 16 ]
+
+let test_fifo_across_wrap () =
+  let q = Circular_queue.create ~name:"w" ~capacity:5 () in
+  let wrap = Circular_queue.wrap_modulus q in
+  (* Park both pointers three increments before the wrap boundary. *)
+  Circular_queue.unsafe_set_pointers_for_test q ~add:(wrap - 3) ~retrieve:(wrap - 3);
+  for i = 1 to 5 do
+    enqueue_ok q (entry i)
+  done;
+  Alcotest.(check int) "occupancy across wrap" 5 (Circular_queue.occupancy q);
+  Alcotest.(check bool) "add pointer wrapped" true (Circular_queue.peek_add_ptr q < 5);
+  for i = 1 to 5 do
+    Alcotest.(check int) "FIFO across wrap" i (tid (dequeue_ok q))
+  done;
+  Alcotest.(check int) "empty after drain" 0 (Circular_queue.occupancy q)
+
+let test_full_rejection_at_wrap () =
+  let q = Circular_queue.create ~name:"w" ~capacity:2 () in
+  let wrap = Circular_queue.wrap_modulus q in
+  Circular_queue.unsafe_set_pointers_for_test q ~add:(wrap - 1) ~retrieve:(wrap - 1);
+  enqueue_ok q (entry 1);
+  enqueue_ok q (entry 2);
+  (match Circular_queue.enqueue q (ctx ()) (entry 3) with
+  | Circular_queue.Rejected { add_repair = Some target } ->
+    Circular_queue.apply_repair_add q (ctx ()) ~target
+  | _ -> Alcotest.fail "expected full rejection at wrap");
+  Alcotest.(check int) "add pointer repaired across wrap" 1
+    (Circular_queue.peek_add_ptr q);
+  Alcotest.(check int) "head still intact" 1 (tid (dequeue_ok q));
+  Alcotest.(check int) "tail still intact" 2 (tid (dequeue_ok q))
+
+let test_empty_overrun_repair_at_wrap () =
+  let q = Circular_queue.create ~name:"w" ~capacity:4 () in
+  let wrap = Circular_queue.wrap_modulus q in
+  Circular_queue.unsafe_set_pointers_for_test q ~add:(wrap - 1) ~retrieve:(wrap - 1);
+  (* Two empty polls overrun the retrieve pointer across the boundary. *)
+  (match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Empty -> ()
+  | _ -> Alcotest.fail "expected empty");
+  (match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Empty -> ()
+  | _ -> Alcotest.fail "expected empty");
+  Alcotest.(check int) "retrieve wrapped to 1" 1 (Circular_queue.peek_retrieve_ptr q);
+  (* The next enqueue must detect the (wrapped) overrun and repair. *)
+  (match Circular_queue.enqueue q (ctx ()) (entry 7) with
+  | Circular_queue.Enqueued { index; retrieve_repair = Some target } ->
+    Alcotest.(check int) "repair targets new task" index target;
+    Circular_queue.apply_repair_retrieve q (ctx ()) ~target
+  | _ -> Alcotest.fail "expected overrun repair across wrap");
+  Alcotest.(check int) "task recovered" 7 (tid (dequeue_ok q))
+
+let test_is_ahead_semantics () =
+  let q = Circular_queue.create ~name:"w" ~capacity:8 () in
+  let wrap = Circular_queue.wrap_modulus q in
+  Alcotest.(check bool) "simple ahead" true (Circular_queue.is_ahead q 5 3);
+  Alcotest.(check bool) "simple behind" false (Circular_queue.is_ahead q 3 5);
+  Alcotest.(check bool) "equal not ahead" false (Circular_queue.is_ahead q 4 4);
+  (* 1 is "ahead" of wrap-2: it is two increments later in wrap order. *)
+  Alcotest.(check bool) "ahead across wrap" true (Circular_queue.is_ahead q 1 (wrap - 2));
+  Alcotest.(check bool) "behind across wrap" false
+    (Circular_queue.is_ahead q (wrap - 2) 1);
+  Alcotest.(check int) "next at boundary" 0 (Circular_queue.next_index q (wrap - 1));
+  Alcotest.(check int) "distance across wrap" 3
+    (Circular_queue.distance q ~ahead:1 ~behind:(wrap - 2))
+
+let prop_fifo_survives_any_start =
+  QCheck.Test.make ~name:"queue is FIFO from any pointer position incl. near wrap"
+    ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 0 20))
+    (fun (capacity, offset) ->
+      let q = Circular_queue.create ~name:"pw" ~capacity () in
+      let wrap = Circular_queue.wrap_modulus q in
+      let start = (wrap - 10 + offset + wrap) mod wrap in
+      Circular_queue.unsafe_set_pointers_for_test q ~add:start ~retrieve:start;
+      let ok = ref true in
+      (* Several full fill/drain cycles rolling across the boundary. *)
+      for round = 0 to 3 do
+        for i = 1 to capacity do
+          enqueue_ok q (entry ((round * 100) + i))
+        done;
+        for i = 1 to capacity do
+          if tid (dequeue_ok q) <> (round * 100) + i then ok := false
+        done
+      done;
+      !ok)
+
+let test_swap_across_wrap () =
+  let q = Circular_queue.create ~name:"w" ~capacity:6 () in
+  let wrap = Circular_queue.wrap_modulus q in
+  Circular_queue.unsafe_set_pointers_for_test q ~add:(wrap - 1) ~retrieve:(wrap - 1);
+  enqueue_ok q (entry 1);
+  enqueue_ok q (entry 2);
+  (* Entry 2 sits at wrapped index 0. *)
+  (match Circular_queue.swap q (ctx ()) ~index:0 (entry 42) with
+  | Circular_queue.Swapped popped -> Alcotest.(check int) "swapped out" 2 (tid popped)
+  | Circular_queue.Slot_invalid -> Alcotest.fail "slot should be valid across wrap");
+  Alcotest.(check int) "head unchanged" 1 (tid (dequeue_ok q));
+  Alcotest.(check int) "swapped task in place" 42 (tid (dequeue_ok q))
+
+let suite =
+  [
+    Alcotest.test_case "wrap modulus is a capacity multiple" `Quick
+      test_wrap_modulus_multiple;
+    Alcotest.test_case "FIFO across the wrap boundary" `Quick test_fifo_across_wrap;
+    Alcotest.test_case "full rejection + repair at wrap" `Quick
+      test_full_rejection_at_wrap;
+    Alcotest.test_case "empty overrun repair at wrap" `Quick
+      test_empty_overrun_repair_at_wrap;
+    Alcotest.test_case "is_ahead / next_index / distance" `Quick test_is_ahead_semantics;
+    QCheck_alcotest.to_alcotest prop_fifo_survives_any_start;
+    Alcotest.test_case "task swap across wrap" `Quick test_swap_across_wrap;
+  ]
