@@ -5,6 +5,11 @@
      main.exe                 run everything in paper order
      main.exe fig7 fig8       run selected experiments
      main.exe --quick [...]   smaller grids and horizons
+     main.exe --jobs N [...]  worker domains for the experiment grids
+                              (default: DRACONIS_JOBS or cores-1)
+     main.exe --json FILE     write machine-readable results (wall time,
+                              events/sec, key percentiles) to FILE
+     main.exe --csv DIR       also write every table as CSV under DIR
      main.exe --list          list experiment names *)
 
 open Bechamel
@@ -25,6 +30,17 @@ let micro_tests () =
            done;
            while not (Heap.is_empty heap) do
              ignore (Heap.pop heap)
+           done))
+  in
+  let int_heap_test =
+    Test.make ~name:"int_heap push+pop x100"
+      (Staged.stage (fun () ->
+           let heap = Int_heap.create () in
+           for i = 0 to 99 do
+             Int_heap.push heap ((i * 7919) mod 100) i
+           done;
+           while not (Int_heap.is_empty heap) do
+             ignore (Int_heap.pop heap)
            done))
   in
   let engine_test =
@@ -104,8 +120,8 @@ let micro_tests () =
       (Staged.stage (fun () ->
            Draconis_sim.Trace.emit ~at:0 Draconis_sim.Trace.Host (lazy "x")))
   in
-  [ heap_test; engine_test; rng_test; codec_test; queue_test; swap_test;
-    table_lookup_test; trace_emit_test ]
+  [ heap_test; int_heap_test; engine_test; rng_test; codec_test; queue_test;
+    swap_test; table_lookup_test; trace_emit_test ]
 
 let run_micro ?quick:_ () =
   print_endline "\n== Micro-benchmarks (core data structures) ==";
@@ -156,16 +172,25 @@ let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  (* --csv DIR: also write every table as CSV under DIR. *)
-  let rec csv_dir = function
-    | "--csv" :: dir :: _ -> Some dir
-    | _ :: rest -> csv_dir rest
+  (* Flags taking a value: --csv DIR, --json FILE, --jobs N. *)
+  let rec value_of flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> value_of flag rest
     | [] -> None
   in
-  Draconis_stats.Table.set_csv_dir (csv_dir args);
+  Draconis_stats.Table.set_csv_dir (value_of "--csv" args);
+  let json_path = value_of "--json" args in
+  (match value_of "--jobs" args with
+  | None -> ()
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> H.Pool.set_jobs n
+    | Some _ | None ->
+      Printf.eprintf "--jobs wants a positive integer, got %S\n" v;
+      exit 1));
   let names =
     let rec drop_flags = function
-      | "--csv" :: _ :: rest -> drop_flags rest
+      | ("--csv" | "--json" | "--jobs") :: _ :: rest -> drop_flags rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> drop_flags rest
       | a :: rest -> a :: drop_flags rest
       | [] -> []
@@ -187,11 +212,24 @@ let () =
               exit 1)
           names
     in
+    H.Report.reset ();
+    (* stderr so stdout stays byte-identical across --jobs settings. *)
+    Printf.eprintf "(running with --jobs %d)\n%!" (H.Pool.jobs ());
     List.iter
       (fun (name, descr, run) ->
         Printf.printf "\n#### %s: %s%s\n%!" name descr (if quick then " [quick]" else "");
         let t0 = Unix.gettimeofday () in
         (run : ?quick:bool -> unit -> unit) ~quick ();
-        Printf.printf "(%s took %.1fs)\n%!" name (Unix.gettimeofday () -. t0))
-      selected
+        let wall_s = Unix.gettimeofday () -. t0 in
+        H.Report.finish_experiment ~name ~wall_s;
+        Printf.printf "(%s took %.1fs)\n%!" name wall_s)
+      selected;
+    match json_path with
+    | None -> ()
+    | Some path ->
+      (try H.Report.write ~path ~jobs:(H.Pool.jobs ()) ~quick with
+      | Sys_error msg ->
+        Printf.eprintf "cannot write --json report: %s\n" msg;
+        exit 1);
+      Printf.printf "\nwrote %s\n%!" path
   end

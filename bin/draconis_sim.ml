@@ -121,7 +121,13 @@ let run_info =
 
 (* -- figures ------------------------------------------------------------------ *)
 
-let figures_cmd quick names =
+let figures_cmd quick jobs names =
+  (match jobs with
+  | Some n when n >= 1 -> H.Pool.set_jobs n
+  | Some n ->
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" n;
+    exit 1
+  | None -> ());
   let all =
     [
       ("fig5a", H.Fig5a.run); ("fig5b", H.Fig5b.run); ("fig6", H.Fig6.run);
@@ -152,10 +158,21 @@ let figures_term =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller grids and horizons.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the experiment grids (default: \
+             \\$(b,DRACONIS_JOBS) or number of cores minus one).  Results \
+             are merged in submission order, so tables are identical for \
+             any $(docv).")
+  in
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"FIGURE" ~doc:"Figures to run.")
   in
-  Term.(const figures_cmd $ quick $ names)
+  Term.(const figures_cmd $ quick $ jobs $ names)
 
 let figures_info =
   Cmd.info "figures" ~doc:"Regenerate the paper's evaluation tables and figures"

@@ -14,6 +14,19 @@ let measure system ~load ~quick =
   let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
   Runner.run system ~driver ~load_tps:load ~horizon ()
 
+(* Pool a (row x load) grid of self-contained closures and hand the flat
+   outcome list back as rows of [List.length loads] cells. *)
+let pooled_rows makes ~loads ~quick =
+  let outcomes =
+    Pool.map
+      (List.concat_map
+         (fun make ->
+           List.map (fun load () -> measure (make ()) ~load ~quick) loads)
+         makes)
+  in
+  Report.add_outcomes outcomes;
+  Exp_common.chunk (List.length loads) outcomes
+
 (* Pull (Draconis) vs push at increasing placement accuracy. *)
 let pull_vs_push ~quick =
   let spec = Systems.default_spec in
@@ -35,19 +48,14 @@ let pull_vs_push ~quick =
     ]
   in
   List.iter
-    (fun make ->
-      let name = ref "" in
-      let cells =
-        List.map
-          (fun load ->
-            let system = make () in
-            name := system.Systems.name;
-            let o = measure system ~load ~quick in
-            Exp_common.us o.sched_p99)
-          loads
-      in
-      Table.add_row table (!name :: cells))
-    contenders;
+    (fun row ->
+      match row with
+      | [] -> ()
+      | (first : Runner.outcome) :: _ ->
+        Table.add_row table
+          (first.system
+          :: List.map (fun (o : Runner.outcome) -> Exp_common.us o.sched_p99) row))
+    (pooled_rows contenders ~loads ~quick);
   Table.print
     ~title:"Ablation: pull-based central queue vs push-based placement (500us tasks)"
     table
@@ -65,11 +73,18 @@ let correction_cost ~quick =
         [ "util"; "p99 (us)"; "repairs launched"; "repairs / task";
           "recirculated (% pkts)" ]
   in
+  let rows =
+    Pool.map
+      (List.map
+         (fun load () ->
+           let cluster, system = Systems.draconis_cluster spec in
+           let o = measure system ~load ~quick in
+           (o, Switch_program.repairs_launched (Cluster.program cluster)))
+         loads)
+  in
+  Report.add_outcomes (List.map fst rows);
   List.iter2
-    (fun load util ->
-      let cluster, system = Systems.draconis_cluster spec in
-      let o = measure system ~load ~quick in
-      let repairs = Switch_program.repairs_launched (Cluster.program cluster) in
+    (fun util ((o : Runner.outcome), repairs) ->
       Table.add_row table
         [
           Printf.sprintf "%.0f%%" (100.0 *. util);
@@ -78,7 +93,7 @@ let correction_cost ~quick =
           Printf.sprintf "%.5f" (float_of_int repairs /. float_of_int (max 1 o.submitted));
           Exp_common.pct o.recirc_fraction;
         ])
-    loads utilizations;
+    utilizations rows;
   Table.print
     ~title:
       "Ablation: delayed-pointer-correction overhead (repair packets are the price of the one-access rule)"
@@ -94,18 +109,25 @@ let recirc_bandwidth ~quick =
     Table.create
       ~columns:[ "recirc rate (Mpps)"; "dropped packets"; "p99 (us)"; "timeouts" ]
   in
-  List.iter
-    (fun slot ->
-      let system =
-        Systems.r2p2 ~k:1 ~client_timeout:(Time.ms 1)
-          ~pipeline_config:
-            {
-              Draconis_p4.Pipeline.default_config with
-              recirc_slot = Time.ns slot;
-            }
-          spec
-      in
-      let o = measure system ~load ~quick in
+  let rows =
+    Pool.map
+      (List.map
+         (fun slot () ->
+           let system =
+             Systems.r2p2 ~k:1 ~client_timeout:(Time.ms 1)
+               ~pipeline_config:
+                 {
+                   Draconis_p4.Pipeline.default_config with
+                   recirc_slot = Time.ns slot;
+                 }
+               spec
+           in
+           measure system ~load ~quick)
+         slots)
+  in
+  Report.add_outcomes rows;
+  List.iter2
+    (fun slot (o : Runner.outcome) ->
       Table.add_row table
         [
           Printf.sprintf "%.0f" (1e3 /. float_of_int slot);
@@ -113,7 +135,7 @@ let recirc_bandwidth ~quick =
           Exp_common.us o.sched_p99;
           string_of_int o.timeouts;
         ])
-    slots;
+    slots rows;
   Table.print
     ~title:"Ablation: R2P2-1 task drops vs recirculation bandwidth (93% load)"
     table
@@ -127,24 +149,34 @@ let intra_node_policy ~quick =
   let executors = spec.workers * spec.executors_per_worker in
   let load = List.hd (Exp_common.loads kind ~executors ~utilizations:[ 0.8 ]) in
   let table = Table.create ~columns:[ "intra-node policy"; "p50 (us)"; "p99 (us)" ] in
-  List.iter
-    (fun (label, intra) ->
-      let system = Systems.racksched ~intra spec in
-      let horizon =
-        Exp_common.horizon_for ~rate_tps:load
-          ~target_tasks:(if quick then 4_000 else 15_000)
-          ()
-      in
-      let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
-      let o = Runner.run system ~driver ~load_tps:load ~horizon () in
-      Table.add_row table
-        [ label; Exp_common.us o.sched_p50; Exp_common.us o.sched_p99 ])
+  let configs =
     [
       ("cFCFS (no preemption)", Draconis_baselines.Node_worker.Fcfs);
       ( "processor sharing (25us quantum)",
         Draconis_baselines.Node_worker.Processor_sharing
           { quantum = Time.us 25; overhead = Time.us 1 } );
-    ];
+    ]
+  in
+  let rows =
+    Pool.map
+      (List.map
+         (fun (_, intra) () ->
+           let system = Systems.racksched ~intra spec in
+           let horizon =
+             Exp_common.horizon_for ~rate_tps:load
+               ~target_tasks:(if quick then 4_000 else 15_000)
+               ()
+           in
+           let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+           Runner.run system ~driver ~load_tps:load ~horizon ())
+         configs)
+  in
+  Report.add_outcomes rows;
+  List.iter2
+    (fun (label, _) (o : Runner.outcome) ->
+      Table.add_row table
+        [ label; Exp_common.us o.sched_p50; Exp_common.us o.sched_p99 ])
+    configs rows;
   Table.print
     ~title:
       "Ablation: RackSched intra-node policy on a heavy-tailed workload (exp-250us, 80% load)"
@@ -209,22 +241,33 @@ let work_stealing ~quick =
         (running, fun () -> Draconis_baselines.R2p2.steals sys));
     ]
   in
+  (* Each grid point reads its own steal counter right after its run,
+     inside the closure; the row reports the last load's count, as the
+     column header says. *)
+  let rows =
+    Pool.map
+      (List.concat_map
+         (fun make ->
+           List.map
+             (fun load () ->
+               let system, steals = make () in
+               let o = measure system ~load ~quick in
+               (o, steals ()))
+             loads)
+         contenders)
+  in
+  Report.add_outcomes (List.map fst rows);
   List.iter
-    (fun make ->
-      let name = ref "" in
-      let steal_count = ref 0 in
-      let cells =
-        List.map
-          (fun load ->
-            let system, steals = make () in
-            name := system.Systems.name;
-            let o = measure system ~load ~quick in
-            steal_count := steals ();
-            Exp_common.us o.sched_p99)
-          loads
-      in
-      Table.add_row table ((!name :: cells) @ [ string_of_int !steal_count ]))
-    contenders;
+    (fun row ->
+      match row with
+      | [] -> ()
+      | ((first : Runner.outcome), _) :: _ ->
+        let cells =
+          List.map (fun ((o : Runner.outcome), _) -> Exp_common.us o.sched_p99) row
+        in
+        let steal_count = snd (List.nth row (List.length row - 1)) in
+        Table.add_row table ((first.system :: cells) @ [ string_of_int steal_count ]))
+    (Exp_common.chunk (List.length loads) rows);
   Table.print
     ~title:
       "Ablation: work stealing on R2P2-3 (sec 2.2.1 — can stealing fix node-level blocking?)"
@@ -237,13 +280,18 @@ let sampling_width ~quick =
   let load = List.hd (Exp_common.loads kind ~executors ~utilizations:[ 0.85 ]) in
   let widths = if quick then [ 2 ] else [ 1; 2; 4; 10 ] in
   let table = Table.create ~columns:[ "samples"; "p50 (us)"; "p99 (us)" ] in
-  List.iter
-    (fun samples ->
-      let system = Systems.racksched ~samples spec in
-      let o = measure system ~load ~quick in
+  let rows =
+    Pool.map
+      (List.map
+         (fun samples () -> measure (Systems.racksched ~samples spec) ~load ~quick)
+         widths)
+  in
+  Report.add_outcomes rows;
+  List.iter2
+    (fun samples (o : Runner.outcome) ->
       Table.add_row table
         [ string_of_int samples; Exp_common.us o.sched_p50; Exp_common.us o.sched_p99 ])
-    widths;
+    widths rows;
   Table.print ~title:"Ablation: RackSched power-of-k sampling width (85% load)" table
 
 let run ?(quick = false) () =

@@ -22,3 +22,36 @@ let horizon_for ~rate_tps ?(target_tasks = 25_000) ?(min_horizon = Time.ms 50)
 let us ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e3)
 let pct f = Printf.sprintf "%.2f%%" (100.0 *. f)
 let yn b = if b then "yes" else "no"
+
+let chunk n lst =
+  if n <= 0 then invalid_arg "Exp_common.chunk: n must be positive";
+  let rec go acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if count = n then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (count + 1) rest
+  in
+  go [] [] 0 lst
+
+let feed_noop (system : Systems.running) ~in_flight ~horizon =
+  let open Draconis_proto in
+  let submitted = ref 0 in
+  let submit_tasks n =
+    let rec go n =
+      if n > 0 then begin
+        let chunk = min n Codec.max_tasks_per_packet in
+        system.submit
+          (List.init chunk (fun tid ->
+               Task.make ~uid:0 ~jid:0 ~tid ~fn_id:Task.Fn.noop ~fn_par:0 ()));
+        submitted := !submitted + chunk;
+        go (n - chunk)
+      end
+    in
+    go n
+  in
+  submit_tasks in_flight;
+  (* No-op tasks are dropped at executors without a client reply, so the
+     feeder tracks executor starts rather than completions. *)
+  Engine.every system.engine ~interval:(Time.us 10) ~until:horizon (fun () ->
+      let deficit = Draconis.Metrics.started system.metrics + in_flight - !submitted in
+      if deficit > 0 then submit_tasks deficit)

@@ -34,3 +34,14 @@ val pct : float -> string
 
 (** "yes"/"no". *)
 val yn : bool -> string
+
+(** [chunk n lst] splits [lst] into consecutive chunks of [n] (the last
+    may be shorter) — used to turn a flat pooled grid back into table
+    rows.
+    @raise Invalid_argument if [n <= 0]. *)
+val chunk : int -> 'a list -> 'a list list
+
+(** Closed-loop no-op feeder (Fig 5b, scaling validation): keeps
+    [in_flight] tasks in the system by resubmitting one task per
+    executor start, so the scheduler never idles. *)
+val feed_noop : Systems.running -> in_flight:int -> horizon:Time.t -> unit

@@ -1,32 +1,7 @@
 open Draconis_sim
 open Draconis_stats
-open Draconis_proto
 open Draconis
 module CS = Draconis_baselines.Central_server
-
-(* Closed-loop feeder: resubmit one no-op task per completion, keeping
-   ~[in_flight] tasks in the system so the scheduler never idles. *)
-let feed (system : Systems.running) ~in_flight ~horizon =
-  let submitted = ref 0 in
-  let submit_tasks n =
-    let rec go n =
-      if n > 0 then begin
-        let chunk = min n Codec.max_tasks_per_packet in
-        system.submit
-          (List.init chunk (fun tid ->
-               Task.make ~uid:0 ~jid:0 ~tid ~fn_id:Task.Fn.noop ~fn_par:0 ()));
-        submitted := !submitted + chunk;
-        go (n - chunk)
-      end
-    in
-    go n
-  in
-  submit_tasks in_flight;
-  (* No-op tasks are dropped at executors without a client reply, so the
-     feeder tracks executor starts rather than completions. *)
-  Engine.every system.engine ~interval:(Time.us 10) ~until:horizon (fun () ->
-      let deficit = Metrics.started system.metrics + in_flight - !submitted in
-      if deficit > 0 then submit_tasks deficit)
 
 (* Multi-task submission packets enqueue one task per recirculation
    (sec 4.3), so feeding tens of millions of tasks per second needs the
@@ -47,7 +22,7 @@ let throughput make ~workers ~executors_per_worker ~horizon =
   (* Enough in-flight tasks that the queue outlasts one feeder period
      even at ~300k decisions/s per executor, but capped so slow
      server-based schedulers are not buried by the initial flood. *)
-  feed system ~in_flight:(min (60 * executors) 2048) ~horizon;
+  Exp_common.feed_noop system ~in_flight:(min (60 * executors) 2048) ~horizon;
   Engine.run ~until:horizon system.engine;
   Draconis_stats.Meter.rate_over (Metrics.decisions system.metrics) ~duration:horizon
 
@@ -67,18 +42,28 @@ let run ?(quick = false) () =
     Table.create
       ~columns:("system" :: List.map (fun w -> Printf.sprintf "%d exec" (16 * w)) worker_counts)
   in
-  List.iter
-    (fun (name, make) ->
+  (* Flat (system x workers) grid, pooled; each cell is a full
+     closed-loop simulation.  Re-chunk the flat results into rows. *)
+  let cells =
+    Pool.map
+      (List.concat_map
+         (fun (_, make) ->
+           List.map
+             (fun workers () ->
+               throughput make ~workers ~executors_per_worker:16 ~horizon)
+             worker_counts)
+         systems)
+  in
+  List.iter2
+    (fun (name, _) rates ->
       let rates =
         List.map
-          (fun workers ->
-            let rate =
-              throughput make ~workers ~executors_per_worker:16 ~horizon
-            in
+          (fun rate ->
             if rate >= 1e6 then Printf.sprintf "%.1fM/s" (rate /. 1e6)
             else Printf.sprintf "%.0fk/s" (rate /. 1e3))
-          worker_counts
+          rates
       in
       Table.add_row table (name :: rates))
-    systems;
+    systems
+    (Exp_common.chunk (List.length worker_counts) cells);
   Table.print ~title:"Fig 5b: scheduling throughput (no-op tasks) vs executors" table

@@ -26,26 +26,34 @@ let run ?(quick = false) () =
           (fun () -> Systems.central_server CS.Dpdk spec);
         ]
       in
+      let outcomes =
+        Pool.map
+          (List.concat_map
+             (fun make ->
+               List.map
+                 (fun load () ->
+                   let system = make () in
+                   let horizon =
+                     Exp_common.horizon_for ~rate_tps:load
+                       ~target_tasks:(if quick then 4_000 else 20_000)
+                       ()
+                   in
+                   let driver =
+                     Exp_common.synthetic_driver kind ~rate_tps:load ~horizon
+                   in
+                   Runner.run system ~driver ~load_tps:load ~horizon ())
+                 loads)
+             systems)
+      in
+      Report.add_outcomes outcomes;
       List.iter
-        (fun make ->
-          let name = ref "" in
-          let cells =
-            List.map
-              (fun load ->
-                let system = make () in
-                name := system.Systems.name;
-                let horizon =
-                  Exp_common.horizon_for ~rate_tps:load
-                    ~target_tasks:(if quick then 4_000 else 20_000)
-                    ()
-                in
-                let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
-                let o = Runner.run system ~driver ~load_tps:load ~horizon () in
-                Exp_common.us o.sched_p99)
-              loads
-          in
-          Table.add_row table (!name :: cells))
-        systems;
+        (fun row ->
+          match row with
+          | [] -> ()
+          | (first : Runner.outcome) :: _ ->
+            Table.add_row table
+              (first.system :: List.map (fun (o : Runner.outcome) -> Exp_common.us o.sched_p99) row))
+        (Exp_common.chunk (List.length loads) outcomes);
       Table.print
         ~title:
           (Printf.sprintf "Fig 6 (%s): p99 scheduling delay vs utilization"

@@ -25,32 +25,42 @@ let run ?(quick = false) () =
       (fun () -> Systems.draconis spec);
     ]
   in
-  List.iter
-    (fun make ->
-      List.iter2
-        (fun load util ->
-          let system = make () in
-          let horizon =
-            Exp_common.horizon_for ~rate_tps:load
-              ~target_tasks:(if quick then 5_000 else 30_000)
-              ()
-          in
-          let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
-          let o = Runner.run system ~driver ~load_tps:load ~horizon () in
-          (* A dropped task shows up as a client timeout (it was
-             resubmitted); report unique timed-out tasks over offered. *)
-          let drop_pct =
-            if o.submitted = 0 then 0.0
-            else float_of_int o.recirc_drops /. float_of_int o.submitted
-          in
-          Table.add_row table
-            [
-              o.system;
-              Printf.sprintf "%.0f%%" (100.0 *. util);
-              Exp_common.pct o.recirc_fraction;
-              Exp_common.pct drop_pct;
-              Exp_common.us o.sched_p99;
-            ])
-        loads utilizations)
-    systems;
+  let grid =
+    List.concat_map
+      (fun make ->
+        List.map2 (fun load util -> (make, load, util)) loads utilizations)
+      systems
+  in
+  let rows =
+    Pool.map
+      (List.map
+         (fun (make, load, _) () ->
+           let system = make () in
+           let horizon =
+             Exp_common.horizon_for ~rate_tps:load
+               ~target_tasks:(if quick then 5_000 else 30_000)
+               ()
+           in
+           let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+           Runner.run system ~driver ~load_tps:load ~horizon ())
+         grid)
+  in
+  Report.add_outcomes rows;
+  List.iter2
+    (fun (_, _, util) (o : Runner.outcome) ->
+      (* A dropped task shows up as a client timeout (it was
+         resubmitted); report unique timed-out tasks over offered. *)
+      let drop_pct =
+        if o.submitted = 0 then 0.0
+        else float_of_int o.recirc_drops /. float_of_int o.submitted
+      in
+      Table.add_row table
+        [
+          o.system;
+          Printf.sprintf "%.0f%%" (100.0 *. util);
+          Exp_common.pct o.recirc_fraction;
+          Exp_common.pct drop_pct;
+          Exp_common.us o.sched_p99;
+        ])
+    grid rows;
   Table.print ~title:"Fig 7: recirculation and task drops, 250us tasks" table

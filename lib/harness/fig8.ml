@@ -30,28 +30,40 @@ let panel kind ~quick =
       (fun () -> Systems.r2p2 ~k:3 ~client_timeout:timeout spec);
     ]
   in
+  let outcomes =
+    Pool.map
+      (List.concat_map
+         (fun make ->
+           List.map
+             (fun load () ->
+               let system = make () in
+               let horizon =
+                 Exp_common.horizon_for ~rate_tps:load
+                   ~target_tasks:(if quick then 5_000 else 25_000)
+                   ()
+               in
+               let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+               Runner.run system ~driver ~load_tps:load ~horizon ())
+             loads)
+         systems)
+  in
+  Report.add_outcomes outcomes;
   List.iter
-    (fun make ->
-      let name = ref "" in
-      let cells =
-        List.concat_map
-          (fun load ->
-            let system = make () in
-            name := system.Systems.name;
-            let horizon =
-              Exp_common.horizon_for ~rate_tps:load
-                ~target_tasks:(if quick then 5_000 else 25_000)
-                ()
-            in
-            let driver = Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
-            let o = Runner.run system ~driver ~load_tps:load ~horizon () in
-            [ Exp_common.us o.sched_p99;
-              (if o.recirc_drops > 0 then Printf.sprintf "%d!" o.recirc_drops else "0");
-            ])
-          loads
-      in
-      Table.add_row table (!name :: cells))
-    systems;
+    (fun row ->
+      match row with
+      | [] -> ()
+      | (first : Runner.outcome) :: _ ->
+        let cells =
+          List.concat_map
+            (fun (o : Runner.outcome) ->
+              [ Exp_common.us o.sched_p99;
+                (if o.recirc_drops > 0 then Printf.sprintf "%d!" o.recirc_drops
+                 else "0");
+              ])
+            row
+        in
+        Table.add_row table (first.system :: cells))
+    (Exp_common.chunk (List.length loads) outcomes);
   Table.print
     ~title:
       (Printf.sprintf "Fig 8 (%s tasks): JBSQ bound vs p99; '!' marks dropped tasks"

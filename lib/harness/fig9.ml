@@ -47,18 +47,30 @@ let run ?(quick = false) () =
         :: List.map (fun p -> Printf.sprintf "p%.0f (us)" p) percentiles
         @ [ "drops" ])
   in
+  (* Each closure returns the outcome plus the extra percentile cells,
+     computed from the system's own sampler before the closure ends. *)
+  let rows =
+    Pool.map
+      (List.map
+         (fun make () ->
+           let system = make () in
+           let o = Runner.run system ~driver ~load_tps:rate ~horizon () in
+           let delays = Draconis.Metrics.scheduling_delay system.Systems.metrics in
+           let cells =
+             if Sampler.count delays = 0 then List.map (fun _ -> "-") percentiles
+             else
+               List.map
+                 (fun p -> Exp_common.us (Sampler.percentile delays p))
+                 percentiles
+           in
+           (o, cells))
+         systems)
+  in
+  Report.add_outcomes (List.map fst rows);
   List.iter
-    (fun make ->
-      let system = make () in
-      let o = Runner.run system ~driver ~load_tps:rate ~horizon () in
-      let delays = Draconis.Metrics.scheduling_delay system.Systems.metrics in
-      let cells =
-        if Sampler.count delays = 0 then List.map (fun _ -> "-") percentiles
-        else
-          List.map (fun p -> Exp_common.us (Sampler.percentile delays p)) percentiles
-      in
+    (fun ((o : Runner.outcome), cells) ->
       Table.add_row table ((o.system :: cells) @ [ string_of_int o.recirc_drops ]))
-    systems;
+    rows;
   Table.print
     ~title:"Fig 9: scheduling-delay percentiles, Google trace (500us mean, bursty)"
     table

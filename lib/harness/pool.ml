@@ -1,0 +1,152 @@
+(* Work pool over Domain.spawn.
+
+   Jobs go through a mutex/condition-protected queue; each worker domain
+   pulls the next job, runs it, and stores the result (or the exception)
+   in a slot indexed by submission order.  [results]/[map] therefore
+   return rows in submission order no matter which domain ran which job,
+   which is what keeps parallel experiment sweeps bit-identical to the
+   sequential run. *)
+
+let env_var = "DRACONIS_JOBS"
+
+let env_jobs () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some raw -> (
+    match int_of_string_opt (String.trim raw) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None ->
+      Printf.eprintf "warning: ignoring %s=%S (want a positive integer)\n%!"
+        env_var raw;
+      None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let current_jobs = ref (-1)
+
+let jobs () =
+  if !current_jobs < 1 then current_jobs := default_jobs ();
+  !current_jobs
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: jobs must be >= 1";
+  current_jobs := n
+
+type 'a cell = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a t = {
+  jobs : int;
+  mutex : Mutex.t;
+  todo : (int * (unit -> 'a)) Queue.t;
+  work_or_close : Condition.t;
+  job_done : Condition.t;
+  mutable cells : 'a cell array;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let create ?jobs:j () =
+  let j = match j with Some j -> max 1 j | None -> jobs () in
+  {
+    jobs = j;
+    mutex = Mutex.create ();
+    todo = Queue.create ();
+    work_or_close = Condition.create ();
+    job_done = Condition.create ();
+    cells = Array.make 16 Pending;
+    submitted = 0;
+    completed = 0;
+    closed = false;
+    domains = [];
+  }
+
+let run_job t index job =
+  let cell =
+    match job () with
+    | v -> Done v
+    | exception exn -> Failed (exn, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock t.mutex;
+  t.cells.(index) <- cell;
+  t.completed <- t.completed + 1;
+  Condition.signal t.job_done;
+  Mutex.unlock t.mutex
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.todo && not t.closed do
+      Condition.wait t.work_or_close t.mutex
+    done;
+    match Queue.take_opt t.todo with
+    | None ->
+      (* Closed and drained. *)
+      Mutex.unlock t.mutex
+    | Some (index, job) ->
+      Mutex.unlock t.mutex;
+      run_job t index job;
+      loop ()
+  in
+  loop ()
+
+(* Workers store results through [t.cells] under the mutex, so growing
+   the array must also happen under the mutex or a concurrent store
+   could land in the superseded array. *)
+let grow_cells t index =
+  if index >= Array.length t.cells then begin
+    let bigger = Array.make (2 * Array.length t.cells) Pending in
+    Array.blit t.cells 0 bigger 0 index;
+    t.cells <- bigger
+  end
+
+let submit t job =
+  if t.closed then invalid_arg "Pool.submit: pool already closed";
+  let index = t.submitted in
+  t.submitted <- index + 1;
+  if t.jobs <= 1 then begin
+    (* Sequential mode runs in the submitting domain, at submission
+       time: no domains, no interleaving, the reference behaviour. *)
+    grow_cells t index;
+    run_job t index job
+  end
+  else begin
+    Mutex.lock t.mutex;
+    grow_cells t index;
+    Queue.add (index, job) t.todo;
+    Condition.signal t.work_or_close;
+    Mutex.unlock t.mutex;
+    if List.length t.domains < min t.jobs t.submitted then
+      t.domains <- Domain.spawn (worker t) :: t.domains
+  end
+
+let results t =
+  if not t.closed then begin
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.work_or_close;
+    while t.completed < t.submitted do
+      Condition.wait t.job_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end;
+  for i = 0 to t.submitted - 1 do
+    match t.cells.(i) with
+    | Failed (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | Done _ | Pending -> ()
+  done;
+  List.init t.submitted (fun i ->
+      match t.cells.(i) with
+      | Done v -> v
+      | Failed _ | Pending -> assert false)
+
+let map ?jobs fns =
+  let t = create ?jobs () in
+  List.iter (submit t) fns;
+  results t

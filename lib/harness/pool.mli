@@ -1,0 +1,51 @@
+(** Domain-based work pool for embarrassingly parallel experiment grids.
+
+    Every (system x load) grid point of the evaluation harness is an
+    independent, seeded, deterministic simulation, so the sweep
+    parallelizes trivially: each grid point becomes a self-contained
+    closure (its own engine, its own RNG) and the pool fans the closures
+    out over [Domain.spawn] workers fed from a mutex/condition queue.
+
+    Results always come back in {e submission} order, so tables and CSVs
+    built from pooled rows are bit-identical whether the pool runs with
+    1 worker or N — a property the determinism tests pin down.
+
+    The worker count defaults to [Domain.recommended_domain_count () - 1]
+    (at least 1), can be preset process-wide with the [DRACONIS_JOBS]
+    environment variable, and is overridden by [set_jobs] (the [--jobs]
+    flag of [bench/main.exe] and [draconis-sim figures]).  With one job
+    the pool degenerates to running each closure inline in the
+    submitting domain — the sequential reference behaviour. *)
+
+type 'a t
+
+(** Process-wide default worker count: [DRACONIS_JOBS] if set, else
+    [Domain.recommended_domain_count () - 1], at least 1. *)
+val default_jobs : unit -> int
+
+(** Current worker count used when [create]/[map] get no [?jobs]. *)
+val jobs : unit -> int
+
+(** Override the process-wide worker count.
+    @raise Invalid_argument if [n < 1]. *)
+val set_jobs : int -> unit
+
+(** [create ?jobs ()] is an empty pool.  Worker domains are spawned
+    lazily, one per submitted job up to [jobs]. *)
+val create : ?jobs:int -> unit -> 'a t
+
+(** [submit t job] enqueues a job.  With [jobs = 1] the job runs
+    immediately in the calling domain.  Exceptions raised by [job] are
+    captured and re-raised by [results].
+    @raise Invalid_argument if called after [results]. *)
+val submit : 'a t -> (unit -> 'a) -> unit
+
+(** [results t] closes the pool, waits for every submitted job, joins
+    the worker domains and returns the results in submission order.  If
+    any job raised, the exception of the {e earliest-submitted} failed
+    job is re-raised (with its backtrace) after all jobs have finished. *)
+val results : 'a t -> 'a list
+
+(** [map ?jobs fns] runs every closure on a fresh pool and returns their
+    results in order: a parallel [List.map (fun f -> f ())]. *)
+val map : ?jobs:int -> (unit -> 'a) list -> 'a list

@@ -16,6 +16,7 @@ type outcome = {
   rejected : int;
   recirc_fraction : float;
   recirc_drops : int;
+  events : int;
   drained : bool;
 }
 
@@ -61,6 +62,7 @@ let collect (system : Systems.running) ~load_tps ~horizon ~drained =
     rejected = Metrics.rejected metrics;
     recirc_fraction = extras.Systems.recirc_fraction;
     recirc_drops = extras.Systems.recirc_drops;
+    events = Engine.executed system.engine;
     drained;
   }
 

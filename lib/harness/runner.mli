@@ -25,6 +25,7 @@ type outcome = {
   rejected : int;  (** tasks bounced by a full scheduler queue *)
   recirc_fraction : float;
   recirc_drops : int;
+  events : int;  (** simulation events the engine executed *)
   drained : bool;
 }
 

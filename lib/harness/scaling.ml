@@ -1,6 +1,5 @@
 open Draconis_sim
 open Draconis_stats
-open Draconis_proto
 open Draconis
 module CS = Draconis_baselines.Central_server
 
@@ -47,24 +46,7 @@ let measured_decision_rate ~workers ~horizon =
     Systems.draconis ~pipeline_config:fat_recirc
       { Systems.default_spec with workers; executors_per_worker = 16 }
   in
-  let submitted = ref 0 in
-  let submit n =
-    let rec go n =
-      if n > 0 then begin
-        let chunk = min n Codec.max_tasks_per_packet in
-        system.Systems.submit
-          (List.init chunk (fun tid ->
-               Task.make ~uid:0 ~jid:0 ~tid ~fn_id:Task.Fn.noop ~fn_par:0 ()));
-        submitted := !submitted + chunk;
-        go (n - chunk)
-      end
-    in
-    go n
-  in
-  submit 2048;
-  Engine.every system.Systems.engine ~interval:(Time.us 10) ~until:horizon (fun () ->
-      let deficit = Metrics.started system.Systems.metrics + 2048 - !submitted in
-      if deficit > 0 then submit deficit);
+  Exp_common.feed_noop system ~in_flight:2048 ~horizon;
   Engine.run ~until:horizon system.Systems.engine;
   Meter.rate_over (Metrics.decisions system.Systems.metrics) ~duration:horizon
 
@@ -98,7 +80,13 @@ let run ?(quick = false) () =
      packets, grounding the projection. *)
   let horizon = if quick then Time.ms 2 else Time.ms 6 in
   let workers = if quick then 2 else 10 in
-  let measured = measured_decision_rate ~workers ~horizon in
+  let measured =
+    (* A one-point grid, but routed through the pool so the validation
+       simulation exercises the same path as the figure sweeps. *)
+    match Pool.map [ (fun () -> measured_decision_rate ~workers ~horizon) ] with
+    | [ rate ] -> rate
+    | _ -> assert false
+  in
   let rtt_bound = float_of_int (workers * 16) /. 3.55e-6 in
   Printf.printf
     "validation: %d executors measured %.1fM decisions/s (executor-loop bound %.1fM/s)\n"

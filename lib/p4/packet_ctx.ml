@@ -4,11 +4,12 @@ exception Access_violation of string
    linear scan beats a hash table on this hot path. *)
 type t = { id : int; mutable accessed : int array; mutable count : int }
 
-let counter = ref 0
+(* Atomic: packet contexts are allocated by simulations that may run in
+   parallel worker domains (see Draconis_harness.Pool). *)
+let counter = Atomic.make 0
 
 let create () =
-  incr counter;
-  { id = !counter; accessed = Array.make 16 0; count = 0 }
+  { id = 1 + Atomic.fetch_and_add counter 1; accessed = Array.make 16 0; count = 0 }
 
 let id t = t.id
 

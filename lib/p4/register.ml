@@ -5,12 +5,13 @@ type t = {
   mutable accesses : int;
 }
 
-let next_id = ref 0
+(* Atomic: registers are created from whichever domain builds the
+   cluster, and ids must stay globally unique for access tracking. *)
+let next_id = Atomic.make 0
 
 let create ~name ~size () =
   if size <= 0 then invalid_arg "Register.create: size must be positive";
-  incr next_id;
-  { id = !next_id; name; cells = Array.make size 0; accesses = 0 }
+  { id = 1 + Atomic.fetch_and_add next_id 1; name; cells = Array.make size 0; accesses = 0 }
 
 let name t = t.name
 let size t = Array.length t.cells

@@ -1,32 +1,56 @@
 type handle = { mutable dead : bool; fn : unit -> unit }
 
-type key = { at : Time.t; seq : int }
+(* Event keys are packed into a single immediate int,
+   [at lsl seq_bits lor seq], so the queue never allocates per event and
+   orders by (time, scheduling order) with one machine comparison.  The
+   sequence field must stay below [seq_limit] for the packing to sort
+   correctly; since the counter is monotone across the whole run, the
+   queue is renumbered (ties keep their order, pending count is tiny
+   compared to the counter) whenever the counter would overflow. *)
+let seq_bits = 21
+let seq_limit = 1 lsl seq_bits
+let max_at = max_int asr seq_bits
 
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
   mutable executed : int;
-  queue : (key, handle) Heap.t;
+  queue : handle Int_heap.t;
 }
 
-let compare_key a b =
-  let c = compare a.at b.at in
-  if c <> 0 then c else compare a.seq b.seq
+let pack ~at ~seq = (at lsl seq_bits) lor seq
+let key_at key = key asr seq_bits
 
-let create () =
-  { clock = 0; seq = 0; executed = 0; queue = Heap.create ~compare:compare_key () }
+let create () = { clock = 0; seq = 0; executed = 0; queue = Int_heap.create () }
 
 let now t = t.clock
 let executed t = t.executed
-let pending t = Heap.length t.queue
+let pending t = Int_heap.length t.queue
+
+let renumber t =
+  let pending = Int_heap.length t.queue in
+  let entries = Array.make pending (0, { dead = true; fn = ignore }) in
+  let i = ref 0 in
+  Int_heap.drain t.queue (fun key h ->
+      entries.(!i) <- (key, h);
+      incr i);
+  Array.iteri
+    (fun seq (key, h) -> Int_heap.push t.queue (pack ~at:(key_at key) ~seq) h)
+    entries;
+  t.seq <- pending
 
 let schedule_at t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: at=%d is before now=%d" at t.clock);
+  if at > max_at then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: at=%d exceeds the representable horizon %d"
+         at max_at);
+  if t.seq >= seq_limit then renumber t;
   let h = { dead = false; fn = f } in
+  Int_heap.push t.queue (pack ~at ~seq:t.seq) h;
   t.seq <- t.seq + 1;
-  Heap.push t.queue { at; seq = t.seq } h;
   h
 
 let schedule t ~after f =
@@ -37,10 +61,10 @@ let cancel h = h.dead <- true
 let cancelled h = h.dead
 
 let step t =
-  match Heap.pop t.queue with
+  match Int_heap.pop t.queue with
   | exception Not_found -> false
   | key, h ->
-    t.clock <- key.at;
+    t.clock <- key_at key;
     if not h.dead then begin
       t.executed <- t.executed + 1;
       h.fn ()
@@ -51,11 +75,11 @@ let run ?until ?max_events t =
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.peek t.queue with
+    match Int_heap.peek_key t.queue with
     | exception Not_found -> continue := false
-    | key, _ ->
+    | key ->
       (match until with
-      | Some limit when key.at > limit ->
+      | Some limit when key_at key > limit ->
         t.clock <- max t.clock limit;
         continue := false
       | _ ->
@@ -63,7 +87,7 @@ let run ?until ?max_events t =
         decr budget)
   done;
   match until with
-  | Some limit when Heap.is_empty t.queue && t.clock < limit -> t.clock <- limit
+  | Some limit when Int_heap.is_empty t.queue && t.clock < limit -> t.clock <- limit
   | _ -> ()
 
 let every t ~interval ~until f =

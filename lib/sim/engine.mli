@@ -29,7 +29,9 @@ val pending : t -> int
 val schedule : t -> after:Time.t -> (unit -> unit) -> handle
 
 (** [schedule_at t ~at f] runs [f] at absolute time [at].
-    @raise Invalid_argument if [at < now t]. *)
+    @raise Invalid_argument if [at < now t], or if [at] exceeds the
+    representable horizon of the packed event key (about 36 simulated
+    minutes). *)
 val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
 
 (** [cancel h] prevents the event from firing.  Cancelling an event that

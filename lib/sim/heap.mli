@@ -7,8 +7,8 @@
 
 type ('k, 'v) t
 
-(** [create ~capacity ~compare] is an empty heap.  [capacity] is only a
-    hint for the initial backing-array size. *)
+(** [create ~capacity ~compare] is an empty heap.  [capacity] sizes the
+    backing arrays allocated on the first push (default 256). *)
 val create : ?capacity:int -> compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
 
 val length : ('k, 'v) t -> int

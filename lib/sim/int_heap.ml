@@ -1,27 +1,26 @@
-type ('k, 'v) t = {
-  compare : 'k -> 'k -> int;
+type 'v t = {
   init_capacity : int;
-  mutable keys : 'k array;
+  mutable keys : int array;
   mutable vals : 'v array;
   mutable size : int;
 }
 
-let create ?(capacity = 256) ~compare () =
-  { compare; init_capacity = max 1 capacity; keys = [||]; vals = [||]; size = 0 }
+let create ?(capacity = 256) () =
+  { init_capacity = max 1 capacity; keys = [||]; vals = [||]; size = 0 }
 
 let length h = h.size
 let is_empty h = h.size = 0
 
-let grow h k v =
-  (* The backing arrays start empty because we have no dummy element; the
-     first push seeds them with the pushed binding. *)
+let grow h v =
+  (* The value array starts empty because we have no dummy element; the
+     first push seeds it with the pushed value. *)
   if Array.length h.keys = 0 then begin
-    h.keys <- Array.make h.init_capacity k;
+    h.keys <- Array.make h.init_capacity 0;
     h.vals <- Array.make h.init_capacity v
   end
   else begin
     let n = Array.length h.keys in
-    let keys = Array.make (2 * n) h.keys.(0) in
+    let keys = Array.make (2 * n) 0 in
     let vals = Array.make (2 * n) h.vals.(0) in
     Array.blit h.keys 0 keys 0 n;
     Array.blit h.vals 0 vals 0 n;
@@ -32,7 +31,7 @@ let grow h k v =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.compare h.keys.(i) h.keys.(parent) < 0 then begin
+    if h.keys.(i) < h.keys.(parent) then begin
       let k = h.keys.(i) and v = h.vals.(i) in
       h.keys.(i) <- h.keys.(parent);
       h.vals.(i) <- h.vals.(parent);
@@ -45,10 +44,8 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.compare h.keys.(l) h.keys.(!smallest) < 0 then
-    smallest := l;
-  if r < h.size && h.compare h.keys.(r) h.keys.(!smallest) < 0 then
-    smallest := r;
+  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
   if !smallest <> i then begin
     let j = !smallest in
     let k = h.keys.(i) and v = h.vals.(i) in
@@ -60,11 +57,15 @@ let rec sift_down h i =
   end
 
 let push h k v =
-  if h.size >= Array.length h.keys then grow h k v;
+  if h.size >= Array.length h.keys then grow h v;
   h.keys.(h.size) <- k;
   h.vals.(h.size) <- v;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
+
+let peek_key h =
+  if h.size = 0 then raise Not_found;
+  h.keys.(0)
 
 let peek h =
   if h.size = 0 then raise Not_found;

@@ -1,0 +1,36 @@
+(** Array-based binary min-heap specialized to [int] keys.
+
+    The event queue of the simulation engine is the hottest data
+    structure in the repository: every scheduled event pays one push and
+    one pop.  Specializing the key to [int] keeps keys unboxed in a flat
+    [int array] and replaces the polymorphic-compare call of {!Heap}
+    with a single machine comparison.  All operations are O(log n)
+    except [peek], [peek_key] and [length], which are O(1). *)
+
+type 'v t
+
+(** [create ~capacity ()] is an empty heap.  [capacity] sizes the
+    backing arrays allocated on the first push. *)
+val create : ?capacity:int -> unit -> 'v t
+
+val length : 'v t -> int
+val is_empty : 'v t -> bool
+
+val push : 'v t -> int -> 'v -> unit
+
+(** [pop h] removes and returns the minimum binding.
+    @raise Not_found if the heap is empty. *)
+val pop : 'v t -> int * 'v
+
+(** [peek h] returns the minimum binding without removing it.
+    @raise Not_found if the heap is empty. *)
+val peek : 'v t -> int * 'v
+
+(** [peek_key h] is [fst (peek h)] without building the pair.
+    @raise Not_found if the heap is empty. *)
+val peek_key : 'v t -> int
+
+val clear : 'v t -> unit
+
+(** [drain h f] pops every element in key order and applies [f]. *)
+val drain : 'v t -> (int -> 'v -> unit) -> unit

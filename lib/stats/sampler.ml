@@ -23,15 +23,20 @@ let sorted t =
   | Some a -> a
   | None ->
     let a = Array.sub t.data 0 t.size in
-    Array.sort compare a;
+    Array.sort Int.compare a;
     t.sorted_cache <- Some a;
     a
 
 let percentile t p =
   if t.size = 0 then invalid_arg "Sampler.percentile: no samples";
-  if p < 0.0 || p > 100.0 then invalid_arg "Sampler.percentile: p out of range";
+  (* NaN fails both comparisons below, so reject it explicitly. *)
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Sampler.percentile: p out of range";
   let a = sorted t in
   let rank = int_of_float (Float.round (p /. 100.0 *. float_of_int (t.size - 1))) in
+  (* Rounding can land one past either end (e.g. p just below 100 on a
+     large sample); clamp rather than trip the array bounds check. *)
+  let rank = if rank < 0 then 0 else if rank >= t.size then t.size - 1 else rank in
   a.(rank)
 
 let min t =

@@ -48,6 +48,46 @@ let test_growth () =
   Alcotest.(check int) "length after growth" 1000 (Heap.length heap);
   Alcotest.(check (pair int int)) "min after growth" (1, 1) (Heap.peek heap)
 
+let test_capacity_hint () =
+  (* A tiny capacity hint must still grow transparently... *)
+  let heap = Heap.create ~capacity:1 ~compare:Stdlib.compare () in
+  for i = 100 downto 1 do
+    Heap.push heap i i
+  done;
+  Alcotest.(check int) "length" 100 (Heap.length heap);
+  Alcotest.(check (pair int int)) "min" (1, 1) (Heap.peek heap);
+  (* ...and a large one must be accepted up front. *)
+  let big = Heap.create ~capacity:4096 ~compare:Stdlib.compare () in
+  Heap.push big 1 1;
+  Alcotest.(check (pair int int)) "big capacity works" (1, 1) (Heap.peek big)
+
+let test_int_heap_matches_generic () =
+  let keys = List.init 500 (fun i -> (i * 7919) mod 257) in
+  let generic = Heap.create ~compare:Int.compare () in
+  let mono = Int_heap.create ~capacity:8 () in
+  List.iter
+    (fun k ->
+      Heap.push generic k k;
+      Int_heap.push mono k k)
+    keys;
+  Alcotest.(check int) "peek_key" (fst (Heap.peek generic)) (Int_heap.peek_key mono);
+  let out_generic = ref [] and out_mono = ref [] in
+  Heap.drain generic (fun k _ -> out_generic := k :: !out_generic);
+  Int_heap.drain mono (fun k _ -> out_mono := k :: !out_mono);
+  Alcotest.(check (list int)) "same drain order" !out_generic !out_mono;
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Int_heap.pop mono));
+  Alcotest.check_raises "peek empty" Not_found (fun () -> ignore (Int_heap.peek mono))
+
+let prop_int_heap_sorts =
+  QCheck.Test.make ~name:"int_heap pops any int list in sorted order" ~count:200
+    QCheck.(list int)
+    (fun keys ->
+      let heap = Int_heap.create () in
+      List.iter (fun k -> Int_heap.push heap k ()) keys;
+      let out = ref [] in
+      Int_heap.drain heap (fun k () -> out := k :: !out);
+      List.rev !out = List.sort compare keys)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops any int list in sorted order" ~count:200
     QCheck.(list int)
@@ -77,6 +117,10 @@ let suite =
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     Alcotest.test_case "growth past initial capacity" `Quick test_growth;
+    Alcotest.test_case "capacity hint honoured" `Quick test_capacity_hint;
+    Alcotest.test_case "int heap matches generic heap" `Quick
+      test_int_heap_matches_generic;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_heap_partial;
+    QCheck_alcotest.to_alcotest prop_int_heap_sorts;
   ]

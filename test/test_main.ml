@@ -22,4 +22,5 @@ let () =
       ("workload", Test_workload.suite);
       ("trace-file", Test_trace_file.suite);
       ("harness", Test_harness.suite);
+      ("pool", Test_pool.suite);
     ]

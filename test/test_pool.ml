@@ -1,0 +1,187 @@
+(* Tests for the domain work pool and the parallel-sweep determinism
+   guarantee: --jobs 1 and --jobs N must produce identical rows. *)
+
+open Draconis_sim
+open Draconis_workload
+module H = Draconis_harness
+
+let test_map_ordered () =
+  let results = H.Pool.map ~jobs:4 (List.init 32 (fun i () -> i * i)) in
+  Alcotest.(check (list int))
+    "submission order" (List.init 32 (fun i -> i * i)) results
+
+let test_map_sequential () =
+  (* jobs = 1 runs inline in the submitting domain. *)
+  let ran_in = ref [] in
+  let results =
+    H.Pool.map ~jobs:1
+      (List.init 8 (fun i () ->
+           ran_in := (Domain.self () :> int) :: !ran_in;
+           i))
+  in
+  Alcotest.(check (list int)) "results" (List.init 8 Fun.id) results;
+  let self = (Domain.self () :> int) in
+  Alcotest.(check bool) "all inline" true (List.for_all (( = ) self) !ran_in)
+
+let test_all_jobs_run () =
+  let count = Atomic.make 0 in
+  let results =
+    H.Pool.map ~jobs:3
+      (List.init 20 (fun i () ->
+           Atomic.incr count;
+           i))
+  in
+  Alcotest.(check int) "20 results" 20 (List.length results);
+  Alcotest.(check int) "20 executions" 20 (Atomic.get count)
+
+let test_exception_propagates () =
+  let count = Atomic.make 0 in
+  let jobs =
+    List.init 10 (fun i () ->
+        Atomic.incr count;
+        if i = 3 then failwith "job 3 exploded";
+        i)
+  in
+  (try
+     ignore (H.Pool.map ~jobs:4 jobs);
+     Alcotest.fail "expected Failure"
+   with Failure msg -> Alcotest.(check string) "message" "job 3 exploded" msg);
+  (* A failing job does not cancel the rest of the grid. *)
+  Alcotest.(check int) "all jobs still ran" 10 (Atomic.get count)
+
+let test_earliest_exception_wins () =
+  let jobs =
+    List.init 6 (fun i () ->
+        if i >= 2 then failwith (Printf.sprintf "job %d" i);
+        i)
+  in
+  try
+    ignore (H.Pool.map ~jobs:4 jobs);
+    Alcotest.fail "expected Failure"
+  with Failure msg -> Alcotest.(check string) "lowest index" "job 2" msg
+
+let test_submit_after_results_rejected () =
+  let pool = H.Pool.create ~jobs:2 () in
+  H.Pool.submit pool (fun () -> 1);
+  Alcotest.(check (list int)) "results" [ 1 ] (H.Pool.results pool);
+  Alcotest.check_raises "closed"
+    (Invalid_argument "Pool.submit: pool already closed") (fun () ->
+      H.Pool.submit pool (fun () -> 2))
+
+let test_empty_pool () =
+  Alcotest.(check (list int)) "no jobs" [] (H.Pool.map ~jobs:4 []);
+  Alcotest.(check (list int)) "no jobs seq" [] (H.Pool.map ~jobs:1 [])
+
+(* -- determinism: the tentpole guarantee ----------------------------------- *)
+
+let small_spec =
+  { H.Systems.workers = 4; executors_per_worker = 4; clients = 1; seed = 7 }
+
+(* A fig5a-style grid: (system x load) points, each a self-contained
+   closure building its own engine and workload RNG. *)
+let grid_closures () =
+  let kind = Synthetic.Fixed_100us in
+  let systems =
+    [
+      (fun () -> H.Systems.draconis small_spec);
+      (fun () -> H.Systems.r2p2 ~k:3 ~client_timeout:(Time.ms 2) small_spec);
+    ]
+  in
+  let loads = [ 20_000.0; 40_000.0 ] in
+  List.concat_map
+    (fun make ->
+      List.map
+        (fun load () ->
+          let horizon = Time.ms 10 in
+          let driver = H.Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
+          H.Runner.run (make ()) ~driver ~load_tps:load ~horizon ())
+        loads)
+    systems
+
+let test_jobs1_jobs4_identical () =
+  let sequential = H.Pool.map ~jobs:1 (grid_closures ()) in
+  let parallel = H.Pool.map ~jobs:4 (grid_closures ()) in
+  Alcotest.(check int) "same length" (List.length sequential) (List.length parallel);
+  List.iter2
+    (fun (a : H.Runner.outcome) (b : H.Runner.outcome) ->
+      if a <> b then
+        Alcotest.failf "outcome mismatch for %s@%.0ftps: %a vs %a" a.system
+          a.load_tps H.Runner.pp_outcome a H.Runner.pp_outcome b)
+    sequential parallel
+
+let test_repeated_parallel_runs_identical () =
+  let a = H.Pool.map ~jobs:4 (grid_closures ()) in
+  let b = H.Pool.map ~jobs:4 (grid_closures ()) in
+  Alcotest.(check bool) "identical across runs" true (a = b)
+
+(* -- engine seq-counter renumbering ---------------------------------------- *)
+
+(* Schedule enough events to overflow the packed key's 21-bit sequence
+   field; the engine must renumber the pending queue and keep both
+   timestamp order and FIFO tie-breaking intact. *)
+let test_engine_seq_renumber () =
+  let engine = Engine.create () in
+  let target = (1 lsl 21) + 50_000 in
+  let executed = ref 0 in
+  let last_at = ref (-1) in
+  let rec reschedule n =
+    if n > 0 then
+      ignore
+        (Engine.schedule engine ~after:((n mod 7) + 1) (fun () ->
+             incr executed;
+             let now = Engine.now engine in
+             if now < !last_at then Alcotest.fail "clock went backwards";
+             last_at := now;
+             reschedule (n - 1)))
+  in
+  (* Keep ~1000 events pending while churning through > 2^21 total
+     schedules, so renumbering triggers with a non-trivial queue. *)
+  let pending = 1000 in
+  let per_chain = target / pending in
+  for _ = 1 to pending do
+    reschedule per_chain
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all events executed" (pending * per_chain) !executed
+
+let test_engine_fifo_ties_across_renumber () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  (* Two events at the same instant scheduled before the churn... *)
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> order := 2 :: !order));
+  (* ...then enough churn to overflow the sequence counter while those
+     two are still pending.  Each batch is drained (cancelled events pop
+     without firing) so the queue stays small and the clock stays well
+     short of the ties' timestamp: ~4400 batches x 10ns << 1ms. *)
+  let churn = (1 lsl 21) + 100_000 in
+  for _ = 1 to churn / 500 do
+    let hs = List.init 500 (fun _ -> Engine.schedule engine ~after:10 ignore) in
+    List.iter Engine.cancel hs;
+    Engine.run ~until:(Engine.now engine + 10) engine
+  done;
+  (* ...and two more ties scheduled after the renumber. *)
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> order := 3 :: !order));
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> order := 4 :: !order));
+  Engine.run engine;
+  Alcotest.(check (list int)) "FIFO at equal timestamps" [ 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let suite =
+  [
+    Alcotest.test_case "map returns submission order" `Quick test_map_ordered;
+    Alcotest.test_case "jobs=1 runs inline" `Quick test_map_sequential;
+    Alcotest.test_case "all jobs run" `Quick test_all_jobs_run;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "earliest exception wins" `Quick test_earliest_exception_wins;
+    Alcotest.test_case "submit after results rejected" `Quick
+      test_submit_after_results_rejected;
+    Alcotest.test_case "empty pool" `Quick test_empty_pool;
+    Alcotest.test_case "determinism: jobs=1 vs jobs=4" `Slow test_jobs1_jobs4_identical;
+    Alcotest.test_case "determinism: repeated parallel runs" `Slow
+      test_repeated_parallel_runs_identical;
+    Alcotest.test_case "engine renumbers past 2^21 schedules" `Slow
+      test_engine_seq_renumber;
+    Alcotest.test_case "engine FIFO ties survive renumber" `Slow
+      test_engine_fifo_ties_across_renumber;
+  ]

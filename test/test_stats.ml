@@ -26,7 +26,21 @@ let test_sampler_bad_percentile () =
   Sampler.record s 1;
   Alcotest.check_raises "p out of range"
     (Invalid_argument "Sampler.percentile: p out of range") (fun () ->
-      ignore (Sampler.percentile s 101.0))
+      ignore (Sampler.percentile s 101.0));
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Sampler.percentile: p out of range") (fun () ->
+      ignore (Sampler.percentile s Float.nan))
+
+let test_sampler_percentile_edges () =
+  (* Ranks that round to the ends must stay in bounds on large samples. *)
+  let s = Sampler.create () in
+  for i = 1 to 100_000 do
+    Sampler.record s i
+  done;
+  Alcotest.(check int) "p100" 100_000 (Sampler.percentile s 100.0);
+  Alcotest.(check int) "p99.9999" 100_000 (Sampler.percentile s 99.9999);
+  Alcotest.(check int) "p0" 1 (Sampler.percentile s 0.0);
+  Alcotest.(check int) "p0.00001" 1 (Sampler.percentile s 0.00001)
 
 let test_sampler_cache_invalidation () =
   let s = Sampler.create () in
@@ -188,6 +202,7 @@ let suite =
     Alcotest.test_case "sampler basics" `Quick test_sampler_basic;
     Alcotest.test_case "sampler empty raises" `Quick test_sampler_empty_raises;
     Alcotest.test_case "sampler bad percentile" `Quick test_sampler_bad_percentile;
+    Alcotest.test_case "sampler percentile edges" `Quick test_sampler_percentile_edges;
     Alcotest.test_case "sampler cache invalidation" `Quick test_sampler_cache_invalidation;
     Alcotest.test_case "sampler merge" `Quick test_sampler_merge;
     Alcotest.test_case "sampler cdf" `Quick test_sampler_cdf;
