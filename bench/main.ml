@@ -162,6 +162,7 @@ let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
     ("fig11", "throughput under resource constraints", H.Fig11.run);
     ("fig12", "queueing delay across priority levels", H.Fig12.run);
     ("fig13", "get_task() latency across priority levels", H.Fig13.run);
+    ("figf", "fault injection: failover/burst/partition recovery", H.Figf.run);
     ("resources", "sec 7 switch resource estimates", H.Resource_table.run);
     ("scaling", "sec 8.2 cluster-scale projection", H.Scaling.run);
     ("others", "sec 8 'other schedulers' (Spark native, Firmament)", H.Others.run);

@@ -16,24 +16,43 @@ let system_names =
   [ "draconis"; "r2p2-1"; "r2p2-3"; "r2p2-5"; "racksched"; "sparrow"; "sparrow2";
     "dpdk-server"; "socket-server" ]
 
-let make_system name (spec : H.Systems.spec) timeout_us =
+(* Returns the running handle plus, where the system supports it, the
+   fault-injection target for --fault plans (sparrow has no timeout
+   path, so no target). *)
+let make_system_with_target name (spec : H.Systems.spec) timeout_us =
+  let module F = Draconis_fault in
   let timeout = Option.map Time.us timeout_us in
   match name with
-  | "draconis" -> H.Systems.draconis ?client_timeout:timeout spec
-  | "r2p2-1" -> H.Systems.r2p2 ~k:1 ?client_timeout:timeout spec
-  | "r2p2-3" -> H.Systems.r2p2 ~k:3 ?client_timeout:timeout spec
-  | "r2p2-5" -> H.Systems.r2p2 ~k:5 ?client_timeout:timeout spec
-  | "racksched" -> H.Systems.racksched ?client_timeout:timeout spec
-  | "sparrow" -> H.Systems.sparrow ~schedulers:1 spec
-  | "sparrow2" -> H.Systems.sparrow ~schedulers:2 spec
+  | "draconis" ->
+    let cluster, running = H.Systems.draconis_cluster ?client_timeout:timeout spec in
+    (running, Some (F.Target.of_cluster ~name:running.H.Systems.name cluster))
+  | "r2p2-1" | "r2p2-3" | "r2p2-5" ->
+    let k = int_of_string (String.sub name 5 1) in
+    let r2p2, running = H.Systems.r2p2_system ~k ?client_timeout:timeout spec in
+    (running, Some (F.Target.of_r2p2 ~name:running.H.Systems.name r2p2))
+  | "racksched" ->
+    let racksched, running = H.Systems.racksched_system ?client_timeout:timeout spec in
+    (running, Some (F.Target.of_racksched ~name:running.H.Systems.name racksched))
+  | "sparrow" -> (H.Systems.sparrow ~schedulers:1 spec, None)
+  | "sparrow2" -> (H.Systems.sparrow ~schedulers:2 spec, None)
   | "dpdk-server" ->
-    H.Systems.central_server Draconis_baselines.Central_server.Dpdk spec
+    let server, running =
+      H.Systems.central_server_system ?client_timeout:timeout
+        Draconis_baselines.Central_server.Dpdk spec
+    in
+    (running, Some (F.Target.of_central_server ~name:running.H.Systems.name server))
   | "socket-server" ->
-    H.Systems.central_server Draconis_baselines.Central_server.Socket spec
+    let server, running =
+      H.Systems.central_server_system ?client_timeout:timeout
+        Draconis_baselines.Central_server.Socket spec
+    in
+    (running, Some (F.Target.of_central_server ~name:running.H.Systems.name server))
   | other -> invalid_arg ("unknown system: " ^ other)
 
+let make_system name spec timeout_us = fst (make_system_with_target name spec timeout_us)
+
 let run_cmd system_name workload_name load_tps utilization workers epw clients seed
-    horizon_ms timeout_us =
+    horizon_ms timeout_us fault_spec =
   match W.Synthetic.of_name workload_name with
   | None ->
     Printf.eprintf "unknown workload %S; try: %s\n" workload_name
@@ -48,7 +67,30 @@ let run_cmd system_name workload_name load_tps utilization workers epw clients s
       | None, u -> u *. H.Exp_common.capacity_tps kind ~executors
     in
     let horizon = Time.ms horizon_ms in
-    let system = make_system system_name spec timeout_us in
+    let module F = Draconis_fault in
+    let plan =
+      match fault_spec with
+      | None -> F.Plan.empty
+      | Some spec -> (
+        try F.Plan.of_string spec
+        with Invalid_argument msg ->
+          Printf.eprintf "bad --fault plan: %s\n" msg;
+          exit 1)
+    in
+    let system, target = make_system_with_target system_name spec timeout_us in
+    let injector =
+      if F.Plan.is_empty plan then None
+      else
+        match target with
+        | None ->
+          Printf.eprintf "--fault is not supported for system %S\n" system_name;
+          exit 1
+        | Some target -> (
+          try Some (F.Injector.arm plan target)
+          with Invalid_argument msg ->
+            Printf.eprintf "bad --fault plan: %s\n" msg;
+            exit 1)
+    in
     let driver = H.Exp_common.synthetic_driver kind ~rate_tps:load ~horizon in
     let o = H.Runner.run system ~driver ~load_tps:load ~horizon () in
     Format.printf "%a@." H.Runner.pp_outcome o;
@@ -61,7 +103,18 @@ let run_cmd system_name workload_name load_tps utilization workers epw clients s
       "  submitted %d | started %d | completed %d | timeouts %d | rejected %d\n"
       o.submitted o.started o.completed o.timeouts o.rejected;
     Printf.printf "  recirculation %.3f%% | recirc drops %d | drained %b\n"
-      (100.0 *. o.recirc_fraction) o.recirc_drops o.drained
+      (100.0 *. o.recirc_fraction) o.recirc_drops o.drained;
+    match injector with
+    | None -> ()
+    | Some injector ->
+      List.iter
+        (fun (at, what) -> Printf.printf "  [%.1f us] %s\n" (Time.to_us at) what)
+        (F.Injector.fired injector);
+      let report =
+        F.Recovery.measure ~metrics:system.H.Systems.metrics ~injector ~until:horizon
+          ()
+      in
+      Format.printf "%a@." F.Recovery.pp report
 
 let run_term =
   let system =
@@ -112,9 +165,21 @@ let run_term =
       & info [ "timeout-us" ] ~docv:"US"
           ~doc:"Client per-task timeout in microseconds (enables resubmission).")
   in
+  let fault =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fault" ] ~docv:"PLAN"
+          ~doc:
+            "Deterministic fault plan: ';'-separated timed events, e.g. \
+             $(b,failover\\@5ms), $(b,crash\\@2ms:node=3,down=1ms), \
+             $(b,burst\\@1ms:dur=500us,loss=0.8), \
+             $(b,partition\\@1ms:hosts=0+1,dur=2ms), \
+             $(b,straggler\\@1ms:node=2,factor=4,dur=2ms).  Pair with \
+             $(b,--timeout-us) so clients recover lost tasks.")
+  in
   Term.(
     const run_cmd $ system $ workload $ load $ util $ workers $ epw $ clients $ seed
-    $ horizon $ timeout)
+    $ horizon $ timeout $ fault)
 
 let run_info =
   Cmd.info "run" ~doc:"Simulate one scheduler under a synthetic workload"
@@ -133,7 +198,8 @@ let figures_cmd quick jobs names =
       ("fig5a", H.Fig5a.run); ("fig5b", H.Fig5b.run); ("fig6", H.Fig6.run);
       ("fig7", H.Fig7.run); ("fig8", H.Fig8.run); ("fig9", H.Fig9.run);
       ("fig10", H.Fig10.run); ("fig11", H.Fig11.run); ("fig12", H.Fig12.run);
-      ("fig13", H.Fig13.run); ("resources", H.Resource_table.run);
+      ("fig13", H.Fig13.run); ("figf", H.Figf.run);
+      ("resources", H.Resource_table.run);
       ("scaling", H.Scaling.run); ("others", H.Others.run);
       ("ablations", H.Ablations.run);
     ]

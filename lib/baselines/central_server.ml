@@ -184,7 +184,38 @@ let start t =
   Array.iter (fun worker -> Worker.start worker ~stagger) t.workers
 
 let engine t = t.engine
+let fabric t = t.fabric
 let metrics t = t.metrics
+
+let fail_over_server t =
+  (* The server host dies and a cold standby takes over: the in-memory
+     task queue and the parked pull requests are gone.  Executors
+     recover via their watchdog re-sends; lost tasks via client
+     timeouts. *)
+  let lost = Queue.length t.queue in
+  Queue.clear t.queue;
+  Queue.clear t.idle;
+  Hashtbl.reset t.parked;
+  Trace.emit ~at:(Engine.now t.engine) Trace.Host
+    (lazy (Printf.sprintf "server FAIL-OVER: %d queued task(s) lost" lost));
+  lost
+
+let stagger t = max 1 (Time.us 1 / max 1 t.config.executors_per_worker)
+
+let crash_worker t i =
+  if i < 0 || i >= Array.length t.workers then
+    invalid_arg "Central_server.crash_worker: bad index";
+  Worker.crash t.workers.(i)
+
+let restart_worker t i =
+  if i < 0 || i >= Array.length t.workers then
+    invalid_arg "Central_server.restart_worker: bad index";
+  Worker.restart t.workers.(i) ~stagger:(stagger t)
+
+let set_node_slowdown t i factor =
+  if i < 0 || i >= Array.length t.workers then
+    invalid_arg "Central_server.set_node_slowdown: bad index";
+  Worker.set_slowdown t.workers.(i) factor
 
 let client t i =
   if i < 0 || i >= Array.length t.clients then

@@ -53,9 +53,26 @@ val create : config -> t
 val start : t -> unit
 
 val engine : t -> Engine.t
+val fabric : t -> Draconis_proto.Message.t Fabric.t
 val metrics : t -> Metrics.t
 val client : t -> int -> Client.t
 val clients : t -> Client.t array
+
+(** {2 Fault injection} *)
+
+(** [fail_over_server t] models the server host dying and a cold standby
+    taking over: the in-memory task queue and parked pull requests are
+    lost.  Returns the number of queued tasks lost; clients recover them
+    via timeouts, executors re-announce via watchdogs. *)
+val fail_over_server : t -> int
+
+(** [crash_worker t i] crashes every executor on worker [i]. *)
+val crash_worker : t -> int -> unit
+
+val restart_worker : t -> int -> unit
+
+(** [set_node_slowdown t i f] straggler degradation (f >= 1.0). *)
+val set_node_slowdown : t -> int -> float -> unit
 
 (** Tasks currently queued at the server. *)
 val queue_length : t -> int

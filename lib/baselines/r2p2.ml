@@ -371,8 +371,35 @@ let create config =
   { config; engine; fabric; pipeline; switch = sw; metrics; clients }
 
 let engine t = t.engine
+let fabric t = t.fabric
 let metrics t = t.metrics
 let pipeline t = t.pipeline
+
+let fail_over_switch t =
+  (* Standby switch comes up with zeroed registers: every executor is
+     believed idle again and any recirculating Search packet (a task
+     hunting for a slot) is lost with the dead switch.  Tasks already
+     pushed to executors keep running — only the switch's view resets —
+     so the returned count is the believed occupancy that was lost, and
+     mid-search tasks are recovered by client timeouts. *)
+  let sw = t.switch in
+  let slots = sw.n / sw.window in
+  let believed = ref 0 in
+  for offset = 0 to sw.window - 1 do
+    for slot = 0 to slots - 1 do
+      believed := !believed + Register.peek sw.counters.(offset) slot;
+      Register.poke sw.counters.(offset) slot 0
+    done
+  done;
+  for slot = 0 to slots - 1 do
+    Register.poke sw.idle_mask slot ((1 lsl sw.window) - 1)
+  done;
+  Pipeline.flush_in_flight t.pipeline;
+  Trace.emit ~at:(Engine.now t.engine) Trace.Pipeline
+    (lazy
+      (Printf.sprintf "r2p2 switch FAIL-OVER: %d believed-occupancy slot(s) reset"
+         !believed));
+  !believed
 
 let client t i =
   if i < 0 || i >= Array.length t.clients then invalid_arg "R2p2.client: bad index";

@@ -66,10 +66,18 @@ type t
 val create : config -> t
 
 val engine : t -> Engine.t
+val fabric : t -> Message.t Fabric.t
 val metrics : t -> Metrics.t
 val pipeline : t -> (Message.t, pkt) Pipeline.t
 val client : t -> int -> Client.t
 val clients : t -> Client.t array
+
+(** [fail_over_switch t] models the switch dying and a standby with
+    zeroed registers taking over: counters and idle masks reset (every
+    executor believed idle) and recirculating search packets are lost.
+    Tasks already pushed to executors keep running.  Returns the
+    believed occupancy wiped from the registers. *)
+val fail_over_switch : t -> int
 
 (** Current counter value for an executor (control-plane view). *)
 val counter : t -> int -> int

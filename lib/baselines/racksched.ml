@@ -209,8 +209,20 @@ let create (config : config) =
   { config; engine; fabric; pipeline; switch = sw; metrics; clients }
 
 let engine t = t.engine
+let fabric t = t.fabric
 let metrics t = t.metrics
 let pipeline t = t.pipeline
+
+let fail_over_switch t =
+  (* Standby switch starts with zeroed queue-length counters and no
+     in-flight packets.  RackSched queues tasks at the nodes, not the
+     switch, so no queued work is lost — but the counters now under-read
+     until completions re-balance them. *)
+  Array.iter (fun reg -> Register.poke reg 0 0) t.switch.qlen;
+  Pipeline.flush_in_flight t.pipeline;
+  Trace.emit ~at:(Engine.now t.engine) Trace.Pipeline
+    (lazy "racksched switch FAIL-OVER: qlen counters reset");
+  0
 
 let client t i =
   if i < 0 || i >= Array.length t.clients then invalid_arg "Racksched.client: bad index";

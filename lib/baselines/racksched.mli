@@ -50,10 +50,18 @@ type t
 val create : config -> t
 
 val engine : t -> Engine.t
+val fabric : t -> Message.t Fabric.t
 val metrics : t -> Metrics.t
 val pipeline : t -> (Message.t, pkt) Pipeline.t
 val client : t -> int -> Client.t
 val clients : t -> Client.t array
+
+(** [fail_over_switch t] models the switch dying and a standby with
+    zeroed queue-length counters taking over; in-flight packets are
+    lost.  RackSched queues tasks at the nodes, so no queued work is
+    lost (returns 0), but the counters under-read until completions
+    re-balance them. *)
+val fail_over_switch : t -> int
 
 (** Queue-length counter of a node (control-plane view). *)
 val queue_length : t -> int -> int

@@ -34,6 +34,8 @@ type t = {
   mutable next_jid : int;
   mutable jobs_submitted : int;
   mutable completions : int;
+  mutable resubmitted : int;
+  mutable abandoned : int;
   mutable queue_full_bounces : int;
 }
 
@@ -64,8 +66,24 @@ let arm_timeout t (task : Task.t) =
         let tries = Option.value ~default:0 (Hashtbl.find_opt t.resubmissions task.id) in
         if tries < t.config.max_resubmissions then begin
           Hashtbl.replace t.resubmissions task.id (tries + 1);
+          t.resubmitted <- t.resubmitted + 1;
+          Metrics.note_resubmit t.metrics task.id;
           send_chunks t ~jid:task.id.jid [ task ];
           ignore (Engine.schedule t.engine ~after:timeout check)
+        end
+        else begin
+          (* Resubmission budget exhausted: give the task up so the
+             client can drain instead of retrying forever.  A straggling
+             completion for it is ignored (the outstanding check in
+             [handle_completion]). *)
+          Hashtbl.remove t.outstanding task.id;
+          Hashtbl.remove t.resubmissions task.id;
+          t.abandoned <- t.abandoned + 1;
+          Metrics.note_abandon t.metrics task.id;
+          Trace.emit ~at:(Engine.now t.engine) Trace.Host
+            (lazy
+              (Printf.sprintf "client %d ABANDONS task %d.%d.%d after %d resubmissions"
+                 t.config.uid task.id.uid task.id.jid task.id.tid tries))
         end
       end
     in
@@ -103,6 +121,8 @@ let create ~config ~fabric ~metrics () =
       next_jid = 0;
       jobs_submitted = 0;
       completions = 0;
+      resubmitted = 0;
+      abandoned = 0;
       queue_full_bounces = 0;
     }
   in
@@ -146,4 +166,6 @@ let addr t = t.addr
 let outstanding t = Hashtbl.length t.outstanding
 let jobs_submitted t = t.jobs_submitted
 let completions t = t.completions
+let resubmitted t = t.resubmitted
+let abandoned t = t.abandoned
 let queue_full_bounces t = t.queue_full_bounces

@@ -48,4 +48,13 @@ val outstanding : t -> int
 
 val jobs_submitted : t -> int
 val completions : t -> int
+
+(** Timeout-driven resubmissions sent by this client. *)
+val resubmitted : t -> int
+
+(** Tasks given up on after [max_resubmissions] straight timeouts; an
+    abandoned task leaves {!outstanding} (and is never retried again),
+    so a run with a dead destination still drains. *)
+val abandoned : t -> int
+
 val queue_full_bounces : t -> int

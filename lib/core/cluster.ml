@@ -104,7 +104,7 @@ let create (config : config) =
 let start t =
   (* Stagger initial pulls so 160 executors do not hit the switch in the
      same nanosecond. *)
-  let stagger = max 1 (Time.us 1 / max 1 (t.config.executors_per_worker)) in
+  let stagger = max 1 (Time.us 1 / max 1 t.config.executors_per_worker) in
   Array.iter (fun worker -> Worker.start worker ~stagger) t.workers
 
 let run t ~until = Engine.run ~until t.engine
@@ -141,7 +141,29 @@ let fail_over_switch t =
   in
   t.program <- fresh;
   Pipeline.set_program t.pipeline (Switch_program.program fresh);
+  (* The dead switch's in-flight and recirculating packets (repairs,
+     swaps, submissions mid-pipeline) never reach the standby. *)
+  Pipeline.flush_in_flight t.pipeline;
+  Trace.emit ~at:(Engine.now t.engine) Trace.Pipeline
+    (lazy (Printf.sprintf "switch FAIL-OVER: %d queued task(s) lost" lost));
   lost
+
+let stagger t = max 1 (Time.us 1 / max 1 t.config.executors_per_worker)
+
+let crash_worker t i =
+  if i < 0 || i >= Array.length t.workers then
+    invalid_arg "Cluster.crash_worker: bad index";
+  Worker.crash t.workers.(i)
+
+let restart_worker t i =
+  if i < 0 || i >= Array.length t.workers then
+    invalid_arg "Cluster.restart_worker: bad index";
+  Worker.restart t.workers.(i) ~stagger:(stagger t)
+
+let set_node_slowdown t i factor =
+  if i < 0 || i >= Array.length t.workers then
+    invalid_arg "Cluster.set_node_slowdown: bad index";
+  Worker.set_slowdown t.workers.(i) factor
 
 let worker t i =
   if i < 0 || i >= Array.length t.workers then invalid_arg "Cluster.worker: bad index";

@@ -70,3 +70,18 @@ val outstanding : t -> int
     timeouts.  Returns the number of tasks that were queued (and lost)
     at the moment of fail-over. *)
 val fail_over_switch : t -> int
+
+(** {2 Fault injection} — the hooks the fault injector
+    ({!Draconis_fault.Injector}) arms against a cluster. *)
+
+(** [crash_worker t i] crashes every executor on worker [i]; its
+    in-flight tasks vanish and are recovered by client timeouts. *)
+val crash_worker : t -> int -> unit
+
+(** [restart_worker t i] revives worker [i]'s executors (staggered like
+    {!start}). *)
+val restart_worker : t -> int -> unit
+
+(** [set_node_slowdown t i f] applies straggler degradation [f] (>= 1.0,
+    1.0 = full speed) to every executor on worker [i]. *)
+val set_node_slowdown : t -> int -> float -> unit

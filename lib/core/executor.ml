@@ -24,6 +24,10 @@ type t = {
   mutable stopped : bool;
   mutable generation : int;  (* bumped on every send/receive, so a
                                 stale watchdog check is a no-op *)
+  mutable epoch : int;  (* bumped on crash: the finish closure of a task
+                           that was running when the executor died is a
+                           no-op — the task just vanishes *)
+  mutable slowdown : float;  (* straggler degradation factor, >= 1 *)
   mutable tasks_executed : int;
   mutable busy_time : Time.t;
 }
@@ -39,6 +43,8 @@ let create ~config ~fabric () =
     pending_fetch = None;
     stopped = false;
     generation = 0;
+    epoch = 0;
+    slowdown = 1.0;
     tasks_executed = 0;
     busy_time = 0;
   }
@@ -73,6 +79,34 @@ let start ?(after = 0) t =
 let set_on_task_start t f = t.on_task_start <- f
 let stop t = t.stopped <- true
 
+let set_slowdown t factor =
+  if factor < 1.0 || Float.is_nan factor then
+    invalid_arg "Executor.set_slowdown: factor must be >= 1.0";
+  t.slowdown <- factor
+
+let slowdown t = t.slowdown
+
+let crash t =
+  if not t.stopped then
+    Trace.emit ~at:(Engine.now t.engine) Trace.Host
+      (lazy
+        (Printf.sprintf "executor %d:%d CRASH%s" t.config.node t.config.port
+           (if t.busy then " (task in flight lost)" else "")));
+  t.stopped <- true;
+  t.busy <- false;
+  t.pending_fetch <- None;
+  t.generation <- t.generation + 1;
+  t.epoch <- t.epoch + 1
+
+let restart t =
+  if t.stopped then begin
+    Trace.emit ~at:(Engine.now t.engine) Trace.Host
+      (lazy (Printf.sprintf "executor %d:%d RESTART" t.config.node t.config.port));
+    t.stopped <- false;
+    t.generation <- t.generation + 1;
+    send_request t
+  end
+
 let rec execute t (task : Task.t) ~client =
   t.busy <- true;
   if task.fn_id = Task.Fn.fetch_params && t.pending_fetch = None then begin
@@ -87,21 +121,28 @@ let rec execute t (task : Task.t) ~client =
 and run t (task : Task.t) ~client =
   t.on_task_start task ~node:t.config.node;
   let service = Fn_model.service_time t.config.fn_model task ~node:t.config.node in
+  let service =
+    if t.slowdown = 1.0 then service
+    else int_of_float (Float.round (float_of_int service *. t.slowdown))
+  in
+  let epoch = t.epoch in
   let finish () =
-    t.busy <- false;
-    t.tasks_executed <- t.tasks_executed + 1;
-    t.busy_time <- t.busy_time + service;
-    if not t.stopped then begin
-      if task.fn_id = Task.Fn.noop then
-        (* No-op tasks are dropped without a reply; just pull the next
-           one (the paper's throughput-workload behaviour, §8.2). *)
-        send_request t
-      else
-        (* Completion to the client via the scheduler, with the next
-           task request piggybacked (§3.1). *)
-        Fabric.send t.fabric ~src:t.addr ~dst:t.config.scheduler
-          (Message.Task_completion
-             { task_id = task.id; client; info = info t; rtrv_prio = 1 })
+    if epoch = t.epoch then begin
+      t.busy <- false;
+      t.tasks_executed <- t.tasks_executed + 1;
+      t.busy_time <- t.busy_time + service;
+      if not t.stopped then begin
+        if task.fn_id = Task.Fn.noop then
+          (* No-op tasks are dropped without a reply; just pull the next
+             one (the paper's throughput-workload behaviour, §8.2). *)
+          send_request t
+        else
+          (* Completion to the client via the scheduler, with the next
+             task request piggybacked (§3.1). *)
+          Fabric.send t.fabric ~src:t.addr ~dst:t.config.scheduler
+            (Message.Task_completion
+               { task_id = task.id; client; info = info t; rtrv_prio = 1 })
+      end
     end
   in
   if service = 0 then finish ()
@@ -121,9 +162,10 @@ let deliver t (msg : Message.t) =
       match t.pending_fetch with
       | Some (task, client) when Task.equal_id task.id task_id ->
         t.pending_fetch <- None;
+        let epoch = t.epoch in
         ignore
           (Engine.schedule t.engine ~after:(transfer_time ~size) (fun () ->
-               run t task ~client))
+               if epoch = t.epoch then run t task ~client))
       | Some _ | None -> ())
     | Job_submission _ | Job_ack _ | Queue_full _ | Task_request _ | Task_completion _
     | Param_fetch _ ->
@@ -134,5 +176,6 @@ let deliver t (msg : Message.t) =
 
 let config t = t.config
 let busy t = t.busy
+let stopped t = t.stopped
 let tasks_executed t = t.tasks_executed
 let busy_time t = t.busy_time

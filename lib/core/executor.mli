@@ -50,6 +50,30 @@ val set_on_task_start : t -> (Task.t -> node:int -> unit) -> unit
 (** [stop t] stops the request loop (no further pulls). *)
 val stop : t -> unit
 
+(** {2 Fault injection} *)
+
+(** [crash t] kills the executor: the request loop stops, any task in
+    flight vanishes without a completion (it is not counted as
+    executed), and incoming messages are dropped until {!restart}.
+    Emits a {!Draconis_sim.Trace} [Host] record. *)
+val crash : t -> unit
+
+(** [restart t] revives a stopped or crashed executor: it immediately
+    pulls for work again.  No-op if the executor is running. *)
+val restart : t -> unit
+
+(** [set_slowdown t f] makes every subsequently started task take [f]
+    times its modeled service time — straggler degradation.  [1.0]
+    restores full speed; a task already running keeps the factor it
+    started with.
+    @raise Invalid_argument if [f < 1.0]. *)
+val set_slowdown : t -> float -> unit
+
+val slowdown : t -> float
+
+(** True after {!stop} or {!crash}, until {!restart}. *)
+val stopped : t -> bool
+
 val config : t -> config
 val busy : t -> bool
 val tasks_executed : t -> int

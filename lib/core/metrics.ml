@@ -20,6 +20,8 @@ type t = {
   mutable started : int;
   mutable completed : int;
   mutable timeouts : int;
+  mutable resubmitted : int;
+  mutable abandoned : int;
   mutable rejected : int;
 }
 
@@ -39,6 +41,8 @@ let create ?topology engine =
     started = 0;
     completed = 0;
     timeouts = 0;
+    resubmitted = 0;
+    abandoned = 0;
     rejected = 0;
   }
 
@@ -63,6 +67,8 @@ let note_complete t id =
   | Some submit -> Sampler.record t.end_to_end_delay (Engine.now t.engine - submit)
 
 let note_timeout t _id = t.timeouts <- t.timeouts + 1
+let note_resubmit t _id = t.resubmitted <- t.resubmitted + 1
+let note_abandon t _id = t.abandoned <- t.abandoned + 1
 
 let classify_placement t (task : Task.t) ~node =
   match (Task.locality_nodes task, t.topology) with
@@ -114,5 +120,10 @@ let submitted t = t.submitted
 let started t = t.started
 let completed t = t.completed
 let timeouts t = t.timeouts
+let resubmitted t = t.resubmitted
+let abandoned t = t.abandoned
 let rejected t = t.rejected
-let unstarted t = t.submitted - t.started
+(* [started] counts assignment events, so a task that is lost and
+   resubmitted starts more than once; clamp so duplicated starts under
+   fault injection cannot drive the count negative. *)
+let unstarted t = max 0 (t.submitted - t.started)

@@ -39,6 +39,13 @@ val note_submit : t -> Task.id -> unit
 val note_complete : t -> Task.id -> unit
 val note_timeout : t -> Task.id -> unit
 
+(** [note_resubmit t id] counts one timeout-driven resubmission. *)
+val note_resubmit : t -> Task.id -> unit
+
+(** [note_abandon t id] counts a task given up on after exhausting its
+    resubmission budget (see {!Client.config.max_resubmissions}). *)
+val note_abandon : t -> Task.id -> unit
+
 (** {2 Executor-side events} *)
 
 (** [note_exec_start t task ~node] records scheduling delay and
@@ -69,8 +76,16 @@ val submitted : t -> int
 val started : t -> int
 val completed : t -> int
 val timeouts : t -> int
+
+(** Timeout-driven resubmissions sent (fault recovery in flight). *)
+val resubmitted : t -> int
+
+(** Tasks abandoned after [max_resubmissions] straight timeouts. *)
+val abandoned : t -> int
+
 val rejected : t -> int
 
 (** Tasks submitted but never started (lost or still queued at the end
-    of the run). *)
+    of the run), clamped at 0: starts are counted per assignment, so
+    resubmitted tasks can start more than once. *)
 val unstarted : t -> int

@@ -1,13 +1,15 @@
+open Draconis_sim
 open Draconis_proto
 open Draconis_net
 
-type t = { node : int; executors : Executor.t array }
+type t = { node : int; engine : Engine.t; executors : Executor.t array }
 
 let create ~node ~executors ~fabric ~make_config () =
   if executors < 1 then invalid_arg "Worker.create: need at least one executor";
   let t =
     {
       node;
+      engine = Fabric.engine fabric;
       executors =
         Array.init executors (fun port ->
             Executor.create ~config:(make_config ~port) ~fabric ());
@@ -29,6 +31,21 @@ let start t ~stagger =
   Array.iteri (fun i exec -> Executor.start ~after:(i * stagger) exec) t.executors
 
 let stop t = Array.iter Executor.stop t.executors
+
+let crash t = Array.iter Executor.crash t.executors
+
+let restart t ~stagger =
+  Array.iteri
+    (fun i exec ->
+      if i = 0 then Executor.restart exec
+      else
+        ignore
+          (Engine.schedule t.engine ~after:(i * stagger) (fun () ->
+               Executor.restart exec)))
+    t.executors
+
+let crashed t = Array.for_all Executor.stopped t.executors
+let set_slowdown t factor = Array.iter (fun e -> Executor.set_slowdown e factor) t.executors
 let node t = t.node
 
 let executor t i =

@@ -26,6 +26,23 @@ val create :
 val start : t -> stagger:Time.t -> unit
 
 val stop : t -> unit
+
+(** [crash t] crashes every executor on the node (see
+    {!Executor.crash}): in-flight tasks vanish and the node goes silent
+    until {!restart}. *)
+val crash : t -> unit
+
+(** [restart t ~stagger] revives the node's executors, spacing their
+    first pull requests [stagger] apart like {!start}. *)
+val restart : t -> stagger:Time.t -> unit
+
+(** True while every executor on the node is stopped/crashed. *)
+val crashed : t -> bool
+
+(** [set_slowdown t f] applies straggler degradation factor [f] to every
+    executor on the node ([1.0] restores full speed). *)
+val set_slowdown : t -> float -> unit
+
 val node : t -> int
 val executor : t -> int -> Executor.t
 val executor_count : t -> int

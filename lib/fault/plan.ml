@@ -1,0 +1,218 @@
+open Draconis_sim
+
+type event =
+  | Switch_failover
+  | Crash of { node : int; down_for : Time.t option }
+  | Loss_burst of { duration : Time.t; loss : float }
+  | Partition of { hosts : int list; duration : Time.t }
+  | Straggler of { node : int; factor : float; duration : Time.t }
+
+type timed = { at : Time.t; event : event }
+
+type t = { events : timed list }
+
+let empty = { events = [] }
+let is_empty t = t.events = []
+
+let validate_event (timed : timed) =
+  if timed.at < 0 then invalid_arg "Plan.create: negative event time";
+  match timed.event with
+  | Switch_failover -> ()
+  | Crash { node; down_for } ->
+    if node < 0 then invalid_arg "Plan.create: crash: negative node";
+    (match down_for with
+    | Some d when d <= 0 -> invalid_arg "Plan.create: crash: non-positive down time"
+    | Some _ | None -> ())
+  | Loss_burst { duration; loss } ->
+    if duration <= 0 then invalid_arg "Plan.create: burst: non-positive duration";
+    if loss < 0.0 || loss > 1.0 || Float.is_nan loss then
+      invalid_arg "Plan.create: burst: loss outside [0,1]"
+  | Partition { hosts; duration } ->
+    if hosts = [] then invalid_arg "Plan.create: partition: empty host list";
+    if List.exists (fun h -> h < 0) hosts then
+      invalid_arg "Plan.create: partition: negative host id";
+    if duration <= 0 then invalid_arg "Plan.create: partition: non-positive duration"
+  | Straggler { node; factor; duration } ->
+    if node < 0 then invalid_arg "Plan.create: straggler: negative node";
+    if factor < 1.0 || Float.is_nan factor then
+      invalid_arg "Plan.create: straggler: factor must be >= 1.0";
+    if duration <= 0 then invalid_arg "Plan.create: straggler: non-positive duration"
+
+let create events =
+  List.iter validate_event events;
+  { events = List.stable_sort (fun a b -> compare a.at b.at) events }
+
+let events t = t.events
+
+(* ------------------------------------------------------------------ *)
+(* String syntax: `kind@time[:key=value,...]`, events `;`-separated.  *)
+
+let time_to_string (t : Time.t) =
+  if t = 0 then "0ns"
+  else if t mod 1_000_000_000 = 0 then Printf.sprintf "%ds" (t / 1_000_000_000)
+  else if t mod 1_000_000 = 0 then Printf.sprintf "%dms" (t / 1_000_000)
+  else if t mod 1_000 = 0 then Printf.sprintf "%dus" (t / 1_000)
+  else Printf.sprintf "%dns" t
+
+let time_of_string s =
+  let s = String.trim s in
+  let n = String.length s in
+  let digits =
+    let rec go i =
+      if i < n && (match s.[i] with '0' .. '9' | '.' -> true | _ -> false) then
+        go (i + 1)
+      else i
+    in
+    go 0
+  in
+  if digits = 0 then invalid_arg (Printf.sprintf "Plan.of_string: bad time %S" s);
+  let value =
+    match float_of_string_opt (String.sub s 0 digits) with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Plan.of_string: bad time %S" s)
+  in
+  match String.sub s digits (n - digits) with
+  | "ns" -> int_of_float (Float.round value)
+  | "us" -> Time.us_f value
+  | "ms" -> Time.ms_f value
+  | "s" -> Time.s_f value
+  | unit_ ->
+    invalid_arg
+      (Printf.sprintf "Plan.of_string: unknown time unit %S (want ns/us/ms/s)" unit_)
+
+let float_to_string f =
+  (* %g keeps `0.8` as "0.8" and `4.` as "4", both re-parseable. *)
+  Printf.sprintf "%g" f
+
+let event_to_string = function
+  | Switch_failover -> "failover"
+  | Crash { node; down_for } ->
+    let down =
+      match down_for with
+      | None -> ""
+      | Some d -> Printf.sprintf ",down=%s" (time_to_string d)
+    in
+    Printf.sprintf "crash:node=%d%s" node down
+  | Loss_burst { duration; loss } ->
+    Printf.sprintf "burst:dur=%s,loss=%s" (time_to_string duration)
+      (float_to_string loss)
+  | Partition { hosts; duration } ->
+    Printf.sprintf "partition:hosts=%s,dur=%s"
+      (String.concat "+" (List.map string_of_int hosts))
+      (time_to_string duration)
+  | Straggler { node; factor; duration } ->
+    Printf.sprintf "straggler:node=%d,factor=%s,dur=%s" node
+      (float_to_string factor) (time_to_string duration)
+
+let timed_to_string { at; event } =
+  (* Splice the `@time` between the kind and its parameters. *)
+  match String.index_opt (event_to_string event) ':' with
+  | None -> Printf.sprintf "%s@%s" (event_to_string event) (time_to_string at)
+  | Some i ->
+    let s = event_to_string event in
+    Printf.sprintf "%s@%s%s" (String.sub s 0 i) (time_to_string at)
+      (String.sub s i (String.length s - i))
+
+let to_string t = String.concat ";" (List.map timed_to_string t.events)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let split_on sep s = String.split_on_char sep s |> List.map String.trim
+
+let parse_params spec s =
+  List.filter_map
+    (fun kv ->
+      if kv = "" then None
+      else
+        match String.index_opt kv '=' with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Plan.of_string: %S: bad parameter %S (want key=value)"
+               spec kv)
+        | Some i ->
+          Some
+            ( String.sub kv 0 i,
+              String.sub kv (i + 1) (String.length kv - i - 1) ))
+    (split_on ',' s)
+
+let take_param spec params key =
+  match List.assoc_opt key !params with
+  | None ->
+    invalid_arg (Printf.sprintf "Plan.of_string: %S: missing parameter %S" spec key)
+  | Some v ->
+    params := List.remove_assoc key !params;
+    v
+
+let take_param_opt params key =
+  match List.assoc_opt key !params with
+  | None -> None
+  | Some v ->
+    params := List.remove_assoc key !params;
+    Some v
+
+let parse_int spec s =
+  match int_of_string_opt (String.trim s) with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Plan.of_string: %S: bad integer %S" spec s)
+
+let parse_float spec s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Plan.of_string: %S: bad number %S" spec s)
+
+let event_of_spec spec =
+  let head, params_str =
+    match String.index_opt spec ':' with
+    | None -> (spec, "")
+    | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  in
+  let kind, at =
+    match String.index_opt head '@' with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Plan.of_string: %S: missing @time (e.g. failover@5ms)" spec)
+    | Some i ->
+      ( String.trim (String.sub head 0 i),
+        time_of_string (String.sub head (i + 1) (String.length head - i - 1)) )
+  in
+  let params = ref (parse_params spec params_str) in
+  let event =
+    match kind with
+    | "failover" -> Switch_failover
+    | "crash" ->
+      let node = parse_int spec (take_param spec params "node") in
+      let down_for = Option.map time_of_string (take_param_opt params "down") in
+      Crash { node; down_for }
+    | "burst" ->
+      let duration = time_of_string (take_param spec params "dur") in
+      let loss = parse_float spec (take_param spec params "loss") in
+      Loss_burst { duration; loss }
+    | "partition" ->
+      let hosts =
+        List.map (parse_int spec)
+          (String.split_on_char '+' (take_param spec params "hosts"))
+      in
+      let duration = time_of_string (take_param spec params "dur") in
+      Partition { hosts; duration }
+    | "straggler" ->
+      let node = parse_int spec (take_param spec params "node") in
+      let factor = parse_float spec (take_param spec params "factor") in
+      let duration = time_of_string (take_param spec params "dur") in
+      Straggler { node; factor; duration }
+    | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Plan.of_string: unknown fault kind %S (want \
+            failover/crash/burst/partition/straggler)"
+           kind)
+  in
+  (match !params with
+  | [] -> ()
+  | (key, _) :: _ ->
+    invalid_arg (Printf.sprintf "Plan.of_string: %S: unknown parameter %S" spec key));
+  { at; event }
+
+let of_string s =
+  create (List.filter_map
+            (fun spec -> if spec = "" then None else Some (event_of_spec spec))
+            (split_on ';' s))

@@ -1,0 +1,70 @@
+(** Declarative fault plans.
+
+    A plan is a schedule of timed fault events — switch fail-over,
+    worker crash/restart windows, loss bursts, partitions, straggler
+    degradation — that {!Injector.arm} turns into engine events against
+    a {!Target.t}.  The plan itself contains no randomness: every event
+    fires at an exact simulated time, and any randomness a fault induces
+    (which packets a loss burst eats) is drawn from the run's single
+    seeded RNG, so identical seeds reproduce identical runs.
+
+    Plans round-trip through a compact string syntax used by the
+    [--fault] CLI flag, e.g.
+
+    {v failover@5ms
+       crash@2ms:node=3,down=1ms
+       burst@1ms:dur=500us,loss=0.8
+       partition@1ms:hosts=0+1+2,dur=2ms
+       straggler@1ms:node=2,factor=4,dur=2ms v}
+
+    Events are separated by [';']; times are a number with an
+    [ns]/[us]/[ms]/[s] suffix. *)
+
+open Draconis_sim
+
+type event =
+  | Switch_failover
+      (** the scheduler's switch (or server host, for server targets)
+          dies and a fresh standby takes over: queued state is lost *)
+  | Crash of { node : int; down_for : Time.t option }
+      (** all executors on [node] crash, losing in-flight tasks;
+          restarted after [down_for] ([None] = never restarted) *)
+  | Loss_burst of { duration : Time.t; loss : float }
+      (** every packet drops with probability [loss] for [duration];
+          overlapping bursts apply the maximum loss *)
+  | Partition of { hosts : int list; duration : Time.t }
+      (** all traffic to or from [hosts] is dropped for [duration];
+          overlapping partitions compose (refcounted in the fabric) *)
+  | Straggler of { node : int; factor : float; duration : Time.t }
+      (** [node]'s executors run [factor] times slower for [duration];
+          overlapping windows apply the maximum factor *)
+
+type timed = { at : Time.t; event : event }
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+(** [create events] sorts the events by time (stable) and validates
+    them.
+    @raise Invalid_argument on a negative time, a probability outside
+    [\[0,1\]], a non-positive duration, a factor below 1, a negative
+    node id, or an empty host list. *)
+val create : timed list -> t
+
+(** Events in firing order. *)
+val events : t -> timed list
+
+(** [of_string s] parses the [--fault] syntax above ([';']-separated
+    events).  Whitespace around events and parameters is ignored.
+    @raise Invalid_argument with a descriptive message on a syntax
+    error, an unknown event kind, an unknown or missing parameter, or a
+    value that fails {!create}'s validation. *)
+val of_string : string -> t
+
+(** Round-trips through {!of_string}. *)
+val to_string : t -> string
+
+val event_to_string : event -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+(** Fault-injection experiment (paper §3.3 as data).
+
+    Sweeps fault intensity — none, a mid-run scheduler fail-over, the
+    fail-over plus a correlated loss burst, plus a two-worker partition
+    — against scheduling delay and throughput, for Draconis and the
+    server/switch baselines that support client-timeout recovery.  Each
+    grid point arms a deterministic {!Draconis_fault.Plan} and reports
+    the {!Draconis_fault.Recovery} metrics: queued tasks lost at
+    fail-over, time-to-first-assignment of the standby, resubmissions
+    and abandonments, and decision-timeline availability. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -90,7 +90,8 @@ let draconis ?policy_of ?racks ?queue_capacity ?rsrc_of_node ?client_timeout
     (draconis_cluster ?policy_of ?racks ?queue_capacity ?rsrc_of_node ?client_timeout
        ?noop_retry ?pipeline_config spec)
 
-let r2p2 ~k ?client_timeout ?(pipeline_config = Draconis_p4.Pipeline.default_config)
+let r2p2_system ~k ?client_timeout
+    ?(pipeline_config = Draconis_p4.Pipeline.default_config)
     ?(work_stealing = false) spec =
   let system =
     B.R2p2.create
@@ -106,7 +107,8 @@ let r2p2 ~k ?client_timeout ?(pipeline_config = Draconis_p4.Pipeline.default_con
         pipeline_config;
       }
   in
-  {
+  ( system,
+    {
     name = Printf.sprintf "R2P2-%d%s" k (if work_stealing then "+WS" else "");
     engine = B.R2p2.engine system;
     metrics = B.R2p2.metrics system;
@@ -114,18 +116,21 @@ let r2p2 ~k ?client_timeout ?(pipeline_config = Draconis_p4.Pipeline.default_con
       round_robin_submit (B.R2p2.clients system) (fun client tasks ->
           ignore (Client.submit_job client tasks));
     outstanding = (fun () -> B.R2p2.outstanding system);
-    extras =
-      (fun () ->
-        let pipeline = B.R2p2.pipeline system in
-        {
-          recirc_fraction = Draconis_p4.Pipeline.recirculation_fraction pipeline;
-          recirc_drops = Draconis_p4.Pipeline.recirc_dropped pipeline;
-          pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
-          queue_rejections = 0;
-        });
-  }
+      extras =
+        (fun () ->
+          let pipeline = B.R2p2.pipeline system in
+          {
+            recirc_fraction = Draconis_p4.Pipeline.recirculation_fraction pipeline;
+            recirc_drops = Draconis_p4.Pipeline.recirc_dropped pipeline;
+            pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
+            queue_rejections = 0;
+          });
+    } )
 
-let racksched ?client_timeout ?(samples = 2) ?(intra = B.Node_worker.Fcfs) spec =
+let r2p2 ~k ?client_timeout ?pipeline_config ?work_stealing spec =
+  snd (r2p2_system ~k ?client_timeout ?pipeline_config ?work_stealing spec)
+
+let racksched_system ?client_timeout ?(samples = 2) ?(intra = B.Node_worker.Fcfs) spec =
   let system =
     B.Racksched.create
       {
@@ -146,24 +151,28 @@ let racksched ?client_timeout ?(samples = 2) ?(intra = B.Node_worker.Fcfs) spec 
     | 2, B.Node_worker.Processor_sharing _ -> "RackSched-PS"
     | k, B.Node_worker.Processor_sharing _ -> Printf.sprintf "RackSched-Po%d-PS" k
   in
-  {
-    name;
-    engine = B.Racksched.engine system;
-    metrics = B.Racksched.metrics system;
-    submit =
-      round_robin_submit (B.Racksched.clients system) (fun client tasks ->
-          ignore (Client.submit_job client tasks));
-    outstanding = (fun () -> B.Racksched.outstanding system);
-    extras =
-      (fun () ->
-        let pipeline = B.Racksched.pipeline system in
-        {
-          recirc_fraction = Draconis_p4.Pipeline.recirculation_fraction pipeline;
-          recirc_drops = Draconis_p4.Pipeline.recirc_dropped pipeline;
-          pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
-          queue_rejections = 0;
-        });
-  }
+  ( system,
+    {
+      name;
+      engine = B.Racksched.engine system;
+      metrics = B.Racksched.metrics system;
+      submit =
+        round_robin_submit (B.Racksched.clients system) (fun client tasks ->
+            ignore (Client.submit_job client tasks));
+      outstanding = (fun () -> B.Racksched.outstanding system);
+      extras =
+        (fun () ->
+          let pipeline = B.Racksched.pipeline system in
+          {
+            recirc_fraction = Draconis_p4.Pipeline.recirculation_fraction pipeline;
+            recirc_drops = Draconis_p4.Pipeline.recirc_dropped pipeline;
+            pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
+            queue_rejections = 0;
+          });
+    } )
+
+let racksched ?client_timeout ?samples ?intra spec =
+  snd (racksched_system ?client_timeout ?samples ?intra spec)
 
 let sparrow ~schedulers spec =
   let system =
@@ -191,7 +200,7 @@ let sparrow ~schedulers spec =
     extras = (fun () -> no_extras);
   }
 
-let central_server variant spec =
+let central_server_system ?client_timeout variant spec =
   let system =
     B.Central_server.create
       {
@@ -201,26 +210,31 @@ let central_server variant spec =
         executors_per_worker = spec.executors_per_worker;
         clients = spec.clients;
         variant;
+        client_timeout;
       }
   in
   B.Central_server.start system;
-  {
-    name =
-      (match variant with
-      | B.Central_server.Socket -> "Draconis-Socket-Server"
-      | B.Central_server.Dpdk -> "Draconis-DPDK-Server"
-      | B.Central_server.Firmament -> "Firmament"
-      | B.Central_server.Spark_native -> "Spark-Native");
-    engine = B.Central_server.engine system;
-    metrics = B.Central_server.metrics system;
-    submit =
-      round_robin_submit (B.Central_server.clients system) (fun client tasks ->
-          ignore (Client.submit_job client tasks));
-    outstanding = (fun () -> B.Central_server.outstanding system);
-    extras =
-      (fun () ->
-        {
-          no_extras with
-          queue_rejections = Metrics.rejected (B.Central_server.metrics system);
-        });
-  }
+  ( system,
+    {
+      name =
+        (match variant with
+        | B.Central_server.Socket -> "Draconis-Socket-Server"
+        | B.Central_server.Dpdk -> "Draconis-DPDK-Server"
+        | B.Central_server.Firmament -> "Firmament"
+        | B.Central_server.Spark_native -> "Spark-Native");
+      engine = B.Central_server.engine system;
+      metrics = B.Central_server.metrics system;
+      submit =
+        round_robin_submit (B.Central_server.clients system) (fun client tasks ->
+            ignore (Client.submit_job client tasks));
+      outstanding = (fun () -> B.Central_server.outstanding system);
+      extras =
+        (fun () ->
+          {
+            no_extras with
+            queue_rejections = Metrics.rejected (B.Central_server.metrics system);
+          });
+    } )
+
+let central_server ?client_timeout variant spec =
+  snd (central_server_system ?client_timeout variant spec)

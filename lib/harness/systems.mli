@@ -79,4 +79,34 @@ val racksched :
   spec ->
   running
 val sparrow : schedulers:int -> spec -> running
-val central_server : Draconis_baselines.Central_server.variant -> spec -> running
+
+val central_server :
+  ?client_timeout:Time.t ->
+  Draconis_baselines.Central_server.variant ->
+  spec ->
+  running
+
+(** {2 Raw-handle constructors} — same systems, also returning the
+    underlying instance for experiments that need deeper access (the
+    fault injector builds its {!Draconis_fault.Target.t} from these). *)
+
+val r2p2_system :
+  k:int ->
+  ?client_timeout:Time.t ->
+  ?pipeline_config:Draconis_p4.Pipeline.config ->
+  ?work_stealing:bool ->
+  spec ->
+  Draconis_baselines.R2p2.t * running
+
+val racksched_system :
+  ?client_timeout:Time.t ->
+  ?samples:int ->
+  ?intra:Draconis_baselines.Node_worker.intra_policy ->
+  spec ->
+  Draconis_baselines.Racksched.t * running
+
+val central_server_system :
+  ?client_timeout:Time.t ->
+  Draconis_baselines.Central_server.variant ->
+  spec ->
+  Draconis_baselines.Central_server.t * running

@@ -12,8 +12,18 @@ type t
 
 val create : Engine.t -> t
 
+(** [set_slowdown t f] degrades the CPU: every subsequently submitted
+    item costs [f] times its stated cost — the fault injector's
+    straggler model for server-based schedulers.  [1.0] restores full
+    speed; items already in service keep their original cost.
+    @raise Invalid_argument if [f < 1.0]. *)
+val set_slowdown : t -> float -> unit
+
+val slowdown : t -> float
+
 (** [submit t ~cost k] enqueues a work item.  [k] runs when the item
-    completes service (queueing delay + [cost] after now).
+    completes service (queueing delay + [cost], scaled by the current
+    slowdown, after now).
     @raise Invalid_argument if [cost < 0]. *)
 val submit : t -> cost:Time.t -> (unit -> unit) -> unit
 

@@ -7,10 +7,13 @@ type 'msg envelope = {
   payload : 'msg;
 }
 
+type burst = { p_enter : float; p_exit : float; loss_bad : float }
+
 type config = {
   host_to_switch : Time.t;
   jitter : Time.t;
   loss : float;
+  burst : burst option;
   detour_fraction : float;
   detour_extra : Time.t;
 }
@@ -20,6 +23,7 @@ let default_config =
     host_to_switch = Time.ns 1_500;
     jitter = Time.ns 150;
     loss = 0.0;
+    burst = None;
     detour_fraction = 0.0;
     detour_extra = 0;
   }
@@ -29,21 +33,70 @@ type 'msg t = {
   rng : Rng.t;
   config : config;
   handlers : (Addr.t, 'msg envelope -> unit) Hashtbl.t;
+  (* Gilbert-Elliott channel state: [bad] flips per send according to the
+     configured transition probabilities. *)
+  mutable bad : bool;
+  (* Fault-injection override: when set, replaces the configured loss
+     probability (and suspends the burst model) until cleared. *)
+  mutable loss_override : float option;
+  (* Partitioned hosts, refcounted so overlapping fault windows compose:
+     a host is cut off while its count is positive. *)
+  partitioned : (int, int) Hashtbl.t;
   mutable delivered : int;
   mutable lost : int;
+  mutable partition_dropped : int;
   mutable undeliverable : int;
 }
 
+let check_probability ~what p =
+  if p < 0.0 || p > 1.0 || Float.is_nan p then
+    invalid_arg (Printf.sprintf "Fabric.create: %s must be in [0,1]" what)
+
 let create ?(config = default_config) engine rng =
-  if config.loss < 0.0 || config.loss > 1.0 then
-    invalid_arg "Fabric.create: loss must be in [0,1]";
-  if config.detour_fraction < 0.0 || config.detour_fraction > 1.0 then
-    invalid_arg "Fabric.create: detour_fraction must be in [0,1]";
-  { engine; rng; config; handlers = Hashtbl.create 64;
-    delivered = 0; lost = 0; undeliverable = 0 }
+  check_probability ~what:"loss" config.loss;
+  check_probability ~what:"detour_fraction" config.detour_fraction;
+  (match config.burst with
+  | None -> ()
+  | Some { p_enter; p_exit; loss_bad } ->
+    check_probability ~what:"burst.p_enter" p_enter;
+    check_probability ~what:"burst.p_exit" p_exit;
+    check_probability ~what:"burst.loss_bad" loss_bad);
+  if config.host_to_switch < 0 then
+    invalid_arg "Fabric.create: host_to_switch must be non-negative";
+  if config.jitter < 0 then invalid_arg "Fabric.create: jitter must be non-negative";
+  if config.detour_extra < 0 then
+    invalid_arg "Fabric.create: detour_extra must be non-negative";
+  { engine; rng; config; handlers = Hashtbl.create 64; bad = false;
+    loss_override = None; partitioned = Hashtbl.create 8;
+    delivered = 0; lost = 0; partition_dropped = 0; undeliverable = 0 }
 
 let engine t = t.engine
 let register t addr handler = Hashtbl.replace t.handlers addr handler
+
+let set_loss_override t p =
+  Option.iter (check_probability ~what:"loss override") p;
+  t.loss_override <- p
+
+let loss_override t = t.loss_override
+
+let partition t hosts =
+  List.iter
+    (fun host ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.partitioned host) in
+      Hashtbl.replace t.partitioned host (n + 1))
+    hosts
+
+let heal t hosts =
+  List.iter
+    (fun host ->
+      match Hashtbl.find_opt t.partitioned host with
+      | None | Some 1 -> Hashtbl.remove t.partitioned host
+      | Some n -> Hashtbl.replace t.partitioned host (n - 1))
+    hosts
+
+let partitioned t = function
+  | Addr.Switch -> false
+  | Addr.Host h -> Hashtbl.mem t.partitioned h
 
 (* Deterministic membership in the detour set: hash the host id into
    [0,1) and compare with the configured fraction. *)
@@ -74,23 +127,63 @@ let latency_sample t src dst =
   let jitter = if t.config.jitter > 0 then Rng.int t.rng (t.config.jitter + 1) else 0 in
   base_latency t src dst + jitter
 
+(* Per-send loss probability.  An injector override wins; otherwise the
+   Gilbert-Elliott channel (when configured) steps its two-state chain
+   once per packet and picks the state's loss rate; otherwise the plain
+   i.i.d. knob. *)
+let loss_probability t =
+  match t.loss_override with
+  | Some p -> p
+  | None -> (
+    match t.config.burst with
+    | None -> t.config.loss
+    | Some { p_enter; p_exit; loss_bad } ->
+      let flip_p = if t.bad then p_exit else p_enter in
+      if flip_p > 0.0 && Rng.float t.rng < flip_p then t.bad <- not t.bad;
+      if t.bad then loss_bad else t.config.loss)
+
 let send t ~src ~dst payload =
   if Addr.equal src dst then invalid_arg "Fabric.send: src = dst";
-  Trace.emit ~at:(Engine.now t.engine) Trace.Fabric
+  let now = Engine.now t.engine in
+  Trace.emit ~at:now Trace.Fabric
     (lazy (Printf.sprintf "send %s -> %s" (Addr.to_string src) (Addr.to_string dst)));
-  if t.config.loss > 0.0 && Rng.float t.rng < t.config.loss then t.lost <- t.lost + 1
+  if partitioned t src || partitioned t dst then begin
+    t.partition_dropped <- t.partition_dropped + 1;
+    Trace.emit ~at:now Trace.Fabric
+      (lazy
+        (Printf.sprintf "DROP (partition) %s -> %s" (Addr.to_string src)
+           (Addr.to_string dst)))
+  end
   else begin
-    let env = { src; dst; sent_at = Engine.now t.engine; payload } in
-    let delay = latency_sample t src dst in
-    ignore
-      (Engine.schedule t.engine ~after:delay (fun () ->
-           match Hashtbl.find_opt t.handlers dst with
-           | Some handler ->
-             t.delivered <- t.delivered + 1;
-             handler env
-           | None -> t.undeliverable <- t.undeliverable + 1))
+    let p = loss_probability t in
+    if p > 0.0 && Rng.float t.rng < p then begin
+      t.lost <- t.lost + 1;
+      Trace.emit ~at:now Trace.Fabric
+        (lazy
+          (Printf.sprintf "DROP (loss p=%.3f%s) %s -> %s" p
+             (if t.bad then ", burst" else "")
+             (Addr.to_string src) (Addr.to_string dst)))
+    end
+    else begin
+      let env = { src; dst; sent_at = now; payload } in
+      let delay = latency_sample t src dst in
+      ignore
+        (Engine.schedule t.engine ~after:delay (fun () ->
+             match Hashtbl.find_opt t.handlers dst with
+             | Some handler ->
+               t.delivered <- t.delivered + 1;
+               handler env
+             | None ->
+               t.undeliverable <- t.undeliverable + 1;
+               Trace.emit ~at:(Engine.now t.engine) Trace.Fabric
+                 (lazy
+                   (Printf.sprintf "DROP (no handler) %s -> %s" (Addr.to_string src)
+                      (Addr.to_string dst)))))
+    end
   end
 
+let in_burst t = t.bad
 let delivered t = t.delivered
 let lost t = t.lost
+let partition_dropped t = t.partition_dropped
 let undeliverable t = t.undeliverable

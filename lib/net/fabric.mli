@@ -6,9 +6,18 @@
     jitter).  Host-to-host traffic transits the switch, so its latency
     is twice the host-to-switch latency.
 
-    The fabric is reliable by default; [loss] injects i.i.d. packet loss
-    for the fault-injection tests.  All randomness comes from the
-    [rng] supplied at creation, keeping runs deterministic. *)
+    The fabric is reliable by default; three fault knobs inject loss:
+    - [loss]: i.i.d. per-packet drop probability;
+    - [burst]: a Gilbert-Elliott two-state channel that alternates
+      between a good state (drops at [loss]) and a bad state (drops at
+      [loss_bad]), stepping the chain once per packet — correlated loss
+      bursts rather than independent drops;
+    - {!partition} / {!set_loss_override}: runtime controls used by the
+      fault injector for timed partition and loss-burst windows.
+
+    All randomness comes from the [rng] supplied at creation, keeping
+    runs deterministic.  Every drop path emits a {!Draconis_sim.Trace}
+    record, so [Trace.recent] shows fault activity. *)
 
 open Draconis_sim
 
@@ -21,10 +30,16 @@ type 'msg envelope = {
 
 type 'msg t
 
+(** Gilbert-Elliott channel parameters: per-packet transition
+    probabilities between the good and bad state, and the bad-state
+    loss rate (the good state drops at the base [loss]). *)
+type burst = { p_enter : float; p_exit : float; loss_bad : float }
+
 type config = {
   host_to_switch : Time.t;  (** one-way host <-> switch latency *)
   jitter : Time.t;  (** uniform extra delay in [\[0, jitter\]] *)
-  loss : float;  (** i.i.d. drop probability in [\[0, 1\]] *)
+  loss : float;  (** i.i.d. drop probability in [\[0, 1\]] (good state) *)
+  burst : burst option;  (** Gilbert-Elliott burst loss; [None] = i.i.d. only *)
   detour_fraction : float;
       (** multi-rack deployments (paper §3.2) route scheduler traffic
           through a common ancestor switch, lengthening the path for a
@@ -34,13 +49,16 @@ type config = {
 }
 
 (** Calibrated default: 1.5 us one-way, 150 ns jitter, no loss, no
-    detours (single-rack deployment). *)
+    bursts, no detours (single-rack deployment). *)
 val default_config : config
 
 (** [detoured t host] is true when the host's scheduler path takes the
     longer route. *)
 val detoured : 'msg t -> int -> bool
 
+(** @raise Invalid_argument if any probability ([loss], [detour_fraction],
+    burst parameters) is outside [\[0,1\]], or any latency
+    ([host_to_switch], [jitter], [detour_extra]) is negative. *)
 val create : ?config:config -> Engine.t -> Rng.t -> 'msg t
 
 val engine : 'msg t -> Engine.t
@@ -58,11 +76,43 @@ val send : 'msg t -> src:Addr.t -> dst:Addr.t -> 'msg -> unit
 (** One-way latency sample between two endpoints (includes jitter). *)
 val latency_sample : 'msg t -> Addr.t -> Addr.t -> Time.t
 
+(** {2 Runtime fault controls} — used by the fault injector
+    ({!Draconis_fault.Injector}) for timed fault windows. *)
+
+(** [set_loss_override t (Some p)] makes every packet drop with
+    probability [p], replacing the configured loss model until
+    [set_loss_override t None].
+    @raise Invalid_argument if [p] is outside [\[0,1\]]. *)
+val set_loss_override : 'msg t -> float option -> unit
+
+val loss_override : 'msg t -> float option
+
+(** [partition t hosts] cuts the listed hosts off: every packet to or
+    from them is dropped (and counted) until healed.  Partitions are
+    refcounted, so overlapping windows compose; {!heal} undoes one
+    [partition] of each listed host. *)
+val partition : 'msg t -> int list -> unit
+
+val heal : 'msg t -> int list -> unit
+
+(** [partitioned t addr] — is this endpoint currently cut off?  The
+    switch itself is never partitioned (its failure is modeled by
+    fail-over instead). *)
+val partitioned : 'msg t -> Addr.t -> bool
+
+(** True while the Gilbert-Elliott channel is in the bad state. *)
+val in_burst : 'msg t -> bool
+
+(** {2 Counters} *)
+
 (** Messages delivered so far. *)
 val delivered : 'msg t -> int
 
-(** Messages lost to injected loss. *)
+(** Messages lost to injected loss (i.i.d., burst, or override). *)
 val lost : 'msg t -> int
+
+(** Messages dropped because an endpoint was partitioned. *)
+val partition_dropped : 'msg t -> int
 
 (** Messages dropped for lack of a registered handler. *)
 val undeliverable : 'msg t -> int

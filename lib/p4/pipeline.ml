@@ -28,9 +28,14 @@ type ('wire, 'pkt) t = {
   mutable program : ('wire, 'pkt) program;
   mutable ingress_free_at : Time.t;
   mutable recirc_free_at : Time.t;
+  (* Bumped by [flush_in_flight]; packets scheduled under an older epoch
+     vanish when their closure fires (a fail-over standby never sees the
+     dead switch's in-flight or recirculating packets). *)
+  mutable epoch : int;
   mutable processed : int;
   mutable recirculated : int;
   mutable recirc_dropped : int;
+  mutable flushed : int;
   mutable emitted : int;
 }
 
@@ -39,7 +44,10 @@ let rec admit t pkt =
   let start = max now t.ingress_free_at in
   t.ingress_free_at <- start + t.config.packet_slot;
   let exit_time = start + t.config.pipeline_latency in
-  ignore (Engine.schedule_at t.engine ~at:exit_time (fun () -> traverse t pkt))
+  let epoch = t.epoch in
+  ignore
+    (Engine.schedule_at t.engine ~at:exit_time (fun () ->
+         if epoch = t.epoch then traverse t pkt else t.flushed <- t.flushed + 1))
 
 and traverse t pkt =
   t.processed <- t.processed + 1;
@@ -73,7 +81,10 @@ and recirculate t pkt =
     let start = max now t.recirc_free_at in
     t.recirc_free_at <- start + t.config.recirc_slot;
     let reentry = start + t.config.recirc_latency in
-    ignore (Engine.schedule_at t.engine ~at:reentry (fun () -> admit t pkt))
+    let epoch = t.epoch in
+    ignore
+      (Engine.schedule_at t.engine ~at:reentry (fun () ->
+           if epoch = t.epoch then admit t pkt else t.flushed <- t.flushed + 1))
   end
 
 let attach ?(config = default_config) fabric ~wrap program =
@@ -85,9 +96,11 @@ let attach ?(config = default_config) fabric ~wrap program =
       program;
       ingress_free_at = 0;
       recirc_free_at = 0;
+      epoch = 0;
       processed = 0;
       recirculated = 0;
       recirc_dropped = 0;
+      flushed = 0;
       emitted = 0;
     }
   in
@@ -95,10 +108,20 @@ let attach ?(config = default_config) fabric ~wrap program =
   t
 
 let set_program t program = t.program <- program
+
+let flush_in_flight t =
+  let now = Engine.now t.engine in
+  Trace.emit ~at:now Trace.Pipeline (lazy "pipeline flushed (fail-over)");
+  t.epoch <- t.epoch + 1;
+  (* The standby's ports start idle. *)
+  t.ingress_free_at <- now;
+  t.recirc_free_at <- now
+
 let inject t pkt = admit t pkt
 let processed t = t.processed
 let recirculated t = t.recirculated
 let recirc_dropped t = t.recirc_dropped
+let flushed t = t.flushed
 let emitted t = t.emitted
 
 let recirculation_fraction t =

@@ -60,6 +60,13 @@ val attach :
 
 val set_program : ('wire, 'pkt) t -> ('wire, 'pkt) program -> unit
 
+(** [flush_in_flight t] drops every packet currently inside the
+    pipeline or waiting in the recirculation loop (they are counted as
+    {!flushed} when their scheduled traversal fires) and resets the
+    admission/recirculation ports to idle — what a fail-over standby
+    sees: none of the dead switch's in-flight state. *)
+val flush_in_flight : ('wire, 'pkt) t -> unit
+
 (** [inject t pkt] submits a packet at ingress directly (bypassing the
     fabric); used by unit tests. *)
 val inject : ('wire, 'pkt) t -> 'pkt -> unit
@@ -69,6 +76,10 @@ val processed : ('wire, 'pkt) t -> int
 
 val recirculated : ('wire, 'pkt) t -> int
 val recirc_dropped : ('wire, 'pkt) t -> int
+
+(** Packets discarded by {!flush_in_flight} fail-overs. *)
+val flushed : ('wire, 'pkt) t -> int
+
 val emitted : ('wire, 'pkt) t -> int
 
 (** [recirculation_fraction t] is recirculated over total traversals —

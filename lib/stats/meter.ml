@@ -22,6 +22,16 @@ let rate_per_sec t =
     let span = t.last - first in
     if span <= 0 then 0.0 else float_of_int t.total /. (float_of_int span /. 1e9)
 
+let first_after t ~after =
+  List.fold_left
+    (fun best (time, _) ->
+      if time < after then best
+      else
+        match best with
+        | Some b when b <= time -> best
+        | Some _ | None -> Some time)
+    None t.marks
+
 let rate_over t ~duration =
   if duration <= 0 then invalid_arg "Meter.rate_over: non-positive duration";
   float_of_int t.total /. (float_of_int duration /. 1e9)

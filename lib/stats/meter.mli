@@ -19,6 +19,11 @@ val total : t -> int
     two distinct timestamps were marked. *)
 val rate_per_sec : t -> float
 
+(** [first_after t ~after] is the earliest mark timestamp at or after
+    [after], if any — e.g. the first scheduling decision after a fault,
+    for recovery-time measurement. *)
+val first_after : t -> after:int -> int option
+
 (** [rate_over t ~duration] divides total by an externally known
     duration (ns); preferred when the measurement window is the
     experiment window rather than the first/last event. *)

@@ -19,6 +19,7 @@ let () =
       ("cluster", Test_cluster.suite);
       ("baselines", Test_baselines.suite);
       ("fault-tolerance", Test_fault_tolerance.suite);
+      ("fault", Test_fault.suite);
       ("workload", Test_workload.suite);
       ("trace-file", Test_trace_file.suite);
       ("harness", Test_harness.suite);
