@@ -10,6 +10,12 @@
      main.exe --json FILE     write machine-readable results (wall time,
                               events/sec, key percentiles) to FILE
      main.exe --csv DIR       also write every table as CSV under DIR
+     main.exe --trace-out F   export a Chrome trace-event timeline
+                              (load into Perfetto / chrome://tracing)
+     main.exe --metrics-out F export per-run counters/gauges/histograms
+                              (.csv extension switches to CSV)
+     main.exe --probe-interval-us N
+                              probe sampling period (default 100us)
      main.exe --list          list experiment names *)
 
 open Bechamel
@@ -181,6 +187,20 @@ let () =
   in
   Draconis_stats.Table.set_csv_dir (value_of "--csv" args);
   let json_path = value_of "--json" args in
+  let trace_path = value_of "--trace-out" args in
+  let metrics_path = value_of "--metrics-out" args in
+  let probe_interval =
+    match value_of "--probe-interval-us" args with
+    | None -> Draconis_obs.Probe.default_interval
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some us when us >= 1 -> Draconis_sim.Time.us us
+      | Some _ | None ->
+        Printf.eprintf "--probe-interval-us wants a positive integer, got %S\n" v;
+        exit 1)
+  in
+  if trace_path <> None || metrics_path <> None then
+    Draconis_obs.Sink.enable ~probe_interval ();
   (match value_of "--jobs" args with
   | None -> ()
   | Some v -> (
@@ -191,7 +211,10 @@ let () =
       exit 1));
   let names =
     let rec drop_flags = function
-      | ("--csv" | "--json" | "--jobs") :: _ :: rest -> drop_flags rest
+      | ("--csv" | "--json" | "--jobs" | "--trace-out" | "--metrics-out"
+        | "--probe-interval-us")
+        :: _ :: rest ->
+        drop_flags rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> drop_flags rest
       | a :: rest -> a :: drop_flags rest
       | [] -> []
@@ -225,12 +248,38 @@ let () =
         H.Report.finish_experiment ~name ~wall_s;
         Printf.printf "(%s took %.1fs)\n%!" name wall_s)
       selected;
-    match json_path with
+    (match json_path with
     | None -> ()
     | Some path ->
       (try H.Report.write ~path ~jobs:(H.Pool.jobs ()) ~quick with
       | Sys_error msg ->
         Printf.eprintf "cannot write --json report: %s\n" msg;
         exit 1);
-      Printf.printf "\nwrote %s\n%!" path
+      Printf.printf "\nwrote %s\n%!" path);
+    if trace_path <> None || metrics_path <> None then begin
+      let runs = Draconis_obs.Sink.drain () in
+      (match trace_path with
+      | None -> ()
+      | Some path ->
+        Draconis_obs.Chrome_trace.write ~path runs;
+        (* Self-check: re-parse the export so a malformed trace fails
+           the invocation instead of failing later in Perfetto. *)
+        (match Draconis_obs.Json.parse_file path with
+        | Ok _ ->
+          let events =
+            List.fold_left
+              (fun acc r -> acc + Draconis_obs.Recorder.event_count r)
+              0 runs
+          in
+          Printf.printf "wrote %s (%d runs, %d events; re-parsed OK)\n%!" path
+            (List.length runs) events
+        | Error msg ->
+          Printf.eprintf "trace export is not valid JSON: %s\n" msg;
+          exit 1));
+      match metrics_path with
+      | None -> ()
+      | Some path ->
+        Draconis_obs.Dump.write_metrics ~path runs;
+        Printf.printf "wrote %s\n%!" path
+    end
   end

@@ -9,6 +9,72 @@ open Cmdliner
 open Draconis_sim
 module H = Draconis_harness
 module W = Draconis_workload
+module Obs = Draconis_obs
+
+(* -- observability options (shared by run and figures) --------------------- *)
+
+(* [with_obs (trace, metrics, probe_us) f] enables the observability
+   sink around [f] when an export path was given, then writes (and
+   self-checks) the requested files. *)
+let with_obs (trace_out, metrics_out, probe_interval_us) f =
+  let wanted = trace_out <> None || metrics_out <> None in
+  (match probe_interval_us with
+  | Some us when us < 1 ->
+    Printf.eprintf "--probe-interval-us must be >= 1 (got %d)\n" us;
+    exit 1
+  | Some _ | None -> ());
+  if wanted then begin
+    let probe_interval =
+      match probe_interval_us with
+      | None -> Obs.Probe.default_interval
+      | Some us -> Time.us us
+    in
+    Obs.Sink.enable ~probe_interval ()
+  end;
+  f ();
+  if wanted then begin
+    let runs = Obs.Sink.drain () in
+    Option.iter
+      (fun path ->
+        Obs.Chrome_trace.write ~path runs;
+        match Obs.Json.parse_file path with
+        | Ok _ ->
+          Printf.printf "wrote %s (%d runs; re-parsed OK)\n%!" path (List.length runs)
+        | Error msg ->
+          Printf.eprintf "trace export is not valid JSON: %s\n" msg;
+          exit 1)
+      trace_out;
+    Option.iter
+      (fun path ->
+        Obs.Dump.write_metrics ~path runs;
+        Printf.printf "wrote %s\n%!" path)
+      metrics_out
+  end
+
+let obs_term =
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Export a Chrome trace-event timeline of the run(s) to $(docv) \
+             (load into Perfetto or chrome://tracing).")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Export per-run counters, gauges, histograms and probe series to \
+             $(docv); a .csv extension selects CSV instead of JSON.")
+  in
+  let probe =
+    Arg.(
+      value & opt (some int) None
+      & info [ "probe-interval-us" ] ~docv:"US"
+          ~doc:"Probe sampling period in simulated microseconds (default 100).")
+  in
+  Term.(const (fun t m p -> (t, m, p)) $ trace_out $ metrics_out $ probe)
 
 (* -- run ------------------------------------------------------------------- *)
 
@@ -51,8 +117,9 @@ let make_system_with_target name (spec : H.Systems.spec) timeout_us =
 
 let make_system name spec timeout_us = fst (make_system_with_target name spec timeout_us)
 
-let run_cmd system_name workload_name load_tps utilization workers epw clients seed
-    horizon_ms timeout_us fault_spec =
+let run_cmd obs system_name workload_name load_tps utilization workers epw clients
+    seed horizon_ms timeout_us fault_spec =
+  with_obs obs @@ fun () ->
   match W.Synthetic.of_name workload_name with
   | None ->
     Printf.eprintf "unknown workload %S; try: %s\n" workload_name
@@ -178,15 +245,16 @@ let run_term =
              $(b,--timeout-us) so clients recover lost tasks.")
   in
   Term.(
-    const run_cmd $ system $ workload $ load $ util $ workers $ epw $ clients $ seed
-    $ horizon $ timeout $ fault)
+    const run_cmd $ obs_term $ system $ workload $ load $ util $ workers $ epw
+    $ clients $ seed $ horizon $ timeout $ fault)
 
 let run_info =
   Cmd.info "run" ~doc:"Simulate one scheduler under a synthetic workload"
 
 (* -- figures ------------------------------------------------------------------ *)
 
-let figures_cmd quick jobs names =
+let figures_cmd obs quick jobs names =
+  with_obs obs @@ fun () ->
   (match jobs with
   | Some n when n >= 1 -> H.Pool.set_jobs n
   | Some n ->
@@ -238,7 +306,7 @@ let figures_term =
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"FIGURE" ~doc:"Figures to run.")
   in
-  Term.(const figures_cmd $ quick $ jobs $ names)
+  Term.(const figures_cmd $ obs_term $ quick $ jobs $ names)
 
 let figures_info =
   Cmd.info "figures" ~doc:"Regenerate the paper's evaluation tables and figures"

@@ -1,6 +1,7 @@
 open Draconis_sim
 open Draconis_net
 open Draconis_proto
+module Obs = Draconis_obs
 
 type config = {
   host : int;
@@ -29,6 +30,7 @@ type t = {
   engine : Engine.t;
   metrics : Metrics.t;
   addr : Addr.t;
+  obs_track : string;  (* cached so the disabled path never formats *)
   outstanding : (Task.id, Task.t) Hashtbl.t;
   resubmissions : (Task.id, int) Hashtbl.t;
   mutable next_jid : int;
@@ -68,6 +70,9 @@ let arm_timeout t (task : Task.t) =
           Hashtbl.replace t.resubmissions task.id (tries + 1);
           t.resubmitted <- t.resubmitted + 1;
           Metrics.note_resubmit t.metrics task.id;
+          Obs.Recorder.count "client.resubmitted" 1;
+          if Obs.Recorder.active () then
+            Obs.Recorder.mark ~at:(Engine.now t.engine) ~track:t.obs_track "resubmit";
           send_chunks t ~jid:task.id.jid [ task ];
           ignore (Engine.schedule t.engine ~after:timeout check)
         end
@@ -80,6 +85,9 @@ let arm_timeout t (task : Task.t) =
           Hashtbl.remove t.resubmissions task.id;
           t.abandoned <- t.abandoned + 1;
           Metrics.note_abandon t.metrics task.id;
+          Obs.Recorder.count "client.abandoned" 1;
+          if Obs.Recorder.active () then
+            Obs.Recorder.mark ~at:(Engine.now t.engine) ~track:t.obs_track "abandon";
           Trace.emit ~at:(Engine.now t.engine) Trace.Host
             (lazy
               (Printf.sprintf "client %d ABANDONS task %d.%d.%d after %d resubmissions"
@@ -91,6 +99,7 @@ let arm_timeout t (task : Task.t) =
 
 let handle_queue_full t tasks =
   t.queue_full_bounces <- t.queue_full_bounces + List.length tasks;
+  Obs.Recorder.count "client.queue_full_bounces" (List.length tasks);
   ignore
     (Engine.schedule t.engine ~after:t.config.retry_delay (fun () ->
          (* Retry only tasks still outstanding (a timeout resubmission
@@ -105,7 +114,8 @@ let handle_completion t (task_id : Task.id) =
     Hashtbl.remove t.outstanding task_id;
     Hashtbl.remove t.resubmissions task_id;
     t.completions <- t.completions + 1;
-    Metrics.note_complete t.metrics task_id
+    Metrics.note_complete t.metrics task_id;
+    Obs.Recorder.count "client.completed" 1
   end
 
 let create ~config ~fabric ~metrics () =
@@ -116,6 +126,7 @@ let create ~config ~fabric ~metrics () =
       engine = Fabric.engine fabric;
       metrics;
       addr = Addr.Host config.host;
+      obs_track = Printf.sprintf "client %d" config.uid;
       outstanding = Hashtbl.create 1024;
       resubmissions = Hashtbl.create 64;
       next_jid = 0;
@@ -152,6 +163,7 @@ let submit_job t tasks =
         { task with id = { uid = t.config.uid; jid; tid } })
       tasks
   in
+  Obs.Recorder.count "client.submitted" (List.length tasks);
   List.iter
     (fun (task : Task.t) ->
       Hashtbl.replace t.outstanding task.id task;

@@ -176,3 +176,11 @@ let client t i =
 let clients t = t.clients
 let workers t = t.workers
 let total_executors t = Array.length t.workers * t.config.executors_per_worker
+
+let busy_executors t =
+  let busy = ref 0 in
+  Array.iter
+    (fun worker ->
+      Worker.iter_executors worker (fun exec -> if Executor.busy exec then incr busy))
+    t.workers;
+  !busy

@@ -61,6 +61,10 @@ val clients : t -> Client.t array
 val workers : t -> Worker.t array
 val total_executors : t -> int
 
+(** Executors currently running a task — an observability probe source
+    (utilization = busy / total). *)
+val busy_executors : t -> int
+
 (** Total tasks still outstanding across all clients. *)
 val outstanding : t -> int
 

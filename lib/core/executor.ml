@@ -1,6 +1,7 @@
 open Draconis_sim
 open Draconis_net
 open Draconis_proto
+module Obs = Draconis_obs
 
 type config = {
   node : int;
@@ -17,6 +18,7 @@ type t = {
   fabric : Message.t Fabric.t;
   engine : Engine.t;
   addr : Addr.t;
+  obs_track : string;  (* cached so the disabled path never formats *)
   mutable on_task_start : Task.t -> node:int -> unit;
   mutable busy : bool;
   mutable pending_fetch : (Task.t * Addr.t) option;
@@ -38,6 +40,7 @@ let create ~config ~fabric () =
     fabric;
     engine = Fabric.engine fabric;
     addr = Addr.Host config.node;
+    obs_track = Printf.sprintf "exec %d:%d" config.node config.port;
     on_task_start = (fun _ ~node:_ -> ());
     busy = false;
     pending_fetch = None;
@@ -87,11 +90,18 @@ let set_slowdown t factor =
 let slowdown t = t.slowdown
 
 let crash t =
-  if not t.stopped then
+  if not t.stopped then begin
     Trace.emit ~at:(Engine.now t.engine) Trace.Host
       (lazy
         (Printf.sprintf "executor %d:%d CRASH%s" t.config.node t.config.port
            (if t.busy then " (task in flight lost)" else "")));
+    if Obs.Recorder.active () then begin
+      let now = Engine.now t.engine in
+      (* Close the in-flight task span so every B has a matching E. *)
+      if t.busy then Obs.Recorder.end_span ~at:now ~track:t.obs_track "task";
+      Obs.Recorder.mark ~at:now ~track:t.obs_track "crash"
+    end
+  end;
   t.stopped <- true;
   t.busy <- false;
   t.pending_fetch <- None;
@@ -120,6 +130,7 @@ let rec execute t (task : Task.t) ~client =
 
 and run t (task : Task.t) ~client =
   t.on_task_start task ~node:t.config.node;
+  Obs.Recorder.begin_span ~at:(Engine.now t.engine) ~track:t.obs_track "task";
   let service = Fn_model.service_time t.config.fn_model task ~node:t.config.node in
   let service =
     if t.slowdown = 1.0 then service
@@ -131,6 +142,9 @@ and run t (task : Task.t) ~client =
       t.busy <- false;
       t.tasks_executed <- t.tasks_executed + 1;
       t.busy_time <- t.busy_time + service;
+      Obs.Recorder.end_span ~at:(Engine.now t.engine) ~track:t.obs_track "task";
+      Obs.Recorder.count "exec.tasks" 1;
+      Obs.Recorder.record "exec.service_ns" service;
       if not t.stopped then begin
         if task.fn_id = Task.Fn.noop then
           (* No-op tasks are dropped without a reply; just pull the next

@@ -1,12 +1,17 @@
 open Draconis_sim
 open Draconis_proto
 
+type repair_flag = Add_flag | Retrieve_flag
+
 type t = {
   on_enqueue : Task.id -> level:int -> unit;
   on_dequeue : Task.id -> level:int -> unit;
   on_assign : Task.id -> node:int -> requested_at:Time.t -> unit;
   on_reject : int -> unit;
   on_noop : unit -> unit;
+  on_swap : swapped_in:Task.id -> swapped_out:Task.id -> level:int -> unit;
+  on_recirculate : kind:string -> unit;
+  on_repair_flag : repair_flag -> level:int -> unit;
 }
 
 let default =
@@ -16,4 +21,9 @@ let default =
     on_assign = (fun _ ~node:_ ~requested_at:_ -> ());
     on_reject = (fun _ -> ());
     on_noop = (fun () -> ());
+    on_swap = (fun ~swapped_in:_ ~swapped_out:_ ~level:_ -> ());
+    on_recirculate = (fun ~kind:_ -> ());
+    on_repair_flag = (fun _ ~level:_ -> ());
   }
+
+let repair_flag_name = function Add_flag -> "add" | Retrieve_flag -> "retrieve"

@@ -1,12 +1,15 @@
 (** Measurement hooks into the switch program.
 
     The experiment harness observes scheduler-internal events (enqueue,
-    dequeue, assignment, rejection) through these callbacks; a real
-    deployment would gather the same numbers from switch counters.
-    All hooks default to no-ops. *)
+    dequeue, assignment, rejection, swapping, recirculation, repair-flag
+    trips) through these callbacks; a real deployment would gather the
+    same numbers from switch counters.  All hooks default to no-ops. *)
 
 open Draconis_sim
 open Draconis_proto
+
+(** Which circular-queue repair flag tripped (paper §4.7). *)
+type repair_flag = Add_flag | Retrieve_flag
 
 type t = {
   on_enqueue : Task.id -> level:int -> unit;
@@ -19,6 +22,19 @@ type t = {
           switch (get_task() latency, Fig. 13) *)
   on_reject : int -> unit;  (** tasks bounced by a full queue *)
   on_noop : unit -> unit;  (** no-op assignment sent *)
+  on_swap : swapped_in:Task.id -> swapped_out:Task.id -> level:int -> unit;
+      (** a swap packet exchanged its carried task ([swapped_in]) for a
+          pending one ([swapped_out]) at [level] (§5.1) *)
+  on_recirculate : kind:string -> unit;
+      (** the program produced a recirculation; [kind] names the packet
+          ("swap", "resubmit", "repair-add", "repair-retrieve",
+          "submission", "prio-request") *)
+  on_repair_flag : repair_flag -> level:int -> unit;
+      (** a pointer-repair flag was set at [level] (§4.7) — the queue
+          enters its degraded window until the repair packet lands *)
 }
 
 val default : t
+
+(** ["add"] or ["retrieve"]. *)
+val repair_flag_name : repair_flag -> string

@@ -23,6 +23,9 @@ type t = {
   mutable resubmitted : int;
   mutable abandoned : int;
   mutable rejected : int;
+  mutable swaps : int;
+  mutable recirculations : int;
+  mutable repair_flags : int;
 }
 
 let create ?topology engine =
@@ -44,6 +47,9 @@ let create ?topology engine =
     resubmitted = 0;
     abandoned = 0;
     rejected = 0;
+    swaps = 0;
+    recirculations = 0;
+    repair_flags = 0;
   }
 
 let level_sampler tbl level =
@@ -101,6 +107,10 @@ let note_assign t id ~requested_at =
 
 let note_reject t n = t.rejected <- t.rejected + n
 
+let note_swap t = t.swaps <- t.swaps + 1
+let note_recirculate t = t.recirculations <- t.recirculations + 1
+let note_repair_flag t = t.repair_flags <- t.repair_flags + 1
+
 let instrument t : Instrument.t =
   {
     Instrument.on_enqueue = (fun id ~level -> note_enqueue t id ~level);
@@ -108,6 +118,9 @@ let instrument t : Instrument.t =
     on_assign = (fun id ~node:_ ~requested_at -> note_assign t id ~requested_at);
     on_reject = (fun n -> note_reject t n);
     on_noop = (fun () -> ());
+    on_swap = (fun ~swapped_in:_ ~swapped_out:_ ~level:_ -> note_swap t);
+    on_recirculate = (fun ~kind:_ -> note_recirculate t);
+    on_repair_flag = (fun _ ~level:_ -> note_repair_flag t);
   }
 
 let scheduling_delay t = t.scheduling_delay
@@ -123,6 +136,9 @@ let timeouts t = t.timeouts
 let resubmitted t = t.resubmitted
 let abandoned t = t.abandoned
 let rejected t = t.rejected
+let swaps t = t.swaps
+let recirculations t = t.recirculations
+let repair_flags t = t.repair_flags
 (* [started] counts assignment events, so a task that is lost and
    resubmitted starts more than once; clamp so duplicated starts under
    fault injection cannot drive the count negative. *)

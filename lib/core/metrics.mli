@@ -58,6 +58,12 @@ val note_exec_start : t -> Task.t -> node:int -> unit
 val note_enqueue : t -> Task.id -> level:int -> unit
 val note_assign : t -> Task.id -> requested_at:Time.t -> unit
 val note_reject : t -> int -> unit
+
+(** Switch-mechanism events (Draconis only; baselines have none). *)
+val note_swap : t -> unit
+
+val note_recirculate : t -> unit
+val note_repair_flag : t -> unit
 val instrument : t -> Instrument.t
 
 (** {2 Results} *)
@@ -84,6 +90,17 @@ val resubmitted : t -> int
 val abandoned : t -> int
 
 val rejected : t -> int
+
+(** Task swaps performed by the switch program (§5.1). *)
+val swaps : t -> int
+
+(** Recirculations the switch program produced (swap hops, repairs,
+    resubmissions, multi-task submissions, priority escalation) —
+    scheduler-side, unlike the pipeline's port-level count. *)
+val recirculations : t -> int
+
+(** Circular-queue repair-flag trips (§4.7), both pointers. *)
+val repair_flags : t -> int
 
 (** Tasks submitted but never started (lost or still queued at the end
     of the run), clamped at 0: starts are counted per assignment, so

@@ -1,6 +1,7 @@
 open Draconis_sim
 open Draconis_p4
 open Draconis_proto
+module Obs = Draconis_obs
 
 type t = {
   engine : Engine.t;
@@ -60,14 +61,32 @@ let repairs_launched t = t.repairs_launched
 
 (* -- helpers -------------------------------------------------------------- *)
 
+(* Every recirculation the program produces flows through here so the
+   instrument hook and the observability counter cannot drift apart. *)
+let recirc t ~kind pkt =
+  t.instrument.on_recirculate ~kind;
+  Obs.Recorder.count "switch.recirculations" 1;
+  Pipeline.Recirculate pkt
+
+(* A pointer-repair flag tripped (§4.7): the queue is in its degraded
+   window until the repair packet lands. *)
+let repair_flag_tripped t flag ~level =
+  t.instrument.on_repair_flag flag ~level;
+  Obs.Recorder.count "queue.repair_flags" 1;
+  if Obs.Recorder.active () then
+    Obs.Recorder.mark ~at:(Engine.now t.engine) ~track:"queue"
+      (Printf.sprintf "repair-%s L%d" (Instrument.repair_flag_name flag) level)
+
 let noop_to t (info : Message.executor_info) =
   t.noops <- t.noops + 1;
   t.instrument.on_noop ();
+  Obs.Recorder.count "switch.noops" 1;
   Pipeline.Emit (info.exec_addr, Message.Noop_assignment { port = info.exec_port })
 
 let assign_to t (info : Message.executor_info) (entry : Entry.t) ~requested_at =
   t.assignments <- t.assignments + 1;
   t.instrument.on_assign entry.task.id ~node:info.exec_node ~requested_at;
+  Obs.Recorder.count "switch.assignments" 1;
   Pipeline.Emit
     ( info.exec_addr,
       Message.Task_assignment
@@ -77,9 +96,11 @@ let retrieve_repair_output t ~level = function
   | None -> []
   | Some target ->
     t.repairs_launched <- t.repairs_launched + 1;
+    repair_flag_tripped t Instrument.Retrieve_flag ~level;
+    Obs.Recorder.count "switch.repairs_launched" 1;
     Trace.emit ~at:(Engine.now t.engine) Trace.Queue
       (lazy (Printf.sprintf "retrieve repair level=%d target=%d" level target));
-    [ Pipeline.Recirculate (Switch_packet.Repair_retrieve { level; target }) ]
+    [ recirc t ~kind:"repair-retrieve" (Switch_packet.Repair_retrieve { level; target }) ]
 
 (* Enqueue one entry; shared by job submissions and task resubmission. *)
 let enqueue_entry t ctx ~level (entry : Entry.t) =
@@ -105,7 +126,7 @@ let handle_submission t ctx ~client ~uid ~jid ~tasks =
            #TASKS, exactly as the hardware reprocesses the packet. *)
         if rest = [] then [ Pipeline.Emit (client, Message.Job_ack { uid; jid }) ]
         else
-          [ Pipeline.Recirculate
+          [ recirc t ~kind:"submission"
               (Switch_packet.Wire (Job_submission { client; uid; jid; tasks = rest }));
           ]
       in
@@ -114,12 +135,15 @@ let handle_submission t ctx ~client ~uid ~jid ~tasks =
       (* Bounce every not-yet-enqueued task back to the client (§4.3). *)
       t.rejected_tasks <- t.rejected_tasks + List.length tasks;
       t.instrument.on_reject (List.length tasks);
+      Obs.Recorder.count "switch.rejected_tasks" (List.length tasks);
       let repairs =
         match add_repair with
         | None -> []
         | Some target ->
           t.repairs_launched <- t.repairs_launched + 1;
-          [ Pipeline.Recirculate (Switch_packet.Repair_add { level; target }) ]
+          repair_flag_tripped t Instrument.Add_flag ~level;
+          Obs.Recorder.count "switch.repairs_launched" 1;
+          [ recirc t ~kind:"repair-add" (Switch_packet.Repair_add { level; target }) ]
       in
       repairs @ [ Pipeline.Emit (client, Message.Queue_full { uid; jid; tasks }) ])
 
@@ -131,8 +155,9 @@ let bump_skip (entry : Entry.t) = { entry with skip = entry.skip + 1 }
 
 let start_swap t ~level ~entry ~index ~info ~requested_at =
   t.swaps <- t.swaps + 1;
+  Obs.Recorder.count "switch.swaps" 1;
   let next = Circular_queue.next_index t.queues.(level) index in
-  Pipeline.Recirculate
+  recirc t ~kind:"swap"
     (Switch_packet.Swap
        {
          level;
@@ -155,7 +180,7 @@ let handle_request t ctx (info : Message.executor_info) ~rtrv_prio ~requested_at
       (* Priority policy: scan the next-lower priority level via
          recirculation (§6.1); otherwise report no work. *)
       if rtrv_prio < levels then
-        [ Pipeline.Recirculate
+        [ recirc t ~kind:"prio-request"
             (Switch_packet.Prio_request { info; rtrv_prio = rtrv_prio + 1; requested_at });
         ]
       else [ noop_to t info ]
@@ -175,7 +200,8 @@ let handle_request t ctx (info : Message.executor_info) ~rtrv_prio ~requested_at
 
 let resubmit_and_noop t ~level ~entry ~info =
   t.resubmissions <- t.resubmissions + 1;
-  [ Pipeline.Recirculate (Switch_packet.Resubmit { level; entry }); noop_to t info ]
+  Obs.Recorder.count "switch.resubmissions" 1;
+  [ recirc t ~kind:"resubmit" (Switch_packet.Resubmit { level; entry }); noop_to t info ]
 
 let handle_swap t ctx ~level ~entry ~swap_indx ~info ~pkt_retrieve_ptr ~attempts
     ~requested_at =
@@ -205,12 +231,14 @@ let handle_swap t ctx ~level ~entry ~swap_indx ~info ~pkt_retrieve_ptr ~attempts
     | Circular_queue.Swapped popped ->
       t.instrument.on_dequeue popped.task.id ~level;
       t.instrument.on_enqueue entry.task.id ~level;
+      t.instrument.on_swap ~swapped_in:entry.task.id ~swapped_out:popped.task.id ~level;
       let popped = bump_skip popped in
       if Policy.satisfies t.policy ~entry:popped ~info then
         [ assign_to t info popped ~requested_at ]
       else begin
         t.swaps <- t.swaps + 1;
-        [ Pipeline.Recirculate
+        Obs.Recorder.count "switch.swaps" 1;
+        [ recirc t ~kind:"swap"
             (Switch_packet.Swap
                {
                  level;
@@ -236,12 +264,15 @@ let handle_resubmit t ctx ~level (entry : Entry.t) =
        client like any full-queue submission. *)
     t.rejected_tasks <- t.rejected_tasks + 1;
     t.instrument.on_reject 1;
+    Obs.Recorder.count "switch.rejected_tasks" 1;
     let repairs =
       match add_repair with
       | None -> []
       | Some target ->
         t.repairs_launched <- t.repairs_launched + 1;
-        [ Pipeline.Recirculate (Switch_packet.Repair_add { level; target }) ]
+        repair_flag_tripped t Instrument.Add_flag ~level;
+        Obs.Recorder.count "switch.repairs_launched" 1;
+        [ recirc t ~kind:"repair-add" (Switch_packet.Repair_add { level; target }) ]
     in
     let task = entry.task in
     repairs

@@ -236,6 +236,7 @@ let work_stealing ~quick =
                     Draconis_p4.Pipeline.processed (Draconis_baselines.R2p2.pipeline sys);
                   queue_rejections = 0;
                 });
+            probes = (fun () -> []);
           }
         in
         (running, fun () -> Draconis_baselines.R2p2.steals sys));

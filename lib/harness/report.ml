@@ -45,10 +45,14 @@ let outcome_json (o : Runner.outcome) =
   Printf.sprintf
     "{\"system\":\"%s\",\"load_tps\":%s,\"sched_p50_ns\":%d,\"sched_p99_ns\":%d,\
      \"sched_mean_ns\":%s,\"decisions_per_sec\":%s,\"submitted\":%d,\"completed\":%d,\
-     \"timeouts\":%d,\"rejected\":%d,\"events\":%d,\"drained\":%b}"
+     \"timeouts\":%d,\"rejected\":%d,\"recirc_fraction\":%s,\"recirc_drops\":%d,\
+     \"swaps\":%d,\"recirculations\":%d,\"repair_flags\":%d,\"events\":%d,\
+     \"drained\":%b}"
     (json_escape o.system) (json_float o.load_tps) o.sched_p50 o.sched_p99
     (json_float o.sched_mean) (json_float o.decisions_per_sec) o.submitted
-    o.completed o.timeouts o.rejected o.events o.drained
+    o.completed o.timeouts o.rejected
+    (json_float o.recirc_fraction)
+    o.recirc_drops o.swaps o.recirculations o.repair_flags o.events o.drained
 
 let entry_json e =
   let ev = events e in

@@ -1,6 +1,7 @@
 open Draconis_sim
 open Draconis_stats
 open Draconis
+module Obs = Draconis_obs
 
 type outcome = {
   system : string;
@@ -16,6 +17,9 @@ type outcome = {
   rejected : int;
   recirc_fraction : float;
   recirc_drops : int;
+  swaps : int;
+  recirculations : int;
+  repair_flags : int;
   events : int;
   drained : bool;
 }
@@ -62,21 +66,50 @@ let collect (system : Systems.running) ~load_tps ~horizon ~drained =
     rejected = Metrics.rejected metrics;
     recirc_fraction = extras.Systems.recirc_fraction;
     recirc_drops = extras.Systems.recirc_drops;
+    swaps = Metrics.swaps metrics;
+    recirculations = Metrics.recirculations metrics;
+    repair_flags = Metrics.repair_flags metrics;
     events = Engine.executed system.engine;
     drained;
   }
 
+(* When the sink is enabled, the whole run executes under an ambient
+   recorder (each run is single-domain, so pool workers never share
+   one), with probes sampling the system's instantaneous state.  With
+   the sink disabled this adds nothing but the [config] check. *)
+let observed (system : Systems.running) ~label ~until f =
+  match Obs.Sink.config () with
+  | None -> f ()
+  | Some { Obs.Sink.probe_interval; capacity } ->
+    let recorder = Obs.Recorder.create ~capacity ~label () in
+    let outcome =
+      Obs.Recorder.with_recorder recorder (fun () ->
+          Obs.Probe.attach system.engine ~interval:probe_interval ~until
+            (system.probes ());
+          f ())
+    in
+    Obs.Sink.put recorder;
+    outcome
+
 let run (system : Systems.running) ~driver ~load_tps ~horizon ?drain
     ?(workload_seed = 1_000_003) () =
   let drain = Option.value drain ~default:(4 * horizon) in
-  let rng = Rng.create ~seed:workload_seed in
-  driver system.engine rng ~submit:system.submit;
-  Engine.run ~until:horizon system.engine;
-  let drained = drain_system system ~deadline:(horizon + drain) in
-  collect system ~load_tps ~horizon ~drained
+  observed system
+    ~label:(Printf.sprintf "%s@%.0ftps" system.name load_tps)
+    ~until:(horizon + drain)
+    (fun () ->
+      let rng = Rng.create ~seed:workload_seed in
+      driver system.engine rng ~submit:system.submit;
+      Engine.run ~until:horizon system.engine;
+      let drained = drain_system system ~deadline:(horizon + drain) in
+      collect system ~load_tps ~horizon ~drained)
 
 let run_closed (system : Systems.running) ~horizon ?drain () =
   let drain = Option.value drain ~default:(4 * horizon) in
-  Engine.run ~until:horizon system.engine;
-  let drained = drain_system system ~deadline:(horizon + drain) in
-  collect system ~load_tps:0.0 ~horizon ~drained
+  observed system
+    ~label:(Printf.sprintf "%s@closed" system.name)
+    ~until:(horizon + drain)
+    (fun () ->
+      Engine.run ~until:horizon system.engine;
+      let drained = drain_system system ~deadline:(horizon + drain) in
+      collect system ~load_tps:0.0 ~horizon ~drained)

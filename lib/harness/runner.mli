@@ -25,6 +25,9 @@ type outcome = {
   rejected : int;  (** tasks bounced by a full scheduler queue *)
   recirc_fraction : float;
   recirc_drops : int;
+  swaps : int;  (** switch task swaps (§5.1); 0 for baselines *)
+  recirculations : int;  (** scheduler-produced recirculations *)
+  repair_flags : int;  (** circular-queue repair-flag trips (§4.7) *)
   events : int;  (** simulation events the engine executed *)
   drained : bool;
 }

@@ -26,7 +26,20 @@ type running = {
   submit : Task.t list -> unit;
   outstanding : unit -> int;
   extras : unit -> extras;
+  probes : unit -> (string * (unit -> int)) list;
 }
+
+(* Probe sources over a pipeline shared by Draconis and the switch-based
+   baselines. *)
+let pipeline_probes pipeline =
+  [ ("pipeline.recirculated", fun () -> Draconis_p4.Pipeline.recirculated pipeline);
+    ("pipeline.recirc_dropped", fun () -> Draconis_p4.Pipeline.recirc_dropped pipeline);
+  ]
+
+let fabric_probes fabric =
+  [ ("fabric.delivered", fun () -> Draconis_net.Fabric.delivered fabric);
+    ("fabric.lost", fun () -> Draconis_net.Fabric.lost fabric);
+  ]
 
 let no_extras =
   { recirc_fraction = 0.0; recirc_drops = 0; pipeline_processed = 0; queue_rejections = 0 }
@@ -80,6 +93,15 @@ let draconis_cluster ?(policy_of = fun _ -> Policy.Fcfs) ?(racks = 1)
             pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
             queue_rejections = Switch_program.rejected_tasks (Cluster.program cluster);
           });
+      probes =
+        (fun () ->
+          (* The program is re-fetched per sample so probes follow a
+             switch fail-over to the standby's fresh queues. *)
+          (("queue.occupancy",
+            fun () -> Switch_program.total_occupancy (Cluster.program cluster))
+           :: ("executors.busy", fun () -> Cluster.busy_executors cluster)
+           :: pipeline_probes (Cluster.pipeline cluster))
+          @ fabric_probes (Cluster.fabric cluster));
     }
   in
   (cluster, running)
@@ -125,6 +147,7 @@ let r2p2_system ~k ?client_timeout
             pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
             queue_rejections = 0;
           });
+      probes = (fun () -> pipeline_probes (B.R2p2.pipeline system));
     } )
 
 let r2p2 ~k ?client_timeout ?pipeline_config ?work_stealing spec =
@@ -169,6 +192,7 @@ let racksched_system ?client_timeout ?(samples = 2) ?(intra = B.Node_worker.Fcfs
             pipeline_processed = Draconis_p4.Pipeline.processed pipeline;
             queue_rejections = 0;
           });
+      probes = (fun () -> pipeline_probes (B.Racksched.pipeline system));
     } )
 
 let racksched ?client_timeout ?samples ?intra spec =
@@ -198,6 +222,7 @@ let sparrow ~schedulers spec =
         B.Sparrow.submit_job system ~client tasks);
     outstanding = (fun () -> B.Sparrow.outstanding system);
     extras = (fun () -> no_extras);
+    probes = (fun () -> []);
   }
 
 let central_server_system ?client_timeout variant spec =
@@ -234,6 +259,7 @@ let central_server_system ?client_timeout variant spec =
             no_extras with
             queue_rejections = Metrics.rejected (B.Central_server.metrics system);
           });
+      probes = (fun () -> []);
     } )
 
 let central_server ?client_timeout variant spec =

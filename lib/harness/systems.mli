@@ -36,6 +36,11 @@ type running = {
   submit : Task.t list -> unit;  (** round-robins jobs across clients *)
   outstanding : unit -> int;
   extras : unit -> extras;
+  probes : unit -> (string * (unit -> int)) list;
+      (** instantaneous-state sources for {!Draconis_obs.Probe} — each
+          [(name, read)] pair is sampled on the probe interval when
+          observability is enabled; empty for systems with nothing to
+          sample *)
 }
 
 (** [draconis ?policy_of ?racks ?queue_capacity ?rsrc_of_node

@@ -1,4 +1,5 @@
 open Draconis_sim
+module Obs = Draconis_obs
 
 type 'msg envelope = {
   src : Addr.t;
@@ -145,10 +146,14 @@ let loss_probability t =
 let send t ~src ~dst payload =
   if Addr.equal src dst then invalid_arg "Fabric.send: src = dst";
   let now = Engine.now t.engine in
+  Obs.Recorder.count "fabric.sent" 1;
   Trace.emit ~at:now Trace.Fabric
     (lazy (Printf.sprintf "send %s -> %s" (Addr.to_string src) (Addr.to_string dst)));
   if partitioned t src || partitioned t dst then begin
     t.partition_dropped <- t.partition_dropped + 1;
+    Obs.Recorder.count "fabric.partition_dropped" 1;
+    if Obs.Recorder.active () then
+      Obs.Recorder.mark ~at:now ~track:"fabric" "drop: partition";
     Trace.emit ~at:now Trace.Fabric
       (lazy
         (Printf.sprintf "DROP (partition) %s -> %s" (Addr.to_string src)
@@ -158,6 +163,10 @@ let send t ~src ~dst payload =
     let p = loss_probability t in
     if p > 0.0 && Rng.float t.rng < p then begin
       t.lost <- t.lost + 1;
+      Obs.Recorder.count "fabric.lost" 1;
+      if Obs.Recorder.active () then
+        Obs.Recorder.mark ~at:now ~track:"fabric"
+          (if t.bad then "drop: loss (burst)" else "drop: loss");
       Trace.emit ~at:now Trace.Fabric
         (lazy
           (Printf.sprintf "DROP (loss p=%.3f%s) %s -> %s" p
@@ -172,9 +181,11 @@ let send t ~src ~dst payload =
              match Hashtbl.find_opt t.handlers dst with
              | Some handler ->
                t.delivered <- t.delivered + 1;
+               Obs.Recorder.count "fabric.delivered" 1;
                handler env
              | None ->
                t.undeliverable <- t.undeliverable + 1;
+               Obs.Recorder.count "fabric.undeliverable" 1;
                Trace.emit ~at:(Engine.now t.engine) Trace.Fabric
                  (lazy
                    (Printf.sprintf "DROP (no handler) %s -> %s" (Addr.to_string src)

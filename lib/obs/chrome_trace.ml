@@ -1,0 +1,95 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome trace-event timestamps are microseconds; the simulator's are
+   nanoseconds, so three decimals preserve them exactly. *)
+let ts_us at = Printf.sprintf "%d.%03d" (at / 1000) (abs (at mod 1000))
+
+type emitter = {
+  buf : Buffer.t;
+  mutable first : bool;
+}
+
+let emit_record e fields =
+  if e.first then e.first <- false else Buffer.add_string e.buf ",\n";
+  Buffer.add_char e.buf '{';
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Buffer.add_char e.buf ',';
+      Buffer.add_char e.buf '"';
+      Buffer.add_string e.buf name;
+      Buffer.add_string e.buf "\":";
+      Buffer.add_string e.buf value)
+    fields;
+  Buffer.add_char e.buf '}'
+
+let quoted s = "\"" ^ escape s ^ "\""
+
+let emit_metadata e ~pid ?tid ~name arg =
+  emit_record e
+    ([ ("ph", quoted "M"); ("pid", string_of_int pid) ]
+    @ (match tid with None -> [] | Some tid -> [ ("tid", string_of_int tid) ])
+    @ [ ("name", quoted name); ("args", "{\"name\":" ^ quoted arg ^ "}") ])
+
+let emit_run e ~pid recorder =
+  emit_metadata e ~pid ~name:"process_name" (Recorder.label recorder);
+  (* Tracks become numbered threads, in order of first appearance —
+     deterministic because the event order is. *)
+  let tids = Hashtbl.create 16 in
+  let tid_of track =
+    match Hashtbl.find_opt tids track with
+    | Some tid -> tid
+    | None ->
+      let tid = Hashtbl.length tids in
+      Hashtbl.replace tids track tid;
+      emit_metadata e ~pid ~tid ~name:"thread_name" track;
+      tid
+  in
+  Recorder.iter_events recorder (fun event ->
+      let tid = tid_of event.Event.track in
+      let shared =
+        [
+          ("ph", quoted (Event.phase_name event.phase));
+          ("pid", string_of_int pid);
+          ("tid", string_of_int tid);
+          ("ts", ts_us event.at);
+          ("name", quoted event.name);
+          ("cat", quoted "draconis");
+        ]
+      in
+      match event.phase with
+      | Event.Counter v ->
+        emit_record e (shared @ [ ("args", Printf.sprintf "{\"value\":%d}" v) ])
+      | Event.Instant -> emit_record e (shared @ [ ("s", quoted "t") ])
+      | Event.Span_begin | Event.Span_end -> emit_record e shared)
+
+let to_buffer buf recorders =
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  let e = { buf; first = true } in
+  List.iteri (fun pid recorder -> emit_run e ~pid recorder) recorders;
+  Buffer.add_string buf "\n]}\n"
+
+let to_string recorders =
+  let buf = Buffer.create 65536 in
+  to_buffer buf recorders;
+  Buffer.contents buf
+
+let write ~path recorders =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      to_buffer buf recorders;
+      Buffer.output_buffer oc buf)

@@ -1,0 +1,13 @@
+(** Flat metrics exporter: the registry of every run as JSON or CSV.
+
+    JSON shape ([draconis-obs/1] schema): a [runs] array with one entry
+    per recorder holding its label, event/drop totals, counters,
+    gauges, histogram summaries (count/min/max/mean/p50/p99), and probe
+    time series as [[t_ns, value]] pairs.  The CSV form flattens the
+    same data into [label,kind,name,time_ns,value] rows (one row per
+    series point).  {!write_metrics} picks CSV when [path] ends in
+    [.csv], JSON otherwise. *)
+
+val metrics_json : Recorder.t list -> string
+val metrics_csv : Recorder.t list -> string
+val write_metrics : path:string -> Recorder.t list -> unit

@@ -1,0 +1,28 @@
+open Draconis_sim
+
+type phase =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Counter of int
+
+type t = {
+  at : Time.t;
+  track : string;
+  name : string;
+  phase : phase;
+}
+
+let phase_name = function
+  | Span_begin -> "B"
+  | Span_end -> "E"
+  | Instant -> "i"
+  | Counter _ -> "C"
+
+let dummy = { at = 0; track = ""; name = ""; phase = Instant }
+
+let pp fmt e =
+  match e.phase with
+  | Counter v -> Format.fprintf fmt "[%a] C %s/%s=%d" Time.pp e.at e.track e.name v
+  | phase ->
+    Format.fprintf fmt "[%a] %s %s/%s" Time.pp e.at (phase_name phase) e.track e.name

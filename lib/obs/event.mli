@@ -1,0 +1,39 @@
+(** Typed timeline events.
+
+    The observability layer replaces free-form trace strings with four
+    event shapes, chosen because they map one-to-one onto the Chrome
+    trace-event phases that Perfetto renders natively:
+
+    - a {e span} is a [Span_begin]/[Span_end] pair on one track (an
+      executor running a task);
+    - an {e instant} marks a point occurrence (a drop, a repair-flag
+      trip);
+    - a {e counter} carries a sampled value and renders as a counter
+      track (queue occupancy over time).
+
+    Events carry no sequence number: a {!Recorder.t} stores them in
+    emission order, which for a single-domain simulation run is also
+    non-decreasing in [at]. *)
+
+open Draconis_sim
+
+type phase =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Counter of int  (** sampled value *)
+
+type t = {
+  at : Time.t;  (** simulated time, ns *)
+  track : string;  (** timeline row, e.g. ["exec 3:2"] or ["fabric"] *)
+  name : string;  (** event or counter name *)
+  phase : phase;
+}
+
+(** Chrome trace-event phase letter: B, E, i, or C. *)
+val phase_name : phase -> string
+
+(** Placeholder used to pre-fill buffers. *)
+val dummy : t
+
+val pp : Format.formatter -> t -> unit

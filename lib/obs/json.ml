@@ -1,0 +1,216 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let error cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.text then Some cur.text.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance cur;
+    skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some got when got = c -> advance cur
+  | Some got -> error cur (Printf.sprintf "expected %c, got %c" c got)
+  | None -> error cur (Printf.sprintf "expected %c, got end of input" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.text && String.sub cur.text cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else error cur (Printf.sprintf "expected %s" word)
+
+let hex_digit cur c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error cur "bad \\u escape"
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | None -> error cur "unterminated escape"
+      | Some c ->
+        advance cur;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if cur.pos + 4 > String.length cur.text then error cur "truncated \\u escape";
+          let code =
+            List.fold_left
+              (fun acc i -> (acc * 16) + hex_digit cur cur.text.[cur.pos + i])
+              0 [ 0; 1; 2; 3 ]
+          in
+          cur.pos <- cur.pos + 4;
+          (* Minimal UTF-8 encoding of the BMP scalar; surrogate halves
+             become U+FFFD.  Exports only escape control characters, so
+             this path is cold. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else if code >= 0xD800 && code <= 0xDFFF then
+            Buffer.add_string buf "\xEF\xBF\xBD"
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | c -> error cur (Printf.sprintf "bad escape \\%c" c)));
+      loop ()
+    | Some c when Char.code c < 0x20 -> error cur "control character in string"
+    | Some c ->
+      advance cur;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let consume_while pred =
+    while
+      match peek cur with
+      | Some c when pred c -> true
+      | _ -> false
+    do
+      advance cur
+    done
+  in
+  if peek cur = Some '-' then advance cur;
+  consume_while (fun c -> c >= '0' && c <= '9');
+  if peek cur = Some '.' then begin
+    advance cur;
+    consume_while (fun c -> c >= '0' && c <= '9')
+  end;
+  (match peek cur with
+  | Some ('e' | 'E') ->
+    advance cur;
+    (match peek cur with Some ('+' | '-') -> advance cur | _ -> ());
+    consume_while (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  let raw = String.sub cur.text start (cur.pos - start) in
+  match float_of_string_opt raw with
+  | Some f -> f
+  | None -> error cur (Printf.sprintf "bad number %S" raw)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> error cur "unexpected end of input"
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws cur;
+        let name = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          members ((name, v) :: acc)
+        | Some '}' ->
+          advance cur;
+          List.rev ((name, v) :: acc)
+        | _ -> error cur "expected , or } in object"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          elements (v :: acc)
+        | Some ']' ->
+          advance cur;
+          List.rev (v :: acc)
+        | _ -> error cur "expected , or ] in array"
+      in
+      List (elements [])
+    end
+  | Some '"' -> String (parse_string cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some ('-' | '0' .. '9') -> Number (parse_number cur)
+  | Some c -> error cur (Printf.sprintf "unexpected character %c" c)
+
+let parse text =
+  let cur = { text; pos = 0 } in
+  match parse_value cur with
+  | v ->
+    skip_ws cur;
+    if cur.pos <> String.length text then
+      Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse text
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_list = function List items -> Some items | _ -> None
+let to_string = function String s -> Some s | _ -> None
+let to_number = function Number f -> Some f | _ -> None

@@ -1,0 +1,26 @@
+(** Minimal JSON reader for export validation.
+
+    The repository writes its JSON by hand (no JSON dependency is
+    baked into the image), so the exporters need an independent reader
+    to prove what they wrote actually parses: the round-trip tests and
+    the [obs-smoke] self-check both re-parse every exported file with
+    this module.  Full RFC 8259 value grammar; numbers are read as
+    floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+val parse_file : string -> (t, string) result
+
+(** [member name json] is the field of an object, [None] otherwise. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_number : t -> float option

@@ -1,0 +1,16 @@
+open Draconis_sim
+
+let default_interval = Time.us 100
+
+let attach engine ?(interval = default_interval) ~until sources =
+  if interval <= 0 then invalid_arg "Probe.attach: interval must be positive";
+  if sources <> [] then begin
+    let sample_all () =
+      let now = Engine.now engine in
+      List.iter (fun (name, read) -> Recorder.probe_sample ~at:now name (read ())) sources
+    in
+    (* One immediate sample anchors every series at the attach time, so
+       even a run shorter than [interval] exports a data point. *)
+    sample_all ();
+    if until > Engine.now engine then Engine.every engine ~interval ~until sample_all
+  end

@@ -1,0 +1,23 @@
+(** Periodic samplers over simulated time.
+
+    A probe reads instantaneous state the event counters cannot express
+    — queue occupancy, executors currently busy, cumulative
+    recirculations — on a fixed sim-time interval, and feeds each
+    reading into the ambient {!Recorder} as a time-series point plus a
+    counter event (so the sampled series render as counter tracks in
+    the exported timeline).
+
+    Probes read, never mutate: attaching them changes the engine's
+    event count but not the simulation's behaviour or its RNG stream. *)
+
+open Draconis_sim
+
+(** 100 us of simulated time. *)
+val default_interval : Time.t
+
+(** [attach engine ?interval ~until sources] samples every [(name,
+    read)] source now and then every [interval] until [until].  With an
+    empty [sources] list nothing is scheduled.
+    @raise Invalid_argument if [interval <= 0]. *)
+val attach :
+  Engine.t -> ?interval:Time.t -> until:Time.t -> (string * (unit -> int)) list -> unit

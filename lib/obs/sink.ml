@@ -1,0 +1,47 @@
+open Draconis_sim
+
+type config = { probe_interval : Time.t; capacity : int }
+
+(* The sink is shared by every pool worker domain, so the (cold) state
+   transitions and the per-run deposits are mutex-protected.  The hot
+   emit path never touches the sink — recorders are domain-local. *)
+let mutex = Mutex.create ()
+let state : config option ref = ref None
+let runs : Recorder.t list ref = ref []
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let enable ?(probe_interval = Probe.default_interval) ?(capacity = Recorder.default_capacity) () =
+  if probe_interval <= 0 then invalid_arg "Sink.enable: probe_interval must be positive";
+  if capacity < 1 then invalid_arg "Sink.enable: capacity must be positive";
+  locked (fun () ->
+      state := Some { probe_interval; capacity };
+      runs := [])
+
+let disable () =
+  locked (fun () ->
+      state := None;
+      runs := [])
+
+let config () = locked (fun () -> !state)
+let enabled () = config () <> None
+
+let put recorder = locked (fun () -> runs := recorder :: !runs)
+
+let drain () =
+  let deposited = locked (fun () ->
+      let r = !runs in
+      runs := [];
+      r)
+  in
+  (* Pool jobs finish in a nondeterministic order; sorting by label
+     (then event count, for duplicate labels) makes the exported files
+     stable across --jobs settings. *)
+  List.stable_sort
+    (fun a b ->
+      match String.compare (Recorder.label a) (Recorder.label b) with
+      | 0 -> compare (Recorder.event_count a) (Recorder.event_count b)
+      | c -> c)
+    deposited

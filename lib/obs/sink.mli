@@ -1,0 +1,35 @@
+(** Process-wide capture switch and run collector.
+
+    [--trace-out] / [--metrics-out] turn observability on for a whole
+    invocation: the front ends call {!enable}, the experiment runner
+    then creates one {!Recorder} per run (any pool worker domain),
+    records through it, and {!put}s it here when the run finishes.
+    After all experiments, the front end {!drain}s the collected runs
+    — sorted by label so output files are identical for any [--jobs]
+    setting — and hands them to the exporters.
+
+    When the sink is disabled (the default) the runner skips recorder
+    creation entirely, so a run with observability off pays only the
+    per-emit disabled-path branch. *)
+
+open Draconis_sim
+
+type config = {
+  probe_interval : Time.t;  (** sim-time sampling period for probes *)
+  capacity : int;  (** per-run event buffer bound *)
+}
+
+(** [enable ?probe_interval ?capacity ()] — defaults:
+    {!Probe.default_interval}, {!Recorder.default_capacity}.  Clears
+    any previously collected runs. *)
+val enable : ?probe_interval:Time.t -> ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val config : unit -> config option
+
+(** [put recorder] deposits a finished run (thread-safe). *)
+val put : Recorder.t -> unit
+
+(** Collected runs sorted by label; clears the sink. *)
+val drain : unit -> Recorder.t list

@@ -1,5 +1,6 @@
 open Draconis_sim
 open Draconis_net
+module Obs = Draconis_obs
 
 type ('wire, 'pkt) output = Emit of Addr.t * 'wire | Recirculate of 'pkt | Drop
 type ('wire, 'pkt) program = Packet_ctx.t -> 'pkt -> ('wire, 'pkt) output list
@@ -47,10 +48,15 @@ let rec admit t pkt =
   let epoch = t.epoch in
   ignore
     (Engine.schedule_at t.engine ~at:exit_time (fun () ->
-         if epoch = t.epoch then traverse t pkt else t.flushed <- t.flushed + 1))
+         if epoch = t.epoch then traverse t pkt
+         else begin
+           t.flushed <- t.flushed + 1;
+           Obs.Recorder.count "pipeline.flushed" 1
+         end))
 
 and traverse t pkt =
   t.processed <- t.processed + 1;
+  Obs.Recorder.count "pipeline.processed" 1;
   let ctx = Packet_ctx.create () in
   let outputs = t.program ctx pkt in
   List.iter
@@ -74,17 +80,25 @@ and recirculate t pkt =
   if backlog >= t.config.recirc_queue_limit then begin
     Trace.emit ~at:now Trace.Pipeline
       (lazy (Printf.sprintf "recirculation DROP (backlog %d)" backlog));
-    t.recirc_dropped <- t.recirc_dropped + 1
+    t.recirc_dropped <- t.recirc_dropped + 1;
+    Obs.Recorder.count "pipeline.recirc_dropped" 1;
+    if Obs.Recorder.active () then
+      Obs.Recorder.mark ~at:now ~track:"pipeline" "recirc drop"
   end
   else begin
     t.recirculated <- t.recirculated + 1;
+    Obs.Recorder.count "pipeline.recirculated" 1;
     let start = max now t.recirc_free_at in
     t.recirc_free_at <- start + t.config.recirc_slot;
     let reentry = start + t.config.recirc_latency in
     let epoch = t.epoch in
     ignore
       (Engine.schedule_at t.engine ~at:reentry (fun () ->
-           if epoch = t.epoch then admit t pkt else t.flushed <- t.flushed + 1))
+           if epoch = t.epoch then admit t pkt
+           else begin
+             t.flushed <- t.flushed + 1;
+             Obs.Recorder.count "pipeline.flushed" 1
+           end))
   end
 
 let attach ?(config = default_config) fabric ~wrap program =
@@ -112,6 +126,8 @@ let set_program t program = t.program <- program
 let flush_in_flight t =
   let now = Engine.now t.engine in
   Trace.emit ~at:now Trace.Pipeline (lazy "pipeline flushed (fail-over)");
+  if Obs.Recorder.active () then
+    Obs.Recorder.mark ~at:now ~track:"pipeline" "flush (fail-over)";
   t.epoch <- t.epoch + 1;
   (* The standby's ports start idle. *)
   t.ingress_free_at <- now;

@@ -16,20 +16,32 @@ type state = {
   mutable on : bool;
 }
 
-let state = { ring = [||]; size = 0; next = 0; total = 0; on = false }
+(* The tracer state is domain-local: every domain (the main one, and
+   each Harness.Pool worker) gets its own independent ring and on/off
+   flag, so parallel experiment sweeps never race on the buffer.
+   Enablement therefore does not cross Domain.spawn — a pooled job that
+   wants a capture must enable tracing itself (with_capture inside the
+   job does exactly that). *)
+let key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { ring = [||]; size = 0; next = 0; total = 0; on = false })
+
+let state () = Domain.DLS.get key
 
 let enable ?(capacity = 8192) () =
   if capacity < 1 then invalid_arg "Trace.enable: capacity must be positive";
+  let state = state () in
   state.ring <- Array.make capacity { at = 0; category = Host; message = "" };
   state.size <- 0;
   state.next <- 0;
   state.total <- 0;
   state.on <- true
 
-let disable () = state.on <- false
-let enabled () = state.on
+let disable () = (state ()).on <- false
+let enabled () = (state ()).on
 
 let emit ~at category message =
+  let state = state () in
   if state.on then begin
     let record = { at; category; message = Lazy.force message } in
     state.ring.(state.next) <- record;
@@ -39,6 +51,7 @@ let emit ~at category message =
   end
 
 let records () =
+  let state = state () in
   let capacity = Array.length state.ring in
   List.init state.size (fun i ->
       state.ring.((state.next - state.size + i + capacity) mod capacity))
@@ -48,9 +61,10 @@ let recent n =
   let len = List.length all in
   List.filteri (fun i _ -> i >= len - n) all
 
-let emitted () = state.total
+let emitted () = (state ()).total
 
 let clear () =
+  let state = state () in
   state.size <- 0;
   state.next <- 0;
   state.total <- 0
@@ -64,6 +78,7 @@ let dump fmt () =
     (records ())
 
 let with_capture ?capacity f =
+  let state = state () in
   let was_on = state.on in
   enable ?capacity ();
   let finish () =

@@ -7,8 +7,15 @@
     inspect what the switch, fabric, and hosts actually did — the
     simulated equivalent of a packet capture plus switch counters.
 
-    The tracer is global (one simulation per process is the normal
-    mode); [with_capture] scopes enablement for tests. *)
+    The tracer state is {e domain-local}: each domain owns an
+    independent ring and on/off flag, so parallel pool workers
+    (see {!Draconis_harness.Pool}) never race on the buffer.
+    Enablement does not cross [Domain.spawn]; a pooled job that wants a
+    capture enables tracing itself.  Within one domain the tracer
+    behaves as the process-global singleton it used to be;
+    [with_capture] scopes enablement for tests.  For typed, exportable,
+    cross-run telemetry use [Draconis_obs] instead — this module stays
+    the low-tech string ring for interactive debugging. *)
 
 type category =
   | Fabric  (** message sends and deliveries *)

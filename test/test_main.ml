@@ -24,4 +24,5 @@ let () =
       ("trace-file", Test_trace_file.suite);
       ("harness", Test_harness.suite);
       ("pool", Test_pool.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,273 @@
+(* Tests for the observability subsystem: the JSON validator, the typed
+   recorder and registry, Chrome trace-export round-trips, agreement
+   between ambient counters and the experiment metrics on a real run,
+   probe time series, and determinism under the domain pool. *)
+
+open Draconis_sim
+open Draconis_proto
+open Draconis
+open Draconis_workload
+module H = Draconis_harness
+module Obs = Draconis_obs
+
+(* -- JSON reader ----------------------------------------------------------- *)
+
+let test_json_values () =
+  match Obs.Json.parse {| {"a":[1,-2.5,3e2],"s":"x\nA","b":[true,false,null]} |} with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok json ->
+    (match Obs.Json.member "a" json with
+    | Some (Obs.Json.List [ Number a; Number b; Number c ]) ->
+      Alcotest.(check (float 1e-9)) "1" 1.0 a;
+      Alcotest.(check (float 1e-9)) "-2.5" (-2.5) b;
+      Alcotest.(check (float 1e-9)) "3e2" 300.0 c
+    | _ -> Alcotest.fail "number array shape");
+    (match Obs.Json.member "s" json with
+    | Some (Obs.Json.String s) -> Alcotest.(check string) "escapes" "x\nA" s
+    | _ -> Alcotest.fail "string member");
+    (match Obs.Json.member "b" json with
+    | Some (Obs.Json.List [ Bool true; Bool false; Null ]) -> ()
+    | _ -> Alcotest.fail "bool/null array shape")
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun input ->
+      match Obs.Json.parse input with
+      | Ok _ -> Alcotest.failf "accepted %S" input
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "{\"a\":1}x"; "nul" ]
+
+(* -- recorder and registry -------------------------------------------------- *)
+
+let test_recorder_registry () =
+  let r = Obs.Recorder.create ~label:"t" () in
+  Obs.Recorder.add r "c" 2;
+  Obs.Recorder.add r "c" 3;
+  Obs.Recorder.set_gauge r "g" 7;
+  Obs.Recorder.observe r "h" 10;
+  Obs.Recorder.observe r "h" 30;
+  Alcotest.(check int) "counter" 5 (Obs.Recorder.counter_value r "c");
+  Alcotest.(check int) "missing counter" 0 (Obs.Recorder.counter_value r "nope");
+  Alcotest.(check (list (pair string int))) "counters" [ ("c", 5) ]
+    (Obs.Recorder.counters r);
+  Alcotest.(check (list (pair string int))) "gauges" [ ("g", 7) ] (Obs.Recorder.gauges r);
+  match Obs.Recorder.histograms r with
+  | [ ("h", s) ] -> Alcotest.(check int) "histogram count" 2 (Draconis_stats.Sampler.count s)
+  | _ -> Alcotest.fail "histogram listing"
+
+let test_recorder_capacity () =
+  let r = Obs.Recorder.create ~capacity:4 ~label:"t" () in
+  for i = 1 to 10 do
+    Obs.Recorder.instant r ~at:i ~track:"x" "e"
+  done;
+  Alcotest.(check int) "kept prefix" 4 (Obs.Recorder.event_count r);
+  Alcotest.(check int) "dropped rest" 6 (Obs.Recorder.dropped r);
+  match Obs.Recorder.events r with
+  | { Obs.Event.at = 1; _ } :: _ -> ()
+  | _ -> Alcotest.fail "oldest event must survive (drop-newest)"
+
+let test_ambient_noop_when_uninstalled () =
+  Alcotest.(check bool) "inactive" false (Obs.Recorder.active ());
+  (* Must not raise or record anywhere. *)
+  Obs.Recorder.count "c" 1;
+  Obs.Recorder.mark ~at:0 ~track:"t" "e";
+  let r = Obs.Recorder.create ~label:"t" () in
+  Obs.Recorder.with_recorder r (fun () -> Obs.Recorder.count "c" 1);
+  Alcotest.(check bool) "restored" false (Obs.Recorder.active ());
+  Alcotest.(check int) "only installed emission counted" 1
+    (Obs.Recorder.counter_value r "c")
+
+(* -- chrome trace round-trip on a real cluster run -------------------------- *)
+
+let small_cluster_run recorder =
+  Obs.Recorder.with_recorder recorder (fun () ->
+      let cluster =
+        Cluster.create
+          {
+            Cluster.default_config with
+            workers = 2;
+            executors_per_worker = 2;
+            clients = 1;
+            queue_capacity = 64;
+          }
+      in
+      Cluster.start cluster;
+      for jid = 0 to 19 do
+        ignore jid;
+        ignore
+          (Client.submit_job (Cluster.client cluster 0)
+             [ Task.make ~uid:0 ~jid:0 ~tid:0 ~fn_id:Task.Fn.busy_loop
+                 ~fn_par:(Time.us 50) ();
+             ])
+      done;
+      ignore (Cluster.run_until_drained cluster ~deadline:(Time.s 1)))
+
+let test_chrome_trace_round_trip () =
+  let recorder = Obs.Recorder.create ~label:"unit" () in
+  small_cluster_run recorder;
+  Alcotest.(check bool) "events recorded" true (Obs.Recorder.event_count recorder > 0);
+  let out = Obs.Chrome_trace.to_string [ recorder ] in
+  match Obs.Json.parse out with
+  | Error msg -> Alcotest.failf "export is not valid JSON: %s" msg
+  | Ok json ->
+    let events =
+      match Obs.Json.member "traceEvents" json with
+      | Some l -> Option.get (Obs.Json.to_list l)
+      | None -> Alcotest.fail "no traceEvents"
+    in
+    Alcotest.(check bool) "non-empty" true (events <> []);
+    (* Timestamps non-decreasing per (pid, tid) track. *)
+    let last : (float * float, float) Hashtbl.t = Hashtbl.create 16 in
+    let names = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let field name = Obs.Json.member name e in
+        (match field "name" with
+        | Some (Obs.Json.String n) -> Hashtbl.replace names n ()
+        | _ -> ());
+        match (field "ph", field "pid", field "tid", field "ts") with
+        | Some (Obs.Json.String "M"), _, _, _ -> ()
+        | _, Some pid, Some tid, Some ts ->
+          let pid = Option.get (Obs.Json.to_number pid) in
+          let tid = Option.get (Obs.Json.to_number tid) in
+          let ts = Option.get (Obs.Json.to_number ts) in
+          (match Hashtbl.find_opt last (pid, tid) with
+          | Some prev when ts < prev ->
+            Alcotest.failf "ts regressed on track (%g,%g): %g < %g" pid tid ts prev
+          | _ -> ());
+          Hashtbl.replace last (pid, tid) ts
+        | _ -> Alcotest.fail "event missing pid/tid/ts")
+      events;
+    (* Executor spans land on the timeline; the other layers report
+       through the registry (probes replay them onto bench timelines). *)
+    if not (Hashtbl.mem names "task") then Alcotest.fail "no executor task span";
+    List.iter
+      (fun counter ->
+        if Obs.Recorder.counter_value recorder counter <= 0 then
+          Alcotest.failf "counter %S not bumped" counter)
+      [ "fabric.sent"; "fabric.delivered"; "pipeline.processed";
+        "switch.assignments"; "client.submitted"; "exec.tasks" ]
+
+(* -- registry agrees with the experiment metrics ---------------------------- *)
+
+let small_spec =
+  { H.Systems.workers = 4; executors_per_worker = 4; clients = 1; seed = 7 }
+
+let sweep_once ~loads () =
+  List.map
+    (fun load ->
+      let system = H.Systems.draconis small_spec in
+      let horizon = Time.ms 10 in
+      let driver =
+        H.Exp_common.synthetic_driver Synthetic.Fixed_100us ~rate_tps:load ~horizon
+      in
+      H.Runner.run system ~driver ~load_tps:load ~horizon ())
+    loads
+
+let test_registry_matches_metrics () =
+  Obs.Sink.enable ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Sink.disable ())
+    (fun () ->
+      let outcomes = sweep_once ~loads:[ 40_000.0 ] () in
+      let o = List.hd outcomes in
+      match Obs.Sink.drain () with
+      | [ r ] ->
+        Alcotest.(check string) "label" "Draconis@40000tps" (Obs.Recorder.label r);
+        let counter = Obs.Recorder.counter_value r in
+        Alcotest.(check int) "submitted" o.H.Runner.submitted (counter "client.submitted");
+        Alcotest.(check int) "completed" o.H.Runner.completed (counter "client.completed");
+        Alcotest.(check int) "assignments = started" o.H.Runner.started
+          (counter "switch.assignments");
+        Alcotest.(check int) "recirculations" o.H.Runner.recirculations
+          (counter "switch.recirculations");
+        Alcotest.(check int) "repair flags" o.H.Runner.repair_flags
+          (counter "queue.repair_flags");
+        (* Probes sampled the queue and executors over the whole run. *)
+        let series = Obs.Recorder.series r in
+        Alcotest.(check bool) "occupancy series present" true
+          (List.mem_assoc "queue.occupancy" series);
+        (match List.assoc_opt "executors.busy" series with
+        | Some ((_ :: _ :: _) as points) ->
+          let rec chrono = function
+            | (a, _) :: ((b, _) :: _ as rest) -> a <= b && chrono rest
+            | _ -> true
+          in
+          Alcotest.(check bool) "series chronological" true (chrono points)
+        | _ -> Alcotest.fail "executors.busy series too short");
+        (* The metrics dump over this run must itself re-parse. *)
+        (match Obs.Json.parse (Obs.Dump.metrics_json [ r ]) with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "metrics dump invalid: %s" msg)
+      | runs -> Alcotest.failf "expected 1 recorder, got %d" (List.length runs))
+
+(* -- determinism under the domain pool -------------------------------------- *)
+
+let pooled_sweep () =
+  Obs.Sink.enable ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Sink.disable ())
+    (fun () ->
+      let loads = [ 20_000.0; 30_000.0; 40_000.0 ] in
+      ignore
+        (H.Pool.map ~jobs:2
+           (List.map (fun load () -> List.hd (sweep_once ~loads:[ load ] ())) loads));
+      Obs.Sink.drain ()
+        |> List.map (fun r ->
+               ( Obs.Recorder.label r,
+                 Obs.Recorder.event_count r,
+                 Obs.Recorder.counters r,
+                 Obs.Recorder.events r )))
+
+let test_pool_determinism () =
+  let a = pooled_sweep () in
+  let b = pooled_sweep () in
+  Alcotest.(check int) "3 runs" 3 (List.length a);
+  List.iter2
+    (fun (la, ea, ca, eva) (lb, eb, cb, evb) ->
+      Alcotest.(check string) "label" la lb;
+      Alcotest.(check int) "event count" ea eb;
+      Alcotest.(check (list (pair string int))) "counters" ca cb;
+      if eva <> evb then Alcotest.failf "event streams differ for %s" la)
+    a b
+
+(* -- probes ----------------------------------------------------------------- *)
+
+let test_probe_sampling () =
+  let engine = Engine.create () in
+  let state = ref 0 in
+  ignore (Engine.schedule engine ~after:(Time.us 150) (fun () -> state := 5));
+  let r = Obs.Recorder.create ~label:"probe" () in
+  Obs.Recorder.with_recorder r (fun () ->
+      Obs.Probe.attach engine ~interval:(Time.us 100) ~until:(Time.us 450)
+        [ ("s", fun () -> !state) ];
+      Engine.run ~until:(Time.ms 1) engine);
+  match Obs.Recorder.series r with
+  | [ ("s", points) ] ->
+    (* Immediate sample at t=0 plus every 100us through 400us. *)
+    Alcotest.(check int) "5 samples" 5 (List.length points);
+    Alcotest.(check (list (pair int int))) "values track state"
+      [ (0, 0); (Time.us 100, 0); (Time.us 200, 5); (Time.us 300, 5); (Time.us 400, 5) ]
+      points
+  | _ -> Alcotest.fail "expected one series"
+
+let test_probe_rejects_bad_interval () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Probe.attach: interval must be positive") (fun () ->
+      Obs.Probe.attach engine ~interval:0 ~until:(Time.us 10) [ ("x", fun () -> 0) ])
+
+let suite =
+  [
+    Alcotest.test_case "json values" `Quick test_json_values;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "recorder registry" `Quick test_recorder_registry;
+    Alcotest.test_case "recorder capacity" `Quick test_recorder_capacity;
+    Alcotest.test_case "ambient no-op when uninstalled" `Quick
+      test_ambient_noop_when_uninstalled;
+    Alcotest.test_case "chrome trace round-trip" `Quick test_chrome_trace_round_trip;
+    Alcotest.test_case "registry matches metrics" `Quick test_registry_matches_metrics;
+    Alcotest.test_case "pool determinism" `Quick test_pool_determinism;
+    Alcotest.test_case "probe sampling" `Quick test_probe_sampling;
+    Alcotest.test_case "probe rejects bad interval" `Quick test_probe_rejects_bad_interval;
+  ]

@@ -75,9 +75,27 @@ let test_dump_format () =
   Alcotest.(check bool) "message in dump" true
     (Astring.String.is_infix ~affix:"hello" out)
 
+let test_domain_isolation () =
+  Trace.enable ~capacity:16 ();
+  Trace.emit ~at:1 Trace.Host (lazy "main");
+  let spawned =
+    Domain.spawn (fun () ->
+        (* Trace state is domain-local: a fresh domain starts disabled
+           with an empty ring, and nothing it emits reaches ours. *)
+        let started_off = not (Trace.enabled ()) in
+        Trace.emit ~at:2 Trace.Host (lazy "other");
+        (started_off, List.length (Trace.records ())))
+  in
+  let started_off, spawned_records = Domain.join spawned in
+  Alcotest.(check bool) "fresh domain starts disabled" true started_off;
+  Alcotest.(check int) "disabled emit records nothing" 0 spawned_records;
+  Alcotest.(check int) "main ring unaffected" 1 (List.length (Trace.records ()));
+  Trace.disable ()
+
 let suite =
   [
     Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+    Alcotest.test_case "per-domain isolation" `Quick test_domain_isolation;
     Alcotest.test_case "ring buffer bounds" `Quick test_ring_buffer_bounds;
     Alcotest.test_case "recent and counters" `Quick test_recent_and_counts;
     Alcotest.test_case "cluster emits traces" `Quick test_cluster_emits_traces;
