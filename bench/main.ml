@@ -16,6 +16,9 @@
                               (.csv extension switches to CSV)
      main.exe --probe-interval-us N
                               probe sampling period (default 100us)
+     main.exe --max-trace-events N
+                              per-run event-buffer bound (default 2^20);
+                              overflow is counted, not stored
      main.exe --list          list experiment names *)
 
 open Bechamel
@@ -179,9 +182,19 @@ let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  (* Flags taking a value: --csv DIR, --json FILE, --jobs N. *)
+  (* Flags taking a value: --csv DIR, --json FILE, --jobs N, ...  A
+     value flag with no value (trailing, or straight into another flag)
+     fails fast instead of being silently ignored. *)
   let rec value_of flag = function
-    | f :: v :: _ when f = flag -> Some v
+    | [ f ] when f = flag ->
+      Printf.eprintf "%s requires a value\n" flag;
+      exit 1
+    | f :: v :: _ when f = flag ->
+      if String.length v >= 2 && String.sub v 0 2 = "--" then begin
+        Printf.eprintf "%s requires a value, got flag %S\n" flag v;
+        exit 1
+      end;
+      Some v
     | _ :: rest -> value_of flag rest
     | [] -> None
   in
@@ -199,8 +212,18 @@ let () =
         Printf.eprintf "--probe-interval-us wants a positive integer, got %S\n" v;
         exit 1)
   in
+  let capacity =
+    match value_of "--max-trace-events" args with
+    | None -> None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+        Printf.eprintf "--max-trace-events wants a positive integer, got %S\n" v;
+        exit 1)
+  in
   if trace_path <> None || metrics_path <> None then
-    Draconis_obs.Sink.enable ~probe_interval ();
+    Draconis_obs.Sink.enable ~probe_interval ?capacity ();
   (match value_of "--jobs" args with
   | None -> ()
   | Some v -> (
@@ -212,7 +235,7 @@ let () =
   let names =
     let rec drop_flags = function
       | ("--csv" | "--json" | "--jobs" | "--trace-out" | "--metrics-out"
-        | "--probe-interval-us")
+        | "--probe-interval-us" | "--max-trace-events")
         :: _ :: rest ->
         drop_flags rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> drop_flags rest

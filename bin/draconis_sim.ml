@@ -13,14 +13,19 @@ module Obs = Draconis_obs
 
 (* -- observability options (shared by run and figures) --------------------- *)
 
-(* [with_obs (trace, metrics, probe_us) f] enables the observability
-   sink around [f] when an export path was given, then writes (and
-   self-checks) the requested files. *)
-let with_obs (trace_out, metrics_out, probe_interval_us) f =
+(* [with_obs (trace, metrics, probe_us, max_events) f] enables the
+   observability sink around [f] when an export path was given, then
+   writes (and self-checks) the requested files. *)
+let with_obs (trace_out, metrics_out, probe_interval_us, max_events) f =
   let wanted = trace_out <> None || metrics_out <> None in
   (match probe_interval_us with
   | Some us when us < 1 ->
     Printf.eprintf "--probe-interval-us must be >= 1 (got %d)\n" us;
+    exit 1
+  | Some _ | None -> ());
+  (match max_events with
+  | Some n when n < 1 ->
+    Printf.eprintf "--max-trace-events must be >= 1 (got %d)\n" n;
     exit 1
   | Some _ | None -> ());
   if wanted then begin
@@ -29,7 +34,7 @@ let with_obs (trace_out, metrics_out, probe_interval_us) f =
       | None -> Obs.Probe.default_interval
       | Some us -> Time.us us
     in
-    Obs.Sink.enable ~probe_interval ()
+    Obs.Sink.enable ~probe_interval ?capacity:max_events ()
   end;
   f ();
   if wanted then begin
@@ -74,7 +79,16 @@ let obs_term =
       & info [ "probe-interval-us" ] ~docv:"US"
           ~doc:"Probe sampling period in simulated microseconds (default 100).")
   in
-  Term.(const (fun t m p -> (t, m, p)) $ trace_out $ metrics_out $ probe)
+  let max_events =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-trace-events" ] ~docv:"N"
+          ~doc:
+            "Per-run event-buffer bound (default 2^20); events past the bound \
+             are counted as dropped_events in the metrics export instead of \
+             stored.")
+  in
+  Term.(const (fun t m p n -> (t, m, p, n)) $ trace_out $ metrics_out $ probe $ max_events)
 
 (* -- run ------------------------------------------------------------------- *)
 

@@ -1,0 +1,23 @@
+module Obs = Draconis_obs
+
+let key (id : Draconis_proto.Task.id) = (id.uid, id.jid, id.tid)
+
+let with_ctx f = match Obs.Trace_ctx.current () with None -> () | Some ctx -> f ctx
+
+let submit id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.submit ctx (key id) ~at)
+let sent id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.sent ctx (key id) ~at)
+let arrive id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.arrive ctx (key id) ~at)
+let spin id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.spin ctx (key id) ~at)
+
+let enqueue id ~at ~level =
+  with_ctx (fun ctx -> Obs.Trace_ctx.enqueue ctx (key id) ~at ~level)
+
+let reject id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.reject ctx (key id) ~at)
+let dequeue id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.dequeue ctx (key id) ~at)
+let assign id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.assign ctx (key id) ~at)
+let exec_start id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.exec_start ctx (key id) ~at)
+let exec_done id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.exec_done ctx (key id) ~at)
+let complete id ~at = with_ctx (fun ctx -> Obs.Trace_ctx.complete ctx (key id) ~at)
+let flag_swap id = with_ctx (fun ctx -> Obs.Trace_ctx.flag_swap ctx (key id))
+let flag_resubmit id = with_ctx (fun ctx -> Obs.Trace_ctx.flag_resubmit ctx (key id))
+let repair_window ~level = with_ctx (fun ctx -> Obs.Trace_ctx.repair_window ctx ~level)

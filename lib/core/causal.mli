@@ -1,0 +1,30 @@
+(** Milestone forwarding from the core data path into the ambient
+    {!Draconis_obs.Trace_ctx}.
+
+    Components call these unconditionally at the causal milestones of a
+    task's life; with no context installed (baselines, unobserved runs)
+    each call is one domain-local read and a branch, mirroring the
+    {!Draconis_obs.Recorder} ambient contract.  Keys derive from
+    {!Draconis_proto.Task.id}, so the trace context is a side table —
+    nothing rides on the wire and the switch register layout is
+    untouched. *)
+
+open Draconis_sim
+module Obs = Draconis_obs
+
+val key : Draconis_proto.Task.id -> Obs.Trace_ctx.key
+
+val submit : Draconis_proto.Task.id -> at:Time.t -> unit
+val sent : Draconis_proto.Task.id -> at:Time.t -> unit
+val arrive : Draconis_proto.Task.id -> at:Time.t -> unit
+val spin : Draconis_proto.Task.id -> at:Time.t -> unit
+val enqueue : Draconis_proto.Task.id -> at:Time.t -> level:int -> unit
+val reject : Draconis_proto.Task.id -> at:Time.t -> unit
+val dequeue : Draconis_proto.Task.id -> at:Time.t -> unit
+val assign : Draconis_proto.Task.id -> at:Time.t -> unit
+val exec_start : Draconis_proto.Task.id -> at:Time.t -> unit
+val exec_done : Draconis_proto.Task.id -> at:Time.t -> unit
+val complete : Draconis_proto.Task.id -> at:Time.t -> unit
+val flag_swap : Draconis_proto.Task.id -> unit
+val flag_resubmit : Draconis_proto.Task.id -> unit
+val repair_window : level:int -> unit

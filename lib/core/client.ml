@@ -52,6 +52,9 @@ let rec send_chunks t ~jid tasks =
       | n, x :: rest -> take (n - 1) (x :: acc) rest
     in
     let chunk, rest = take Codec.max_tasks_per_packet [] tasks in
+    List.iter
+      (fun (task : Task.t) -> Causal.sent task.id ~at:(Engine.now t.engine))
+      chunk;
     Fabric.send t.fabric ~src:t.addr ~dst:(scheduler_for t ~jid)
       (Message.Job_submission
          { client = t.addr; uid = t.config.uid; jid; tasks = chunk });
@@ -73,6 +76,7 @@ let arm_timeout t (task : Task.t) =
           Obs.Recorder.count "client.resubmitted" 1;
           if Obs.Recorder.active () then
             Obs.Recorder.mark ~at:(Engine.now t.engine) ~track:t.obs_track "resubmit";
+          Causal.flag_resubmit task.id;
           send_chunks t ~jid:task.id.jid [ task ];
           ignore (Engine.schedule t.engine ~after:timeout check)
         end
@@ -115,6 +119,7 @@ let handle_completion t (task_id : Task.id) =
     Hashtbl.remove t.resubmissions task_id;
     t.completions <- t.completions + 1;
     Metrics.note_complete t.metrics task_id;
+    Causal.complete task_id ~at:(Engine.now t.engine);
     Obs.Recorder.count "client.completed" 1
   end
 
@@ -168,6 +173,7 @@ let submit_job t tasks =
     (fun (task : Task.t) ->
       Hashtbl.replace t.outstanding task.id task;
       Metrics.note_submit t.metrics task.id;
+      Causal.submit task.id ~at:(Engine.now t.engine);
       arm_timeout t task)
     tasks;
   send_chunks t ~jid tasks;

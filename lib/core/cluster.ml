@@ -60,7 +60,18 @@ let create (config : config) =
       ~policy ~queue_capacity:config.queue_capacity ()
   in
   let pipeline =
-    Pipeline.attach ~config:config.pipeline_config fabric
+    (* Per-task fabric-arrival mark: the only point where fabric
+       transit can be split from pipeline match-action time. *)
+    let on_ingress (msg : Draconis_proto.Message.t) =
+      match msg with
+      | Draconis_proto.Message.Job_submission { tasks; _ } ->
+        List.iter
+          (fun (task : Draconis_proto.Task.t) ->
+            Causal.arrive task.id ~at:(Engine.now engine))
+          tasks
+      | _ -> ()
+    in
+    Pipeline.attach ~config:config.pipeline_config ~on_ingress fabric
       ~wrap:(fun msg -> Switch_packet.Wire msg)
       (Switch_program.program program)
   in

@@ -130,6 +130,7 @@ let rec execute t (task : Task.t) ~client =
 
 and run t (task : Task.t) ~client =
   t.on_task_start task ~node:t.config.node;
+  Causal.exec_start task.id ~at:(Engine.now t.engine);
   Obs.Recorder.begin_span ~at:(Engine.now t.engine) ~track:t.obs_track "task";
   let service = Fn_model.service_time t.config.fn_model task ~node:t.config.node in
   let service =
@@ -142,6 +143,7 @@ and run t (task : Task.t) ~client =
       t.busy <- false;
       t.tasks_executed <- t.tasks_executed + 1;
       t.busy_time <- t.busy_time + service;
+      Causal.exec_done task.id ~at:(Engine.now t.engine);
       Obs.Recorder.end_span ~at:(Engine.now t.engine) ~track:t.obs_track "task";
       Obs.Recorder.count "exec.tasks" 1;
       Obs.Recorder.record "exec.service_ns" service;

@@ -72,6 +72,7 @@ let recirc t ~kind pkt =
    window until the repair packet lands. *)
 let repair_flag_tripped t flag ~level =
   t.instrument.on_repair_flag flag ~level;
+  Causal.repair_window ~level;
   Obs.Recorder.count "queue.repair_flags" 1;
   if Obs.Recorder.active () then
     Obs.Recorder.mark ~at:(Engine.now t.engine) ~track:"queue"
@@ -86,6 +87,7 @@ let noop_to t (info : Message.executor_info) =
 let assign_to t (info : Message.executor_info) (entry : Entry.t) ~requested_at =
   t.assignments <- t.assignments + 1;
   t.instrument.on_assign entry.task.id ~node:info.exec_node ~requested_at;
+  Causal.assign entry.task.id ~at:(Engine.now t.engine);
   Obs.Recorder.count "switch.assignments" 1;
   Pipeline.Emit
     ( info.exec_addr,
@@ -106,7 +108,9 @@ let retrieve_repair_output t ~level = function
 let enqueue_entry t ctx ~level (entry : Entry.t) =
   let outcome = Circular_queue.enqueue t.queues.(level) ctx entry in
   (match outcome with
-  | Circular_queue.Enqueued _ -> t.instrument.on_enqueue entry.task.id ~level
+  | Circular_queue.Enqueued _ ->
+    t.instrument.on_enqueue entry.task.id ~level;
+    Causal.enqueue entry.task.id ~at:(Engine.now t.engine) ~level
   | Circular_queue.Rejected _ -> ());
   outcome
 
@@ -125,16 +129,23 @@ let handle_submission t ctx ~client ~uid ~jid ~tasks =
         (* Remaining tasks ride a recirculation with a decremented
            #TASKS, exactly as the hardware reprocesses the packet. *)
         if rest = [] then [ Pipeline.Emit (client, Message.Job_ack { uid; jid }) ]
-        else
+        else begin
+          List.iter
+            (fun (task : Task.t) -> Causal.spin task.id ~at:(Engine.now t.engine))
+            rest;
           [ recirc t ~kind:"submission"
               (Switch_packet.Wire (Job_submission { client; uid; jid; tasks = rest }));
           ]
+        end
       in
       repairs @ continuation
     | Circular_queue.Rejected { add_repair } ->
       (* Bounce every not-yet-enqueued task back to the client (§4.3). *)
       t.rejected_tasks <- t.rejected_tasks + List.length tasks;
       t.instrument.on_reject (List.length tasks);
+      List.iter
+        (fun (task : Task.t) -> Causal.reject task.id ~at:(Engine.now t.engine))
+        tasks;
       Obs.Recorder.count "switch.rejected_tasks" (List.length tasks);
       let repairs =
         match add_repair with
@@ -153,8 +164,10 @@ let handle_submission t ctx ~client ~uid ~jid ~tasks =
    examined and skipped once more (§5.3). *)
 let bump_skip (entry : Entry.t) = { entry with skip = entry.skip + 1 }
 
-let start_swap t ~level ~entry ~index ~info ~requested_at =
+let start_swap t ~level ~(entry : Entry.t) ~index ~info ~requested_at =
   t.swaps <- t.swaps + 1;
+  Causal.flag_swap entry.task.id;
+  Causal.spin entry.task.id ~at:(Engine.now t.engine);
   Obs.Recorder.count "switch.swaps" 1;
   let next = Circular_queue.next_index t.queues.(level) index in
   recirc t ~kind:"swap"
@@ -186,6 +199,7 @@ let handle_request t ctx (info : Message.executor_info) ~rtrv_prio ~requested_at
       else [ noop_to t info ]
     | Circular_queue.Dequeued { index; entry } ->
       t.instrument.on_dequeue entry.task.id ~level;
+      Causal.dequeue entry.task.id ~at:(Engine.now t.engine);
       if not (Policy.uses_swapping t.policy) then
         [ assign_to t info entry ~requested_at ]
       else begin
@@ -198,8 +212,9 @@ let handle_request t ctx (info : Message.executor_info) ~rtrv_prio ~requested_at
 
 (* -- task swapping (§5.1) -------------------------------------------------- *)
 
-let resubmit_and_noop t ~level ~entry ~info =
+let resubmit_and_noop t ~level ~(entry : Entry.t) ~info =
   t.resubmissions <- t.resubmissions + 1;
+  Causal.spin entry.task.id ~at:(Engine.now t.engine);
   Obs.Recorder.count "switch.resubmissions" 1;
   [ recirc t ~kind:"resubmit" (Switch_packet.Resubmit { level; entry }); noop_to t info ]
 
@@ -232,11 +247,16 @@ let handle_swap t ctx ~level ~entry ~swap_indx ~info ~pkt_retrieve_ptr ~attempts
       t.instrument.on_dequeue popped.task.id ~level;
       t.instrument.on_enqueue entry.task.id ~level;
       t.instrument.on_swap ~swapped_in:entry.task.id ~swapped_out:popped.task.id ~level;
+      let now = Engine.now t.engine in
+      Causal.dequeue popped.task.id ~at:now;
+      Causal.flag_swap popped.task.id;
+      Causal.enqueue entry.task.id ~at:now ~level;
       let popped = bump_skip popped in
       if Policy.satisfies t.policy ~entry:popped ~info then
         [ assign_to t info popped ~requested_at ]
       else begin
         t.swaps <- t.swaps + 1;
+        Causal.spin popped.task.id ~at:now;
         Obs.Recorder.count "switch.swaps" 1;
         [ recirc t ~kind:"swap"
             (Switch_packet.Swap
@@ -264,6 +284,7 @@ let handle_resubmit t ctx ~level (entry : Entry.t) =
        client like any full-queue submission. *)
     t.rejected_tasks <- t.rejected_tasks + 1;
     t.instrument.on_reject 1;
+    Causal.reject entry.task.id ~at:(Engine.now t.engine);
     Obs.Recorder.count "switch.rejected_tasks" 1;
     let repairs =
       match add_repair with

@@ -237,6 +237,7 @@ let work_stealing ~quick =
                   queue_rejections = 0;
                 });
             probes = (fun () -> []);
+            phase_attribution = false;
           }
         in
         (running, fun () -> Draconis_baselines.R2p2.steals sys));

@@ -33,6 +33,35 @@ let chunk n lst =
   in
   go [] [] 0 lst
 
+(* Per-phase latency columns for outcomes that carried attribution.
+   Prints nothing when no run was attributed (observability off, or a
+   baselines-only figure), so default figure output is unchanged. *)
+let print_phase_breakdown ~title (outcomes : Runner.outcome list) =
+  let attributed = List.filter (fun (o : Runner.outcome) -> o.phases <> []) outcomes in
+  match attributed with
+  | [] -> ()
+  | first :: _ ->
+    let phase_names = List.map (fun (name, _, _) -> name) first.phases in
+    let table =
+      Draconis_stats.Table.create
+        ~columns:
+          ("system" :: "load (tps)"
+          :: List.map (fun name -> name ^ " p50/p99 (us)") phase_names)
+    in
+    List.iter
+      (fun (o : Runner.outcome) ->
+        Draconis_stats.Table.add_row table
+          (o.system
+          :: Printf.sprintf "%.0fk" (o.load_tps /. 1e3)
+          :: List.map
+               (fun name ->
+                 match List.find_opt (fun (n, _, _) -> n = name) o.phases with
+                 | Some (_, p50, p99) -> Printf.sprintf "%s/%s" (us p50) (us p99)
+                 | None -> "-")
+               phase_names))
+      attributed;
+    Draconis_stats.Table.print ~title table
+
 let feed_noop (system : Systems.running) ~in_flight ~horizon =
   let open Draconis_proto in
   let submitted = ref 0 in

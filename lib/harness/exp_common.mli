@@ -41,6 +41,12 @@ val yn : bool -> string
     @raise Invalid_argument if [n <= 0]. *)
 val chunk : int -> 'a list -> 'a list list
 
+(** [print_phase_breakdown ~title outcomes] prints a per-phase
+    (p50/p99) latency decomposition table for the outcomes that carried
+    phase attribution ({!Runner.outcome.phases}); prints nothing when
+    none did, so unobserved figure output is unchanged. *)
+val print_phase_breakdown : title:string -> Runner.outcome list -> unit
+
 (** Closed-loop no-op feeder (Fig 5b, scaling validation): keeps
     [in_flight] tasks in the system by resubmitting one task per
     executor start, so the scheduler never idles. *)

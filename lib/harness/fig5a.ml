@@ -70,4 +70,6 @@ let run ?(quick = false) () =
           Exp_common.yn o.drained;
         ])
     grid rows;
-  Table.print ~title:"Fig 5a: load vs p99 scheduling delay, 500us tasks" table
+  Table.print ~title:"Fig 5a: load vs p99 scheduling delay, 500us tasks" table;
+  Exp_common.print_phase_breakdown
+    ~title:"Fig 5a: per-phase delay decomposition (attributed runs)" rows

@@ -58,5 +58,10 @@ let run ?(quick = false) () =
         ~title:
           (Printf.sprintf "Fig 6 (%s): p99 scheduling delay vs utilization"
              (Synthetic.name kind))
-        table)
+        table;
+      Exp_common.print_phase_breakdown
+        ~title:
+          (Printf.sprintf "Fig 6 (%s): per-phase delay decomposition (attributed runs)"
+             (Synthetic.name kind))
+        outcomes)
     kinds

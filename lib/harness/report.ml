@@ -42,17 +42,31 @@ let json_float f =
   else Printf.sprintf "%g" f
 
 let outcome_json (o : Runner.outcome) =
+  (* Optional per-phase percentiles; present only for attributed runs so
+     unobserved reports stay byte-identical to schema draconis-bench/1
+     as first shipped. *)
+  let phases =
+    if o.phases = [] then ""
+    else
+      Printf.sprintf ",\"phases\":{%s}"
+        (String.concat ","
+           (List.map
+              (fun (name, p50, p99) ->
+                Printf.sprintf "\"%s\":{\"p50_ns\":%d,\"p99_ns\":%d}" (json_escape name)
+                  p50 p99)
+              o.phases))
+  in
   Printf.sprintf
     "{\"system\":\"%s\",\"load_tps\":%s,\"sched_p50_ns\":%d,\"sched_p99_ns\":%d,\
      \"sched_mean_ns\":%s,\"decisions_per_sec\":%s,\"submitted\":%d,\"completed\":%d,\
      \"timeouts\":%d,\"rejected\":%d,\"recirc_fraction\":%s,\"recirc_drops\":%d,\
      \"swaps\":%d,\"recirculations\":%d,\"repair_flags\":%d,\"events\":%d,\
-     \"drained\":%b}"
+     \"drained\":%b%s}"
     (json_escape o.system) (json_float o.load_tps) o.sched_p50 o.sched_p99
     (json_float o.sched_mean) (json_float o.decisions_per_sec) o.submitted
     o.completed o.timeouts o.rejected
     (json_float o.recirc_fraction)
-    o.recirc_drops o.swaps o.recirculations o.repair_flags o.events o.drained
+    o.recirc_drops o.swaps o.recirculations o.repair_flags o.events o.drained phases
 
 let entry_json e =
   let ev = events e in

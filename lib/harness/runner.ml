@@ -22,6 +22,7 @@ type outcome = {
   repair_flags : int;
   events : int;
   drained : bool;
+  phases : (string * int * int) list;
 }
 
 let pp_outcome fmt o =
@@ -71,6 +72,12 @@ let collect (system : Systems.running) ~load_tps ~horizon ~drained =
     repair_flags = Metrics.repair_flags metrics;
     events = Engine.executed system.engine;
     drained;
+    phases =
+      (* Ambient context ⇒ this run is attributing phases; the sealed
+         tasks at collect time are exactly the completed ones. *)
+      (match Obs.Trace_ctx.current () with
+      | Some ctx -> Obs.Attribution.phase_percentiles (Obs.Trace_ctx.collector ctx)
+      | None -> []);
   }
 
 (* When the sink is enabled, the whole run executes under an ambient
@@ -82,12 +89,27 @@ let observed (system : Systems.running) ~label ~until f =
   | None -> f ()
   | Some { Obs.Sink.probe_interval; capacity } ->
     let recorder = Obs.Recorder.create ~capacity ~label () in
+    (* Phase attribution only where the whole milestone sequence exists
+       (the Draconis data path); a baseline's partial stream would
+       produce bogus breakdowns. *)
+    let ctx =
+      if system.phase_attribution then Some (Obs.Trace_ctx.create ()) else None
+    in
+    let body () =
+      Obs.Probe.attach system.engine ~interval:probe_interval ~until (system.probes ());
+      f ()
+    in
     let outcome =
       Obs.Recorder.with_recorder recorder (fun () ->
-          Obs.Probe.attach system.engine ~interval:probe_interval ~until
-            (system.probes ());
-          f ())
+          match ctx with
+          | None -> body ()
+          | Some ctx -> Obs.Trace_ctx.with_ctx ctx body)
     in
+    (match ctx with
+    | None -> ()
+    | Some ctx ->
+      let collector = Obs.Trace_ctx.finish ctx in
+      Obs.Recorder.set_attribution recorder (Obs.Attribution.to_json collector));
     Obs.Sink.put recorder;
     outcome
 

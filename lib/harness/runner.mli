@@ -30,6 +30,11 @@ type outcome = {
   repair_flags : int;  (** circular-queue repair-flag trips (§4.7) *)
   events : int;  (** simulation events the engine executed *)
   drained : bool;
+  phases : (string * int * int) list;
+      (** per-phase (name, p50 ns, p99 ns) latency decomposition from
+          {!Draconis_obs.Attribution}; non-empty only when the run
+          executed under an enabled {!Draconis_obs.Sink} on a system
+          with {!Systems.running.phase_attribution} *)
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit

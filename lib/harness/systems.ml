@@ -27,6 +27,7 @@ type running = {
   outstanding : unit -> int;
   extras : unit -> extras;
   probes : unit -> (string * (unit -> int)) list;
+  phase_attribution : bool;
 }
 
 (* Probe sources over a pipeline shared by Draconis and the switch-based
@@ -102,6 +103,7 @@ let draconis_cluster ?(policy_of = fun _ -> Policy.Fcfs) ?(racks = 1)
            :: ("executors.busy", fun () -> Cluster.busy_executors cluster)
            :: pipeline_probes (Cluster.pipeline cluster))
           @ fabric_probes (Cluster.fabric cluster));
+      phase_attribution = true;
     }
   in
   (cluster, running)
@@ -148,6 +150,7 @@ let r2p2_system ~k ?client_timeout
             queue_rejections = 0;
           });
       probes = (fun () -> pipeline_probes (B.R2p2.pipeline system));
+      phase_attribution = false;
     } )
 
 let r2p2 ~k ?client_timeout ?pipeline_config ?work_stealing spec =
@@ -193,6 +196,7 @@ let racksched_system ?client_timeout ?(samples = 2) ?(intra = B.Node_worker.Fcfs
             queue_rejections = 0;
           });
       probes = (fun () -> pipeline_probes (B.Racksched.pipeline system));
+      phase_attribution = false;
     } )
 
 let racksched ?client_timeout ?samples ?intra spec =
@@ -223,6 +227,7 @@ let sparrow ~schedulers spec =
     outstanding = (fun () -> B.Sparrow.outstanding system);
     extras = (fun () -> no_extras);
     probes = (fun () -> []);
+    phase_attribution = false;
   }
 
 let central_server_system ?client_timeout variant spec =
@@ -260,6 +265,7 @@ let central_server_system ?client_timeout variant spec =
             queue_rejections = Metrics.rejected (B.Central_server.metrics system);
           });
       probes = (fun () -> []);
+      phase_attribution = false;
     } )
 
 let central_server ?client_timeout variant spec =

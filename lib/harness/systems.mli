@@ -41,6 +41,12 @@ type running = {
           [(name, read)] pair is sampled on the probe interval when
           observability is enabled; empty for systems with nothing to
           sample *)
+  phase_attribution : bool;
+      (** whether the system emits the full causal milestone sequence
+          ({!Draconis.Causal}) so the runner may install a
+          {!Draconis_obs.Trace_ctx}; true only for Draconis — baselines
+          share the client and executor but not the switch program, so
+          their milestone streams would be incomplete *)
 }
 
 (** [draconis ?policy_of ?racks ?queue_capacity ?rsrc_of_node

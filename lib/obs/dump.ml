@@ -28,12 +28,17 @@ let run_json recorder =
     ^ String.concat "," (List.map (fun (t, v) -> Printf.sprintf "[%d,%d]" t v) points)
     ^ "]"
   in
+  let attribution =
+    match Recorder.attribution recorder with
+    | None -> ""
+    | Some json -> Printf.sprintf ",\n     \"attribution\":%s" json
+  in
   Printf.sprintf
-    "    {\"label\":\"%s\",\"events\":%d,\"dropped\":%d,\n\
+    "    {\"label\":\"%s\",\"events\":%d,\"dropped_events\":%d,\n\
      \     \"counters\":{%s},\n\
      \     \"gauges\":{%s},\n\
      \     \"histograms\":{%s},\n\
-     \     \"series\":{%s}}"
+     \     \"series\":{%s}%s}"
     (escape (Recorder.label recorder))
     (Recorder.event_count recorder)
     (Recorder.dropped recorder)
@@ -41,13 +46,16 @@ let run_json recorder =
     (fields_json (Recorder.gauges recorder) string_of_int)
     (fields_json (Recorder.histograms recorder) histogram_json)
     (fields_json (Recorder.series recorder) series_json)
+    attribution
 
 let metrics_json recorders =
-  Printf.sprintf "{\n  \"schema\": \"draconis-obs/1\",\n  \"runs\": [\n%s\n  ]\n}\n"
+  Printf.sprintf "{\n  \"schema\": \"draconis-obs/2\",\n  \"runs\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map run_json recorders))
 
+(* RFC 4180: quote any field containing a separator, a quote, or a line
+   break (CR or LF), doubling embedded quotes. *)
 let csv_escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
@@ -62,6 +70,8 @@ let metrics_csv recorders =
   List.iter
     (fun recorder ->
       let label = Recorder.label recorder in
+      row label "recorder" "events" "" (string_of_int (Recorder.event_count recorder));
+      row label "recorder" "dropped_events" "" (string_of_int (Recorder.dropped recorder));
       List.iter
         (fun (name, v) -> row label "counter" name "" (string_of_int v))
         (Recorder.counters recorder);

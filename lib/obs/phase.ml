@@ -1,0 +1,49 @@
+type t =
+  | Client
+  | Fabric
+  | Pipeline
+  | Queue
+  | Recirc
+  | Dispatch
+  | Service
+  | Reply
+
+let all = [ Client; Fabric; Pipeline; Queue; Recirc; Dispatch; Service; Reply ]
+let count = List.length all
+
+let index = function
+  | Client -> 0
+  | Fabric -> 1
+  | Pipeline -> 2
+  | Queue -> 3
+  | Recirc -> 4
+  | Dispatch -> 5
+  | Service -> 6
+  | Reply -> 7
+
+let name = function
+  | Client -> "client"
+  | Fabric -> "fabric"
+  | Pipeline -> "pipeline"
+  | Queue -> "queue"
+  | Recirc -> "recirc"
+  | Dispatch -> "dispatch"
+  | Service -> "service"
+  | Reply -> "reply"
+
+let of_name = function
+  | "client" -> Some Client
+  | "fabric" -> Some Fabric
+  | "pipeline" -> Some Pipeline
+  | "queue" -> Some Queue
+  | "recirc" -> Some Recirc
+  | "dispatch" -> Some Dispatch
+  | "service" -> Some Service
+  | "reply" -> Some Reply
+  | _ -> None
+
+let in_scheduling = function
+  | Client | Fabric | Pipeline | Queue | Recirc | Dispatch -> true
+  | Service | Reply -> false
+
+let pp fmt t = Format.pp_print_string fmt (name t)

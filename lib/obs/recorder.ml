@@ -11,6 +11,7 @@ type t = {
   gauges : (string, int ref) Hashtbl.t;
   histograms : (string, Sampler.t) Hashtbl.t;
   series : (string, (Time.t * int) list ref) Hashtbl.t;
+  mutable attribution : string option;
 }
 
 let default_capacity = 1 lsl 20
@@ -27,11 +28,14 @@ let create ?(capacity = default_capacity) ~label () =
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
     series = Hashtbl.create 16;
+    attribution = None;
   }
 
 let label t = t.label
 let event_count t = t.len
 let dropped t = t.dropped
+let set_attribution t json = t.attribution <- Some json
+let attribution t = t.attribution
 
 (* Grow-on-demand up to [capacity]; past capacity the newest events are
    counted instead of stored, so what remains is a valid (balanced up to

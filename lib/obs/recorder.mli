@@ -41,6 +41,13 @@ val event_count : t -> int
 (** Events discarded because the buffer reached capacity. *)
 val dropped : t -> int
 
+(** [set_attribution t json] attaches a pre-rendered
+    {!Attribution.to_json} fragment; {!Dump} embeds it in the run's
+    metrics export. *)
+val set_attribution : t -> string -> unit
+
+val attribution : t -> string option
+
 (** Stored events, in emission order. *)
 val events : t -> Event.t list
 

@@ -1,0 +1,102 @@
+(** Per-task causal trace context.
+
+    One context per run tracks every submitted task as an ordered
+    sequence of milestones (submit → sent → arrive → traversals →
+    queue → dispatch → execution → reply).  Each milestone charges the
+    interval since the previous one to exactly one {!Phase.t} bucket
+    and advances a per-task cursor, so by construction the buckets of a
+    completed task {e telescope}: they sum to the client-observed
+    end-to-end delay to the tick, whatever path the task took
+    (recirculation hops, swaps, repair windows, queue-full bounces,
+    timeout resubmissions).
+
+    Under the debug check (explicit [~check:true], or the
+    [DRACONIS_PHASE_CHECK] environment variable) every seal re-verifies
+    the sum and raises [Failure] on any discrepancy; the
+    scheduling-phase prefix is additionally checked against the
+    measured scheduling delay for tasks that executed exactly once.
+
+    Milestones for unknown task keys are ignored, so components can
+    emit unconditionally once a context is installed.  Sealed journeys
+    are folded into an {!Attribution.t} and dropped, keeping memory
+    proportional to in-flight tasks.  Like {!Recorder}, installation is
+    domain-local: parallel pool workers never share a context. *)
+
+open Draconis_sim
+
+(** Task key: (uid, jid, tid). *)
+type key = int * int * int
+
+type t
+
+(** [create ?check ?top_k ()] — [check] defaults to the
+    [DRACONIS_PHASE_CHECK] environment variable ("0"/empty disable). *)
+val create : ?check:bool -> ?top_k:int -> unit -> t
+
+val collector : t -> Attribution.t
+
+(** Journeys submitted but not yet sealed. *)
+val in_flight : t -> int
+
+(** {2 Milestones} — all idempotent against unknown keys. *)
+
+(** Task accepted by a client; starts (or restarts) the journey. *)
+val submit : t -> key -> at:Time.t -> unit
+
+(** Client put the task on the wire (initial send, full-queue retry, or
+    timeout resubmission).  Charges {!Phase.Client}. *)
+val sent : t -> key -> at:Time.t -> unit
+
+(** Submission packet delivered at the switch.  Charges {!Phase.Fabric}. *)
+val arrive : t -> key -> at:Time.t -> unit
+
+(** Task rode a traversal without landing (multi-task continuation,
+    swap hop, switch resubmission).  Charges pipeline time for the
+    first traversal after arrival, recirculation after. *)
+val spin : t -> key -> at:Time.t -> unit
+
+(** Task landed in circular queue [level]. *)
+val enqueue : t -> key -> at:Time.t -> level:int -> unit
+
+(** Task bounced by a full queue (client will retry).  Tags
+    {!Attribution.flag_reject}. *)
+val reject : t -> key -> at:Time.t -> unit
+
+(** Task left the queue (pop or swap-out).  Charges {!Phase.Queue}. *)
+val dequeue : t -> key -> at:Time.t -> unit
+
+(** Assignment emitted towards an executor. *)
+val assign : t -> key -> at:Time.t -> unit
+
+(** Executor began running the task.  Charges {!Phase.Dispatch}; the
+    first start fixes the task's scheduling delay. *)
+val exec_start : t -> key -> at:Time.t -> unit
+
+(** Executor finished.  Charges {!Phase.Service}. *)
+val exec_done : t -> key -> at:Time.t -> unit
+
+(** Client observed completion.  Charges {!Phase.Reply}, verifies the
+    sum under the debug check, seals the journey into the collector,
+    and feeds [phase.*] histograms of the ambient {!Recorder}. *)
+val complete : t -> key -> at:Time.t -> unit
+
+(** {2 Anomaly tags} *)
+
+val flag_swap : t -> key -> unit
+val flag_resubmit : t -> key -> unit
+
+(** Tag every task currently queued at [level] as overlapping a
+    pointer-repair window (§4.7). *)
+val repair_window : t -> level:int -> unit
+
+(** [finish t] records still-open journeys as incomplete and returns
+    the collector. *)
+val finish : t -> Attribution.t
+
+(** {2 Ambient context} — mirrors {!Recorder}'s domain-local slot. *)
+
+val current : unit -> t option
+val active : unit -> bool
+val install : t -> unit
+val uninstall : unit -> unit
+val with_ctx : t -> (unit -> 'a) -> 'a

@@ -101,7 +101,7 @@ and recirculate t pkt =
            end))
   end
 
-let attach ?(config = default_config) fabric ~wrap program =
+let attach ?(config = default_config) ?on_ingress fabric ~wrap program =
   let t =
     {
       engine = Fabric.engine fabric;
@@ -118,7 +118,11 @@ let attach ?(config = default_config) fabric ~wrap program =
       emitted = 0;
     }
   in
-  Fabric.register fabric Addr.Switch (fun env -> admit t (wrap env.Fabric.payload));
+  Fabric.register fabric Addr.Switch (fun env ->
+      (match on_ingress with
+      | None -> ()
+      | Some f -> f env.Fabric.payload);
+      admit t (wrap env.Fabric.payload));
   t
 
 let set_program t program = t.program <- program

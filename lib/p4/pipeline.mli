@@ -47,12 +47,17 @@ val default_config : config
 
 type ('wire, 'pkt) t
 
-(** [attach ?config fabric ~wrap program] builds the pipeline and
-    registers it as the fabric handler for {!Addr.Switch}.  The program
-    may be swapped later with {!set_program} (used when one experiment
-    compares switch programs). *)
+(** [attach ?config ?on_ingress fabric ~wrap program] builds the
+    pipeline and registers it as the fabric handler for
+    {!Addr.Switch}.  [on_ingress] observes every wire message the
+    moment it is delivered at the switch, before admission — the only
+    point where fabric transit can be split from pipeline time (used
+    for phase attribution).  The program may be swapped later with
+    {!set_program} (used when one experiment compares switch
+    programs). *)
 val attach :
   ?config:config ->
+  ?on_ingress:('wire -> unit) ->
   'wire Fabric.t ->
   wrap:('wire -> 'pkt) ->
   ('wire, 'pkt) program ->

@@ -39,8 +39,10 @@ let render t =
   List.iter render_row t.rows;
   Buffer.contents buf
 
+(* RFC 4180: quote fields containing a separator, quote, or line break
+   (CR or LF), doubling embedded quotes. *)
 let csv_field field =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
   else field
 

@@ -25,4 +25,5 @@ let () =
       ("harness", Test_harness.suite);
       ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
+      ("attribution", Test_attribution.suite);
     ]

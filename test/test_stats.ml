@@ -189,13 +189,19 @@ let test_table_csv () =
   let t = Table.create ~columns:[ "a"; "b" ] in
   Table.add_row t [ "plain"; "with,comma" ];
   Table.add_row t [ "with\"quote"; "x" ];
+  Table.add_row t [ "line\nbreak"; "carriage\rreturn" ];
   let csv = Table.to_csv t in
   Alcotest.(check bool) "header line" true
     (Astring.String.is_prefix ~affix:"a,b\n" csv);
   Alcotest.(check bool) "comma field quoted" true
     (Astring.String.is_infix ~affix:"\"with,comma\"" csv);
   Alcotest.(check bool) "quote doubled" true
-    (Astring.String.is_infix ~affix:"\"with\"\"quote\"" csv)
+    (Astring.String.is_infix ~affix:"\"with\"\"quote\"" csv);
+  (* RFC 4180: both CR and LF force quoting. *)
+  Alcotest.(check bool) "newline field quoted" true
+    (Astring.String.is_infix ~affix:"\"line\nbreak\"" csv);
+  Alcotest.(check bool) "carriage-return field quoted" true
+    (Astring.String.is_infix ~affix:"\"carriage\rreturn\"" csv)
 
 let suite =
   [
