@@ -30,15 +30,15 @@ module H = Draconis_harness
 let micro_tests () =
   let open Draconis_sim in
   let open Draconis_proto in
-  let heap_test =
-    Test.make ~name:"heap push+pop x100"
+  let wheel_test =
+    Test.make ~name:"wheel push+pop x100"
       (Staged.stage (fun () ->
-           let heap = Heap.create ~compare () in
+           let wheel = Wheel.create () in
            for i = 0 to 99 do
-             Heap.push heap ((i * 7919) mod 100) i
+             Wheel.push wheel ((i * 7919) mod 100) i
            done;
-           while not (Heap.is_empty heap) do
-             ignore (Heap.pop heap)
+           while not (Wheel.is_empty wheel) do
+             ignore (Wheel.pop wheel)
            done))
   in
   let int_heap_test =
@@ -129,7 +129,7 @@ let micro_tests () =
       (Staged.stage (fun () ->
            Draconis_sim.Trace.emit ~at:0 Draconis_sim.Trace.Host (lazy "x")))
   in
-  [ heap_test; int_heap_test; engine_test; rng_test; codec_test; queue_test;
+  [ wheel_test; int_heap_test; engine_test; rng_test; codec_test; queue_test;
     swap_test; table_lookup_test; trace_emit_test ]
 
 let run_micro ?quick:_ () =
@@ -176,6 +176,7 @@ let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
     ("scaling", "sec 8.2 cluster-scale projection", H.Scaling.run);
     ("others", "sec 8 'other schedulers' (Spark native, Firmament)", H.Others.run);
     ("ablations", "design-choice ablations", H.Ablations.run);
+    ("engine-bench", "event core: heap vs wheel calendar, alloc/event", H.Engine_bench.run);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 

@@ -92,10 +92,12 @@ let arm_timeout t (task : Task.t) =
           Obs.Recorder.count "client.abandoned" 1;
           if Obs.Recorder.active () then
             Obs.Recorder.mark ~at:(Engine.now t.engine) ~track:t.obs_track "abandon";
-          Trace.emit ~at:(Engine.now t.engine) Trace.Host
-            (lazy
-              (Printf.sprintf "client %d ABANDONS task %d.%d.%d after %d resubmissions"
-                 t.config.uid task.id.uid task.id.jid task.id.tid tries))
+          if Trace.enabled () then
+            Trace.emit ~at:(Engine.now t.engine) Trace.Host
+              (lazy
+                (Printf.sprintf
+                   "client %d ABANDONS task %d.%d.%d after %d resubmissions"
+                   t.config.uid task.id.uid task.id.jid task.id.tid tries))
         end
       end
     in

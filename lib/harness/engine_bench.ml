@@ -1,0 +1,163 @@
+open Draconis_sim
+open Draconis_stats
+
+(* Self-propagating event storm: each fired event schedules its
+   successor, so schedule/step/release churn through the engine's pooled
+   slots at steady state.  The delay mix covers every calendar tier —
+   mostly near-future ticks that stay in the wheel's low levels, a mid
+   band that exercises cascading, and a far tail beyond the 2^25-tick
+   window that lands in the overflow heap.  Every 8th event also parks a
+   no-op victim in a small ring and cancels the victim it evicts, so the
+   cancel path and the generation-counter guard see traffic too.
+
+   All randomness comes from one seeded splitmix stream drawn inside the
+   handlers.  Both calendars execute the exact same event order, so the
+   draw sequence — and with it every count below — is identical across
+   [Heap] and [Wheel]; the run asserts this. *)
+
+type measurement = {
+  calendar : Engine.calendar;
+  scheduled : int;
+  cancels : int;
+  executed : int;
+  final_clock : Time.t;
+  wall_s : float;
+  words_per_event : float;
+}
+
+let ring_size = 128
+
+let storm ~calendar ~total ~seed =
+  let engine = Engine.create ~calendar () in
+  let rng = Rng.create ~seed in
+  let scheduled = ref 0 in
+  let cancels = ref 0 in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  (* The ring needs a handle to start from; burn one dummy event. *)
+  let dummy = Engine.schedule engine ~after:1 ignore in
+  incr scheduled;
+  let ring = Array.make ring_size dummy in
+  let ring_pos = ref 0 in
+  let delay () =
+    let r = Rng.int rng 100 in
+    if r < 90 then 1 + Rng.int rng 50_000 (* near: wheel levels 0-3 *)
+    else if r < 98 then 1 + Rng.int rng (1 lsl 22) (* mid: cascades *)
+    else (1 lsl 25) + Rng.int rng (1 lsl 26) (* far: overflow tier *)
+  in
+  let rec fire () =
+    if !scheduled < total then begin
+      ignore (Engine.schedule engine ~after:(delay ()) fire);
+      incr scheduled;
+      if !scheduled land 7 = 0 && !scheduled < total then begin
+        let victim = Engine.schedule engine ~after:(1 + Rng.int rng 10_000) ignore in
+        incr scheduled;
+        let slot = !ring_pos land (ring_size - 1) in
+        (* The evicted handle may already have fired; the generation
+           counter makes the stale cancel a no-op. *)
+        Engine.cancel engine ring.(slot);
+        incr cancels;
+        ring.(slot) <- victim;
+        incr ring_pos
+      end
+    end
+  in
+  (* Enough concurrent chains to hold a standing population in the tens
+     of thousands — the regime of a simulated cluster, where the heap
+     pays ~15 comparison levels per operation. *)
+  let chains = max 16 (total / 64) in
+  for _ = 1 to chains do
+    ignore (Engine.schedule engine ~after:(delay ()) fire);
+    incr scheduled
+  done;
+  Engine.run engine;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. minor0 in
+  let executed = Engine.executed engine in
+  {
+    calendar;
+    scheduled = !scheduled;
+    cancels = !cancels;
+    executed;
+    final_clock = Engine.now engine;
+    wall_s;
+    words_per_event = words /. float_of_int (max 1 executed);
+  }
+
+let outcome (m : measurement) : Runner.outcome =
+  (* Wall-clock-dependent numbers stay out of the outcome: the committed
+     BENCH_engine.json baseline is compared with draconis-trace, whose
+     checked fields must be deterministic.  events/sec lives only on
+     stdout and in the entry-level wall_s. *)
+  {
+    system = "engine-" ^ Engine.calendar_name m.calendar;
+    load_tps = 0.0;
+    sched_p50 = 0;
+    sched_p99 = 0;
+    sched_mean = 0.0;
+    decisions_per_sec = 0.0;
+    submitted = m.scheduled;
+    started = m.executed;
+    completed = m.executed;
+    timeouts = 0;
+    rejected = m.cancels;
+    recirc_fraction = 0.0;
+    recirc_drops = 0;
+    swaps = 0;
+    recirculations = 0;
+    repair_flags = 0;
+    events = m.executed;
+    drained = true;
+    phases = [];
+  }
+
+let run ?(quick = false) () =
+  let total = if quick then 200_000 else 2_000_000 in
+  let seed = 42 in
+  (* Warm up both paths once so the first measured run does not pay
+     one-time costs (code, branch predictors) the other would skip. *)
+  List.iter
+    (fun calendar -> ignore (storm ~calendar ~total:(total / 20) ~seed))
+    [ Engine.Heap; Engine.Wheel ];
+  let heap = storm ~calendar:Engine.Heap ~total ~seed in
+  let wheel = storm ~calendar:Engine.Wheel ~total ~seed in
+  if heap.executed <> wheel.executed then
+    failwith
+      (Printf.sprintf
+         "engine-bench: calendars disagree on executed events (heap %d, wheel %d)"
+         heap.executed wheel.executed);
+  if heap.final_clock <> wheel.final_clock then
+    failwith
+      (Printf.sprintf
+         "engine-bench: calendars disagree on final clock (heap %d, wheel %d)"
+         heap.final_clock wheel.final_clock);
+  if heap.cancels <> wheel.cancels then
+    failwith
+      (Printf.sprintf
+         "engine-bench: calendars disagree on cancels (heap %d, wheel %d)"
+         heap.cancels wheel.cancels);
+  let table =
+    Table.create
+      ~columns:
+        [ "calendar"; "events"; "wall s"; "events/sec"; "minor words/event" ]
+  in
+  let rate m =
+    if m.wall_s > 0.0 then float_of_int m.executed /. m.wall_s else 0.0
+  in
+  List.iter
+    (fun m ->
+      Table.add_row table
+        [
+          Engine.calendar_name m.calendar;
+          string_of_int m.executed;
+          Printf.sprintf "%.3f" m.wall_s;
+          Printf.sprintf "%.0f" (rate m);
+          Table.f2 m.words_per_event;
+        ])
+    [ heap; wheel ];
+  Table.print ~title:"engine-bench: event core (heap vs wheel calendar)" table;
+  let speedup = if rate heap > 0.0 then rate wheel /. rate heap else 0.0 in
+  Printf.printf
+    "wheel/heap speedup: %.2fx; minor words/event: heap %.2f, wheel %.2f\n%!"
+    speedup heap.words_per_event wheel.words_per_event;
+  Report.add_outcomes [ outcome heap; outcome wheel ]

@@ -1,0 +1,13 @@
+(** engine-bench: microbenchmark of the allocation-free event core.
+
+    Runs an identical seeded event storm (near-future delays dominating,
+    a far-future tail for the overflow tier, periodic cancels for pool
+    churn) under both {!Draconis_sim.Engine.calendar}s, asserts they
+    executed the same events to the same final clock, and reports
+    events/sec and minor words allocated per event for each.
+
+    The report rows ([engine-heap] / [engine-wheel]) carry only
+    deterministic counts, so a committed baseline compares cleanly with
+    [draconis-trace compare] regardless of machine speed. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -33,7 +33,11 @@ type 'msg t = {
   engine : Engine.t;
   rng : Rng.t;
   config : config;
-  handlers : (Addr.t, 'msg envelope -> unit) Hashtbl.t;
+  (* Dense dispatch: host handlers indexed by id, the switch in its own
+     slot — one bounds check and an array read per delivery instead of a
+     Hashtbl probe. *)
+  mutable host_handlers : ('msg envelope -> unit) option array;
+  mutable switch_handler : ('msg envelope -> unit) option;
   (* Gilbert-Elliott channel state: [bad] flips per send according to the
      configured transition probabilities. *)
   mutable bad : bool;
@@ -43,6 +47,10 @@ type 'msg t = {
   (* Partitioned hosts, refcounted so overlapping fault windows compose:
      a host is cut off while its count is positive. *)
   partitioned : (int, int) Hashtbl.t;
+  (* Precomputed: no configured loss, no burst model, no injected
+     override, no active partition — the common case, where [send] skips
+     every drop branch with a single flag test. *)
+  mutable lossless : bool;
   mutable delivered : int;
   mutable lost : int;
   mutable partition_dropped : int;
@@ -52,6 +60,13 @@ type 'msg t = {
 let check_probability ~what p =
   if p < 0.0 || p > 1.0 || Float.is_nan p then
     invalid_arg (Printf.sprintf "Fabric.create: %s must be in [0,1]" what)
+
+let recompute_lossless t =
+  t.lossless <-
+    t.loss_override = None
+    && t.config.loss = 0.0
+    && t.config.burst = None
+    && Hashtbl.length t.partitioned = 0
 
 let create ?(config = default_config) engine rng =
   check_probability ~what:"loss" config.loss;
@@ -67,16 +82,45 @@ let create ?(config = default_config) engine rng =
   if config.jitter < 0 then invalid_arg "Fabric.create: jitter must be non-negative";
   if config.detour_extra < 0 then
     invalid_arg "Fabric.create: detour_extra must be non-negative";
-  { engine; rng; config; handlers = Hashtbl.create 64; bad = false;
-    loss_override = None; partitioned = Hashtbl.create 8;
-    delivered = 0; lost = 0; partition_dropped = 0; undeliverable = 0 }
+  let t =
+    { engine; rng; config; host_handlers = Array.make 64 None;
+      switch_handler = None; bad = false;
+      loss_override = None; partitioned = Hashtbl.create 8; lossless = false;
+      delivered = 0; lost = 0; partition_dropped = 0; undeliverable = 0 }
+  in
+  recompute_lossless t;
+  t
 
 let engine t = t.engine
-let register t addr handler = Hashtbl.replace t.handlers addr handler
+
+let register t addr handler =
+  match addr with
+  | Addr.Switch -> t.switch_handler <- Some handler
+  | Addr.Host h ->
+    if h < 0 then invalid_arg "Fabric.register: negative host id";
+    let len = Array.length t.host_handlers in
+    if h >= len then begin
+      let len' = ref (2 * len) in
+      while h >= !len' do
+        len' := 2 * !len'
+      done;
+      let grown = Array.make !len' None in
+      Array.blit t.host_handlers 0 grown 0 len;
+      t.host_handlers <- grown
+    end;
+    t.host_handlers.(h) <- Some handler
+
+let handler_of t = function
+  | Addr.Switch -> t.switch_handler
+  | Addr.Host h ->
+    if h >= 0 && h < Array.length t.host_handlers then
+      Array.unsafe_get t.host_handlers h
+    else None
 
 let set_loss_override t p =
   Option.iter (check_probability ~what:"loss override") p;
-  t.loss_override <- p
+  t.loss_override <- p;
+  recompute_lossless t
 
 let loss_override t = t.loss_override
 
@@ -85,7 +129,8 @@ let partition t hosts =
     (fun host ->
       let n = Option.value ~default:0 (Hashtbl.find_opt t.partitioned host) in
       Hashtbl.replace t.partitioned host (n + 1))
-    hosts
+    hosts;
+  recompute_lossless t
 
 let heal t hosts =
   List.iter
@@ -93,7 +138,8 @@ let heal t hosts =
       match Hashtbl.find_opt t.partitioned host with
       | None | Some 1 -> Hashtbl.remove t.partitioned host
       | Some n -> Hashtbl.replace t.partitioned host (n - 1))
-    hosts
+    hosts;
+  recompute_lossless t
 
 let partitioned t = function
   | Addr.Switch -> false
@@ -117,12 +163,14 @@ let base_latency t src dst =
   (* Host-to-host traffic traverses the switch: two hops.  Detoured
      hosts pay the longer path to the ancestor switch on each hop that
      touches them (§3.2). *)
-  let detours = detour_of t src + detour_of t dst in
-  (match (src, dst) with
-  | Addr.Switch, Addr.Switch -> 0
-  | Addr.Switch, Addr.Host _ | Addr.Host _, Addr.Switch -> t.config.host_to_switch
-  | Addr.Host _, Addr.Host _ -> 2 * t.config.host_to_switch)
-  + detours
+  let hops =
+    match (src, dst) with
+    | Addr.Switch, Addr.Switch -> 0
+    | Addr.Switch, Addr.Host _ | Addr.Host _, Addr.Switch -> t.config.host_to_switch
+    | Addr.Host _, Addr.Host _ -> 2 * t.config.host_to_switch
+  in
+  if t.config.detour_fraction = 0.0 then hops
+  else hops + detour_of t src + detour_of t dst
 
 let latency_sample t src dst =
   let jitter = if t.config.jitter > 0 then Rng.int t.rng (t.config.jitter + 1) else 0 in
@@ -143,21 +191,39 @@ let loss_probability t =
       if flip_p > 0.0 && Rng.float t.rng < flip_p then t.bad <- not t.bad;
       if t.bad then loss_bad else t.config.loss)
 
-let send t ~src ~dst payload =
-  if Addr.equal src dst then invalid_arg "Fabric.send: src = dst";
-  let now = Engine.now t.engine in
-  Obs.Recorder.count "fabric.sent" 1;
-  Trace.emit ~at:now Trace.Fabric
-    (lazy (Printf.sprintf "send %s -> %s" (Addr.to_string src) (Addr.to_string dst)));
+let deliver t ~src ~dst ~now payload =
+  let env = { src; dst; sent_at = now; payload } in
+  let delay = latency_sample t src dst in
+  ignore
+    (Engine.schedule t.engine ~after:delay (fun () ->
+         match handler_of t dst with
+         | Some handler ->
+           t.delivered <- t.delivered + 1;
+           Obs.Recorder.count "fabric.delivered" 1;
+           handler env
+         | None ->
+           t.undeliverable <- t.undeliverable + 1;
+           Obs.Recorder.count "fabric.undeliverable" 1;
+           if Trace.enabled () then
+             Trace.emit ~at:(Engine.now t.engine) Trace.Fabric
+               (lazy
+                 (Printf.sprintf "DROP (no handler) %s -> %s" (Addr.to_string src)
+                    (Addr.to_string dst)))))
+
+(* Drop decisions, off the lossless fast path.  The evaluation order
+   (partition check, then the loss model's rng draws) is load-bearing
+   for reproducibility of seeded runs. *)
+let send_lossy t ~src ~dst ~now payload =
   if partitioned t src || partitioned t dst then begin
     t.partition_dropped <- t.partition_dropped + 1;
     Obs.Recorder.count "fabric.partition_dropped" 1;
     if Obs.Recorder.active () then
       Obs.Recorder.mark ~at:now ~track:"fabric" "drop: partition";
-    Trace.emit ~at:now Trace.Fabric
-      (lazy
-        (Printf.sprintf "DROP (partition) %s -> %s" (Addr.to_string src)
-           (Addr.to_string dst)))
+    if Trace.enabled () then
+      Trace.emit ~at:now Trace.Fabric
+        (lazy
+          (Printf.sprintf "DROP (partition) %s -> %s" (Addr.to_string src)
+             (Addr.to_string dst)))
   end
   else begin
     let p = loss_probability t in
@@ -167,31 +233,25 @@ let send t ~src ~dst payload =
       if Obs.Recorder.active () then
         Obs.Recorder.mark ~at:now ~track:"fabric"
           (if t.bad then "drop: loss (burst)" else "drop: loss");
-      Trace.emit ~at:now Trace.Fabric
-        (lazy
-          (Printf.sprintf "DROP (loss p=%.3f%s) %s -> %s" p
-             (if t.bad then ", burst" else "")
-             (Addr.to_string src) (Addr.to_string dst)))
+      if Trace.enabled () then
+        Trace.emit ~at:now Trace.Fabric
+          (lazy
+            (Printf.sprintf "DROP (loss p=%.3f%s) %s -> %s" p
+               (if t.bad then ", burst" else "")
+               (Addr.to_string src) (Addr.to_string dst)))
     end
-    else begin
-      let env = { src; dst; sent_at = now; payload } in
-      let delay = latency_sample t src dst in
-      ignore
-        (Engine.schedule t.engine ~after:delay (fun () ->
-             match Hashtbl.find_opt t.handlers dst with
-             | Some handler ->
-               t.delivered <- t.delivered + 1;
-               Obs.Recorder.count "fabric.delivered" 1;
-               handler env
-             | None ->
-               t.undeliverable <- t.undeliverable + 1;
-               Obs.Recorder.count "fabric.undeliverable" 1;
-               Trace.emit ~at:(Engine.now t.engine) Trace.Fabric
-                 (lazy
-                   (Printf.sprintf "DROP (no handler) %s -> %s" (Addr.to_string src)
-                      (Addr.to_string dst)))))
-    end
+    else deliver t ~src ~dst ~now payload
   end
+
+let send t ~src ~dst payload =
+  if Addr.equal src dst then invalid_arg "Fabric.send: src = dst";
+  let now = Engine.now t.engine in
+  Obs.Recorder.count "fabric.sent" 1;
+  if Trace.enabled () then
+    Trace.emit ~at:now Trace.Fabric
+      (lazy (Printf.sprintf "send %s -> %s" (Addr.to_string src) (Addr.to_string dst)));
+  if t.lossless then deliver t ~src ~dst ~now payload
+  else send_lossy t ~src ~dst ~now payload
 
 let in_burst t = t.bad
 let delivered t = t.delivered

@@ -78,8 +78,9 @@ and recirculate t pkt =
     else (t.recirc_free_at - now) / max 1 t.config.recirc_slot
   in
   if backlog >= t.config.recirc_queue_limit then begin
-    Trace.emit ~at:now Trace.Pipeline
-      (lazy (Printf.sprintf "recirculation DROP (backlog %d)" backlog));
+    if Trace.enabled () then
+      Trace.emit ~at:now Trace.Pipeline
+        (lazy (Printf.sprintf "recirculation DROP (backlog %d)" backlog));
     t.recirc_dropped <- t.recirc_dropped + 1;
     Obs.Recorder.count "pipeline.recirc_dropped" 1;
     if Obs.Recorder.active () then
@@ -129,7 +130,8 @@ let set_program t program = t.program <- program
 
 let flush_in_flight t =
   let now = Engine.now t.engine in
-  Trace.emit ~at:now Trace.Pipeline (lazy "pipeline flushed (fail-over)");
+  if Trace.enabled () then
+    Trace.emit ~at:now Trace.Pipeline (lazy "pipeline flushed (fail-over)");
   if Obs.Recorder.active () then
     Obs.Recorder.mark ~at:now ~track:"pipeline" "flush (fail-over)";
   t.epoch <- t.epoch + 1;

@@ -6,14 +6,42 @@
     clock.  Scheduling in the past is a programming error and raises.
 
     The engine is single-threaded by design: a simulated cluster of
-    thousands of executors runs as one deterministic event loop. *)
+    thousands of executors runs as one deterministic event loop.
+
+    {2 Allocation-free core}
+
+    The hot path allocates nothing in steady state: event keys are
+    packed immediate ints, handles are packed ints into a pooled slab of
+    per-event slots (recycled through a freelist, with generation
+    counters guarding stale cancels), and the default {!Wheel} calendar
+    keeps its buckets in flat integer arrays.  The only per-event
+    allocation left is the caller's closure. *)
 
 type t
 
-(** Cancellable handle for a scheduled event. *)
+(** Event-queue implementation.  [Wheel] (the default) is a hierarchical
+    timing wheel with O(1) steady-state operations, backed by an
+    {!Int_heap} overflow tier for far-future events; [Heap] is the plain
+    binary heap.  Both execute the exact same event order, so runs are
+    bit-for-bit reproducible across calendars — set [DRACONIS_CALENDAR]
+    to [heap] or [wheel] to cross-check. *)
+type calendar = Heap | Wheel
+
+val calendar_name : calendar -> string
+
+(** Cancellable handle for a scheduled event — an immediate int, so
+    scheduling never allocates a handle record. *)
 type handle
 
-val create : unit -> t
+(** [create ?calendar ()] — [calendar] defaults to the
+    [DRACONIS_CALENDAR] environment variable ([heap] or [wheel]), or
+    {!Wheel} when unset.
+    @raise Invalid_argument if the environment variable is set to
+    anything else. *)
+val create : ?calendar:calendar -> unit -> t
+
+(** The calendar this engine was created with. *)
+val calendar : t -> calendar
 
 (** [now t] is the current virtual time. *)
 val now : t -> Time.t
@@ -21,7 +49,8 @@ val now : t -> Time.t
 (** Number of events executed so far. *)
 val executed : t -> int
 
-(** Number of events currently queued. *)
+(** Number of events currently queued (including cancelled events whose
+    queue entries have not yet been consumed). *)
 val pending : t -> int
 
 (** [schedule t ~after f] runs [f] at [now t + after].
@@ -34,12 +63,17 @@ val schedule : t -> after:Time.t -> (unit -> unit) -> handle
     minutes). *)
 val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
 
-(** [cancel h] prevents the event from firing.  Cancelling an event that
-    already fired (or was already cancelled) is a no-op. *)
-val cancel : handle -> unit
+(** [cancel t h] prevents the event from firing.  Cancelling an event
+    that already fired (or was already cancelled) is a no-op; the
+    generation counter in the handle makes this safe even after the
+    event's pooled slot has been recycled by a newer event. *)
+val cancel : t -> handle -> unit
 
-(** [cancelled h] is true if [h] was cancelled before firing. *)
-val cancelled : handle -> bool
+(** [cancelled t h] is true if [h] was cancelled before firing.  Once
+    the slot has been recycled by a newer event (only possible after the
+    cancelled entry left the queue), the history of the old handle is
+    gone and this returns [false]. *)
+val cancelled : t -> handle -> bool
 
 (** [step t] executes the next event, returning [false] when the queue
     is empty. *)
@@ -47,8 +81,11 @@ val step : t -> bool
 
 (** [run ?until ?max_events t] executes events until the queue is empty,
     the clock passes [until], or [max_events] have run.  Events at a
-    time strictly greater than [until] stay queued; the clock is left at
-    the later of [until] and the last executed event's time. *)
+    time strictly greater than [until] stay queued.  When every event at
+    or before [until] has run, the clock is left at [until] exactly —
+    even if later events remain queued; only an exhausted [max_events]
+    budget with work still due before the horizon leaves the clock at
+    the last executed event's time. *)
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 
 (** [every t ~interval ~until f] schedules [f] repeatedly with the given

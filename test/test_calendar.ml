@@ -1,0 +1,97 @@
+(* Property tests pinning the two Engine calendars to each other: heap
+   and wheel must execute the exact same events, in the same order, at
+   the same virtual times — including cancels, nested scheduling, the
+   wheel's overdue/overflow tiers, and the sequence-counter renumbering
+   path. *)
+
+open Draconis_sim
+
+(* One randomized workload, fully determined by [seed]: the execution
+   log is (event id, virtual time) in firing order.  All rng draws
+   happen either before the run or inside handlers; since both calendars
+   must execute handlers in the same order, the draw streams coincide
+   and the two runs see byte-identical schedules. *)
+let exec_log ~calendar ~seed ~n =
+  let engine = Engine.create ~calendar () in
+  let rng = Rng.create ~seed in
+  let log = ref [] in
+  let note i () = log := (i, Engine.now engine) :: !log in
+  let delay () =
+    match Rng.int rng 10 with
+    | 0 -> Rng.int rng 5 (* near-ties at the same instants *)
+    | 1 | 2 -> 1 + Rng.int rng 100
+    | 3 -> (1 lsl 25) + Rng.int rng (1 lsl 26) (* wheel overflow tier *)
+    | _ -> 1 + Rng.int rng 100_000
+  in
+  let cancelable = ref [] in
+  for i = 0 to n - 1 do
+    let h =
+      if i mod 7 = 0 then
+        (* Nested: this handler schedules a child with a fresh draw. *)
+        Engine.schedule engine ~after:(delay ()) (fun () ->
+            note i ();
+            ignore (Engine.schedule engine ~after:(1 + delay ()) (note (n + i))))
+      else Engine.schedule engine ~after:(delay ()) (note i)
+    in
+    if Rng.int rng 4 = 0 then cancelable := h :: !cancelable
+  done;
+  List.iteri
+    (fun j h -> if j mod 2 = 0 then Engine.cancel engine h)
+    !cancelable;
+  (* Stop mid-horizon, then schedule closer than anything still queued:
+     on the wheel these land behind the cursor (the overdue tier). *)
+  Engine.run ~until:50_000 engine;
+  for i = 2 * n to (2 * n) + 19 do
+    ignore (Engine.schedule engine ~after:(1 + Rng.int rng 50) (note i))
+  done;
+  Engine.run engine;
+  (List.rev !log, Engine.executed engine, Engine.now engine)
+
+let prop_calendars_agree =
+  QCheck.Test.make ~name:"heap and wheel calendars execute identical orders"
+    ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      exec_log ~calendar:Engine.Heap ~seed ~n:400
+      = exec_log ~calendar:Engine.Wheel ~seed ~n:400)
+
+(* Enough schedule/cancel churn to overflow the 21-bit sequence counter
+   while ties are pending, forcing the renumbering path; FIFO order of
+   the ties must survive on both calendars. *)
+let renumber_log calendar =
+  let engine = Engine.create ~calendar () in
+  let order = ref [] in
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> order := 2 :: !order));
+  let churn = (1 lsl 21) + 100_000 in
+  for _ = 1 to churn / 500 do
+    let hs = List.init 500 (fun _ -> Engine.schedule engine ~after:10 ignore) in
+    List.iter (Engine.cancel engine) hs;
+    Engine.run ~until:(Engine.now engine + 10) engine
+  done;
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> order := 3 :: !order));
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> order := 4 :: !order));
+  Engine.run engine;
+  (List.rev !order, Engine.executed engine, Engine.now engine)
+
+let test_renumber_crossing () =
+  let heap = renumber_log Engine.Heap in
+  let wheel = renumber_log Engine.Wheel in
+  let order, _, _ = heap in
+  Alcotest.(check (list int)) "FIFO ties survive renumbering" [ 1; 2; 3; 4 ] order;
+  let pp = Alcotest.(triple (list int) int int) in
+  Alcotest.check pp "calendars agree across renumbering" heap wheel
+
+let test_env_selection () =
+  Alcotest.(check string) "heap name" "heap" (Engine.calendar_name Engine.Heap);
+  Alcotest.(check string) "wheel name" "wheel" (Engine.calendar_name Engine.Wheel);
+  let e = Engine.create ~calendar:Engine.Heap () in
+  Alcotest.(check bool) "explicit calendar wins" true (Engine.calendar e = Engine.Heap)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_calendars_agree;
+    Alcotest.test_case "renumbering crossing, both calendars" `Quick
+      test_renumber_crossing;
+    Alcotest.test_case "calendar selection" `Quick test_env_selection;
+  ]

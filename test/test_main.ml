@@ -2,6 +2,7 @@ let () =
   Alcotest.run "draconis"
     [
       ("heap", Test_heap.suite);
+      ("calendar", Test_calendar.suite);
       ("sim", Test_sim.suite);
       ("trace", Test_trace.suite);
       ("stats", Test_stats.suite);

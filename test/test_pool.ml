@@ -157,7 +157,7 @@ let test_engine_fifo_ties_across_renumber () =
   let churn = (1 lsl 21) + 100_000 in
   for _ = 1 to churn / 500 do
     let hs = List.init 500 (fun _ -> Engine.schedule engine ~after:10 ignore) in
-    List.iter Engine.cancel hs;
+    List.iter (Engine.cancel engine) hs;
     Engine.run ~until:(Engine.now engine + 10) engine
   done;
   (* ...and two more ties scheduled after the renumber. *)

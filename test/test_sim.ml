@@ -169,14 +169,63 @@ let test_engine_until_advances_clock_when_empty () =
   Engine.run ~until:1_000 engine;
   Alcotest.(check int) "clock advanced to until" 1_000 (Engine.now engine)
 
+let test_engine_until_advances_past_horizon_queue () =
+  (* Regression: queued events strictly beyond the horizon must not keep
+     the clock from reaching [until], even when this call executes
+     nothing at all. *)
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~after:100 ignore);
+  Engine.run ~until:50 engine;
+  Alcotest.(check int) "clock at horizon, future event queued" 50 (Engine.now engine);
+  Engine.run ~until:60 engine;
+  Alcotest.(check int) "zero-event call still advances" 60 (Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "queued event still fires" 100 (Engine.now engine)
+
+let test_engine_until_max_events_past_horizon () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule engine ~after:10 (fun () -> incr fired));
+  ignore (Engine.schedule engine ~after:100 (fun () -> incr fired));
+  (* The budget runs out, but all remaining work lies beyond the
+     horizon, so the clock must still land on [until]. *)
+  Engine.run ~until:50 ~max_events:1 engine;
+  Alcotest.(check int) "one event ran" 1 !fired;
+  Alcotest.(check int) "clock at horizon" 50 (Engine.now engine);
+  (* With work still due before the horizon, an exhausted budget leaves
+     the clock at the last executed event instead. *)
+  let engine2 = Engine.create () in
+  ignore (Engine.schedule engine2 ~after:10 ignore);
+  ignore (Engine.schedule engine2 ~after:20 ignore);
+  Engine.run ~until:50 ~max_events:1 engine2;
+  Alcotest.(check int) "clock at last executed event" 10 (Engine.now engine2)
+
 let test_engine_cancel () =
   let engine = Engine.create () in
   let fired = ref false in
   let handle = Engine.schedule engine ~after:10 (fun () -> fired := true) in
-  Engine.cancel handle;
+  Engine.cancel engine handle;
+  Alcotest.(check bool) "marked cancelled" true (Engine.cancelled engine handle);
   Engine.run engine;
-  Alcotest.(check bool) "cancelled event does not fire" false !fired;
-  Alcotest.(check bool) "marked cancelled" true (Engine.cancelled handle)
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_engine_stale_cancel_is_safe () =
+  (* A handle whose event already fired must stay inert even after its
+     pooled slot has been recycled by newer events. *)
+  let engine = Engine.create () in
+  let stale = Engine.schedule engine ~after:1 ignore in
+  Engine.run engine;
+  let fired = ref 0 in
+  (* Enough fresh events to cycle the freelist through the old slot. *)
+  let fresh =
+    List.init 64 (fun i -> Engine.schedule engine ~after:(10 + i) (fun () -> incr fired))
+  in
+  Engine.cancel engine stale;
+  Alcotest.(check bool) "stale handle not cancelled" false
+    (Engine.cancelled engine stale);
+  Engine.run engine;
+  Alcotest.(check int) "no fresh event lost to the stale cancel"
+    (List.length fresh) !fired
 
 let test_engine_past_raises () =
   let engine = Engine.create () in
@@ -240,7 +289,13 @@ let suite =
     Alcotest.test_case "engine run ~until" `Quick test_engine_until;
     Alcotest.test_case "engine until advances empty clock" `Quick
       test_engine_until_advances_clock_when_empty;
+    Alcotest.test_case "engine until advances past-horizon queue" `Quick
+      test_engine_until_advances_past_horizon_queue;
+    Alcotest.test_case "engine until with exhausted max_events" `Quick
+      test_engine_until_max_events_past_horizon;
     Alcotest.test_case "engine cancellation" `Quick test_engine_cancel;
+    Alcotest.test_case "engine stale cancel is inert" `Quick
+      test_engine_stale_cancel_is_safe;
     Alcotest.test_case "engine rejects past/negative" `Quick test_engine_past_raises;
     Alcotest.test_case "engine periodic events" `Quick test_engine_every;
     Alcotest.test_case "engine max_events" `Quick test_engine_max_events;
