@@ -7,6 +7,8 @@
      main.exe --quick [...]   smaller grids and horizons
      main.exe --jobs N [...]  worker domains for the experiment grids
                               (default: DRACONIS_JOBS or cores-1)
+     main.exe --shards N      worker domains *inside* sharded runs
+                              (default: DRACONIS_SHARDS or 1)
      main.exe --json FILE     write machine-readable results (wall time,
                               events/sec, key percentiles) to FILE
      main.exe --csv DIR       also write every table as CSV under DIR
@@ -177,6 +179,7 @@ let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
     ("others", "sec 8 'other schedulers' (Spark native, Firmament)", H.Others.run);
     ("ablations", "design-choice ablations", H.Ablations.run);
     ("engine-bench", "event core: heap vs wheel calendar, alloc/event", H.Engine_bench.run);
+    ("shard-sim", "parallel-in-run shard scaling on the sharded cluster model", H.Shard_bench.run);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 
@@ -233,9 +236,17 @@ let () =
     | Some _ | None ->
       Printf.eprintf "--jobs wants a positive integer, got %S\n" v;
       exit 1));
+  (match value_of "--shards" args with
+  | None -> ()
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> H.Shard.set_shards n
+    | Some _ | None ->
+      Printf.eprintf "--shards wants a positive integer, got %S\n" v;
+      exit 1));
   let names =
     let rec drop_flags = function
-      | ("--csv" | "--json" | "--jobs" | "--trace-out" | "--metrics-out"
+      | ("--csv" | "--json" | "--jobs" | "--shards" | "--trace-out" | "--metrics-out"
         | "--probe-interval-us" | "--max-trace-events")
         :: _ :: rest ->
         drop_flags rest
@@ -262,7 +273,8 @@ let () =
     in
     H.Report.reset ();
     (* stderr so stdout stays byte-identical across --jobs settings. *)
-    Printf.eprintf "(running with --jobs %d)\n%!" (H.Pool.jobs ());
+    Printf.eprintf "(running with --jobs %d --shards %d)\n%!" (H.Pool.jobs ())
+      (H.Shard.shards ());
     List.iter
       (fun (name, descr, run) ->
         Printf.printf "\n#### %s: %s%s\n%!" name descr (if quick then " [quick]" else "");
@@ -275,7 +287,10 @@ let () =
     (match json_path with
     | None -> ()
     | Some path ->
-      (try H.Report.write ~path ~jobs:(H.Pool.jobs ()) ~quick with
+      (try
+         H.Report.write ~path ~jobs:(H.Pool.jobs ()) ~shards:(H.Shard.shards ())
+           ~quick
+       with
       | Sys_error msg ->
         Printf.eprintf "cannot write --json report: %s\n" msg;
         exit 1);

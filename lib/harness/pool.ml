@@ -9,12 +9,25 @@
 
 let env_var = "DRACONIS_JOBS"
 
+(* The OCaml 5 runtime supports at most 128 live domains; past that,
+   Domain.spawn fails outright.  Leave headroom for the coordinating
+   domain and any LP-shard team, and reject the rest up front: a job
+   count in the hundreds is always a typo or oversubscription, never a
+   useful configuration. *)
+let max_jobs = 64
+
 let env_jobs () =
   match Sys.getenv_opt env_var with
   | None -> None
   | Some raw -> (
     match int_of_string_opt (String.trim raw) with
-    | Some n when n >= 1 -> Some n
+    | Some n when n >= 1 && n <= max_jobs -> Some n
+    | Some n when n > max_jobs ->
+      Printf.eprintf
+        "warning: ignoring %s=%d (above the cap of %d worker domains; the runtime \
+         supports at most 128 domains per process)\n%!"
+        env_var n max_jobs;
+      None
     | Some _ | None ->
       Printf.eprintf "warning: ignoring %s=%S (want a positive integer)\n%!"
         env_var raw;
@@ -33,6 +46,12 @@ let jobs () =
 
 let set_jobs n =
   if n < 1 then invalid_arg "Pool.set_jobs: jobs must be >= 1";
+  if n > max_jobs then
+    invalid_arg
+      (Printf.sprintf
+         "Pool.set_jobs: %d exceeds the cap of %d worker domains (the runtime supports \
+          at most 128 domains per process; more workers than that only oversubscribes)"
+         n max_jobs);
   current_jobs := n
 
 type 'a cell = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
@@ -51,7 +70,7 @@ type 'a t = {
 }
 
 let create ?jobs:j () =
-  let j = match j with Some j -> max 1 j | None -> jobs () in
+  let j = match j with Some j -> max 1 (min max_jobs j) | None -> jobs () in
   {
     jobs = j;
     mutex = Mutex.create ();
@@ -150,3 +169,138 @@ let map ?jobs fns =
   let t = create ?jobs () in
   List.iter (submit t) fns;
   results t
+
+(* -- persistent worker team ------------------------------------------------ *)
+
+(* The experiment pool above spawns domains per sweep and joins them at
+   [results] — fine for a dozen long jobs, hopeless for a sharded
+   simulation that needs its logical processes run in parallel at every
+   barrier window (thousands of windows per run).  A [Team] keeps its
+   domains alive across batches: [run] publishes a batch under an epoch
+   counter, helpers pull thunk indices from a shared cursor, and the
+   caller's own domain participates as the last lane, so a team of
+   [size] uses [size - 1] spawned domains. *)
+module Team = struct
+  type t = {
+    size : int;
+    mutex : Mutex.t;
+    start : Condition.t;  (* a new batch was published, or shutdown *)
+    finished : Condition.t;  (* the current batch fully completed *)
+    mutable epoch : int;
+    mutable batch : (unit -> unit) array;
+    mutable next : int;  (* shared cursor into [batch] *)
+    mutable unfinished : int;
+    mutable failure : (exn * Printexc.raw_backtrace) option;
+    mutable stop : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  (* Pull-and-run until the published batch is exhausted.  Thunks run
+     outside the lock; the first exception is kept (by batch order of
+     discovery) and re-raised by [run] after the barrier, so a failed
+     window never leaves helpers mid-batch. *)
+  let work t =
+    let rec pull () =
+      Mutex.lock t.mutex;
+      if t.next >= Array.length t.batch then Mutex.unlock t.mutex
+      else begin
+        let i = t.next in
+        t.next <- i + 1;
+        Mutex.unlock t.mutex;
+        (try t.batch.(i) ()
+         with exn ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock t.mutex;
+           if t.failure = None then t.failure <- Some (exn, bt);
+           Mutex.unlock t.mutex);
+        Mutex.lock t.mutex;
+        t.unfinished <- t.unfinished - 1;
+        if t.unfinished = 0 then Condition.broadcast t.finished;
+        Mutex.unlock t.mutex;
+        pull ()
+      end
+    in
+    pull ()
+
+  let helper t () =
+    let rec wait_for_batch seen =
+      Mutex.lock t.mutex;
+      while t.epoch = seen && not t.stop do
+        Condition.wait t.start t.mutex
+      done;
+      if t.stop then Mutex.unlock t.mutex
+      else begin
+        let epoch = t.epoch in
+        Mutex.unlock t.mutex;
+        work t;
+        wait_for_batch epoch
+      end
+    in
+    wait_for_batch 0
+
+  let create ~size =
+    if size < 1 then invalid_arg "Pool.Team.create: size must be >= 1";
+    if size > max_jobs then
+      invalid_arg
+        (Printf.sprintf "Pool.Team.create: size %d exceeds the cap of %d worker domains"
+           size max_jobs);
+    let t =
+      {
+        size;
+        mutex = Mutex.create ();
+        start = Condition.create ();
+        finished = Condition.create ();
+        epoch = 0;
+        batch = [||];
+        next = 0;
+        unfinished = 0;
+        failure = None;
+        stop = false;
+        domains = [];
+      }
+    in
+    t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (helper t));
+    t
+
+  let size t = t.size
+
+  let run t thunks =
+    if Array.length thunks > 0 then begin
+      Mutex.lock t.mutex;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.Team.run: team already shut down"
+      end;
+      t.batch <- thunks;
+      t.next <- 0;
+      t.unfinished <- Array.length thunks;
+      t.failure <- None;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mutex;
+      work t;
+      Mutex.lock t.mutex;
+      while t.unfinished > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      let failure = t.failure in
+      (* Leave nothing for a late-waking helper to find. *)
+      t.batch <- [||];
+      t.next <- 0;
+      Mutex.unlock t.mutex;
+      match failure with
+      | None -> ()
+      | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    end
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    if not t.stop then begin
+      t.stop <- true;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+    else Mutex.unlock t.mutex
+end

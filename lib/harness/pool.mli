@@ -19,7 +19,15 @@
 
 type 'a t
 
-(** Process-wide default worker count: [DRACONIS_JOBS] if set, else
+(** Hard cap on worker domains ([set_jobs], [DRACONIS_JOBS], team
+    sizes).  The OCaml 5 runtime supports at most 128 live domains per
+    process; beyond a few dozen workers there is only oversubscription,
+    so out-of-range settings are rejected loudly instead of silently
+    spawning until the runtime fails. *)
+val max_jobs : int
+
+(** Process-wide default worker count: [DRACONIS_JOBS] if set and within
+    [\[1, max_jobs\]] (out-of-range values warn and are ignored), else
     [Domain.recommended_domain_count () - 1], at least 1. *)
 val default_jobs : unit -> int
 
@@ -27,7 +35,7 @@ val default_jobs : unit -> int
 val jobs : unit -> int
 
 (** Override the process-wide worker count.
-    @raise Invalid_argument if [n < 1]. *)
+    @raise Invalid_argument if [n < 1] or [n > max_jobs]. *)
 val set_jobs : int -> unit
 
 (** [create ?jobs ()] is an empty pool.  Worker domains are spawned
@@ -49,3 +57,32 @@ val results : 'a t -> 'a list
 (** [map ?jobs fns] runs every closure on a fresh pool and returns their
     results in order: a parallel [List.map (fun f -> f ())]. *)
 val map : ?jobs:int -> (unit -> 'a) list -> 'a list
+
+(** Persistent worker team for repeated parallel batches.
+
+    Where the pool above spawns domains per experiment sweep, a [Team]
+    keeps its domains alive across an arbitrary number of [run] calls —
+    the execution vehicle for sharded simulation, where every barrier
+    window of a run fans the per-LP thunks out and joins them again
+    (thousands of windows per experiment; spawn/join per window would
+    dominate).  The calling domain participates as one of the lanes, so
+    a team of size [n] spawns [n - 1] helper domains. *)
+module Team : sig
+  type t
+
+  (** [create ~size] spawns [size - 1] helper domains.
+      @raise Invalid_argument if [size < 1] or [size > max_jobs]. *)
+  val create : size:int -> t
+
+  val size : t -> int
+
+  (** [run t thunks] executes every thunk to completion (helpers and the
+      calling domain pull from a shared cursor) and returns only when
+      all have finished.  If any thunk raised, the first captured
+      exception is re-raised after the batch barrier.
+      @raise Invalid_argument if the team was shut down. *)
+  val run : t -> (unit -> unit) array -> unit
+
+  (** Joins the helper domains.  Idempotent. *)
+  val shutdown : t -> unit
+end

@@ -56,17 +56,38 @@ let outcome_json (o : Runner.outcome) =
                   p50 p99)
               o.phases))
   in
+  (* Calendar-only benchmark rows have no scheduling-latency semantics:
+     serialize the block as null so draconis-trace compare skips it
+     (a null never checks against a number) instead of pinning future
+     runs to meaningless zeros. *)
+  let latency =
+    if o.has_latency then
+      Printf.sprintf
+        "\"sched_p50_ns\":%d,\"sched_p99_ns\":%d,\"sched_mean_ns\":%s,\
+         \"decisions_per_sec\":%s"
+        o.sched_p50 o.sched_p99 (json_float o.sched_mean)
+        (json_float o.decisions_per_sec)
+    else
+      "\"sched_p50_ns\":null,\"sched_p99_ns\":null,\"sched_mean_ns\":null,\
+       \"decisions_per_sec\":null"
+  in
+  (* Wall-clock event throughput rides along on benchmark rows only; it
+     is informational (compare never checks it), and omitting it for
+     figure rows keeps their serialization byte-identical to before. *)
+  let rate =
+    if o.events_per_sec > 0.0 then
+      Printf.sprintf ",\"events_per_sec\":%s" (json_float o.events_per_sec)
+    else ""
+  in
   Printf.sprintf
-    "{\"system\":\"%s\",\"load_tps\":%s,\"sched_p50_ns\":%d,\"sched_p99_ns\":%d,\
-     \"sched_mean_ns\":%s,\"decisions_per_sec\":%s,\"submitted\":%d,\"completed\":%d,\
+    "{\"system\":\"%s\",\"load_tps\":%s,%s,\"submitted\":%d,\"completed\":%d,\
      \"timeouts\":%d,\"rejected\":%d,\"recirc_fraction\":%s,\"recirc_drops\":%d,\
-     \"swaps\":%d,\"recirculations\":%d,\"repair_flags\":%d,\"events\":%d,\
+     \"swaps\":%d,\"recirculations\":%d,\"repair_flags\":%d,\"events\":%d%s,\
      \"drained\":%b%s}"
-    (json_escape o.system) (json_float o.load_tps) o.sched_p50 o.sched_p99
-    (json_float o.sched_mean) (json_float o.decisions_per_sec) o.submitted
+    (json_escape o.system) (json_float o.load_tps) latency o.submitted
     o.completed o.timeouts o.rejected
     (json_float o.recirc_fraction)
-    o.recirc_drops o.swaps o.recirculations o.repair_flags o.events o.drained phases
+    o.recirc_drops o.swaps o.recirculations o.repair_flags o.events rate o.drained phases
 
 let entry_json e =
   let ev = events e in
@@ -77,22 +98,23 @@ let entry_json e =
     (json_escape e.name) e.wall_s ev (json_float events_per_sec)
     (String.concat "," (List.map outcome_json e.outcomes))
 
-let to_json ~jobs ~quick =
+let to_json ~jobs ~shards ~quick =
   let total_wall = List.fold_left (fun acc e -> acc +. e.wall_s) 0.0 !entries in
   let total_events = List.fold_left (fun acc e -> acc + events e) 0 !entries in
   Printf.sprintf
     "{\n\
      \  \"schema\": \"draconis-bench/1\",\n\
      \  \"jobs\": %d,\n\
+     \  \"shards\": %d,\n\
      \  \"quick\": %b,\n\
      \  \"total_wall_s\": %.3f,\n\
      \  \"total_events\": %d,\n\
      \  \"experiments\": [\n%s\n  ]\n}\n"
-    jobs quick total_wall total_events
+    jobs shards quick total_wall total_events
     (String.concat ",\n" (List.map entry_json !entries))
 
-let write ~path ~jobs ~quick =
+let write ~path ~jobs ~shards ~quick =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json ~jobs ~quick))
+    (fun () -> output_string oc (to_json ~jobs ~shards ~quick))

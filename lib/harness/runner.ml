@@ -21,7 +21,9 @@ type outcome = {
   recirculations : int;
   repair_flags : int;
   events : int;
+  events_per_sec : float;
   drained : bool;
+  has_latency : bool;
   phases : (string * int * int) list;
 }
 
@@ -71,7 +73,9 @@ let collect (system : Systems.running) ~load_tps ~horizon ~drained =
     recirculations = Metrics.recirculations metrics;
     repair_flags = Metrics.repair_flags metrics;
     events = Engine.executed system.engine;
+    events_per_sec = 0.0;
     drained;
+    has_latency = true;
     phases =
       (* Ambient context ⇒ this run is attributing phases; the sealed
          tasks at collect time are exactly the completed ones. *)

@@ -29,7 +29,18 @@ type outcome = {
   recirculations : int;  (** scheduler-produced recirculations *)
   repair_flags : int;  (** circular-queue repair-flag trips (§4.7) *)
   events : int;  (** simulation events the engine executed *)
+  events_per_sec : float;
+      (** wall-clock event throughput; informational (never checked by
+          [draconis-trace compare]) and only serialized when positive —
+          calendar/shard benchmark rows use it, figure rows leave it 0 *)
   drained : bool;
+  has_latency : bool;
+      (** whether the scheduling-latency block ([sched_p50]/[sched_p99]/
+          [sched_mean]/[decisions_per_sec]) is meaningful for this row.
+          Calendar-only benchmark rows (engine-bench) set it false, and
+          the JSON report then serializes those fields as [null] so
+          [draconis-trace compare] cannot regress against garbage
+          zeros. *)
   phases : (string * int * int) list;
       (** per-phase (name, p50 ns, p99 ns) latency decomposition from
           {!Draconis_obs.Attribution}; non-empty only when the run

@@ -1,0 +1,76 @@
+open Draconis_sim
+
+(* The shard-sim experiment: run the sharded cluster model
+   (Shard.run_model) on 1, 2 and 4 logical processes (plus whatever
+   DRACONIS_SHARDS asks for), assert the determinism contract — every
+   partitioning produces the exact same outcome, window count and
+   message count — and report one row per LP count so BENCH_engine.json
+   tracks both the metrics and the events/sec scaling. *)
+
+let run ?(quick = false) () =
+  let config =
+    {
+      Shard.default_config with
+      horizon = (if quick then Time.ms 2 else Time.ms 20);
+    }
+  in
+  let lp_counts = List.sort_uniq compare [ 1; 2; 4; Shard.shards () ] in
+  let results =
+    List.map (fun lps -> Shard.run_model ~lps ~workers:lps config) lp_counts
+  in
+  let reference = List.hd results in
+  List.iter
+    (fun (r : Shard.result) ->
+      (* run_model leaves outcome a pure function of (config, lps), so
+         structural equality is the whole contract. *)
+      if r.outcome <> reference.outcome then
+        failwith
+          (Printf.sprintf
+             "shard-sim: outcome with %d LPs diverges from the %d-LP reference"
+             r.lps reference.lps);
+      if r.windows <> reference.windows then
+        failwith
+          (Printf.sprintf "shard-sim: window count diverges with %d LPs" r.lps);
+      if r.cross_posts <> reference.cross_posts then
+        failwith
+          (Printf.sprintf "shard-sim: message count diverges with %d LPs" r.lps))
+    results;
+  let table =
+    Draconis_stats.Table.create
+      ~columns:
+        [ "lps"; "workers"; "windows"; "messages"; "events"; "p99 us"; "wall s";
+          "events/sec" ]
+  in
+  List.iter
+    (fun (r : Shard.result) ->
+      Draconis_stats.Table.add_row table
+        [
+          string_of_int r.lps;
+          string_of_int r.workers;
+          string_of_int r.windows;
+          string_of_int r.cross_posts;
+          string_of_int r.outcome.events;
+          Printf.sprintf "%.1f" (Time.to_us r.outcome.sched_p99);
+          Printf.sprintf "%.3f" r.wall_s;
+          Printf.sprintf "%.0f"
+            (if r.wall_s > 0.0 then float_of_int r.outcome.events /. r.wall_s
+             else 0.0);
+        ])
+    results;
+  Draconis_stats.Table.print
+    ~title:"shard-sim: parallel-in-run scaling (sharded cluster model)" table;
+  Printf.printf
+    "outcomes identical across %s LPs (submitted=%d completed=%d windows=%d)\n%!"
+    (String.concat "/" (List.map string_of_int lp_counts))
+    reference.outcome.submitted reference.outcome.completed reference.windows;
+  Report.add_outcomes
+    (List.map
+       (fun (r : Shard.result) ->
+         {
+           r.outcome with
+           Runner.system = Printf.sprintf "shard-sim-lp%d" r.lps;
+           events_per_sec =
+             (if r.wall_s > 0.0 then float_of_int r.outcome.events /. r.wall_s
+              else 0.0);
+         })
+       results)

@@ -258,3 +258,35 @@ let delivered t = t.delivered
 let lost t = t.lost
 let partition_dropped t = t.partition_dropped
 let undeliverable t = t.undeliverable
+
+(* The slowest guarantee the latency model makes is the fastest link:
+   one host<->switch hop with zero jitter.  Everything else (second hop,
+   jitter, detours) only adds. *)
+let lookahead config =
+  if config.host_to_switch <= 0 then
+    invalid_arg
+      "Fabric.lookahead: host_to_switch must be positive for conservative \
+       synchronization";
+  config.host_to_switch
+
+module Mailbox = struct
+  type nonrec t = { dst : Lp.t; lookahead : Time.t }
+
+  let create ~lookahead lp =
+    if lookahead <= 0 then invalid_arg "Fabric.Mailbox.create: lookahead must be positive";
+    { dst = lp; lookahead }
+
+  let lp t = t.dst
+  let lookahead t = t.lookahead
+
+  let post t ~now ~latency ~src ~seq fn =
+    if latency < t.lookahead then
+      invalid_arg
+        (Printf.sprintf
+           "Fabric.Mailbox.post: latency %d is below the lookahead %d (conservative \
+            window violation)"
+           latency t.lookahead);
+    Lp.post t.dst ~at:(now + latency) ~src ~seq fn
+
+  let posted t = Lp.posted t.dst
+end

@@ -102,6 +102,9 @@ let q_push t key tok =
 let q_peek_key t =
   match t.queue with Q_heap h -> Int_heap.peek_key h | Q_wheel w -> Wheel.peek_key w
 
+let next_at t =
+  match q_peek_key t with exception Not_found -> None | key -> Some (key_at key)
+
 (* -- handle slab ----------------------------------------------------------- *)
 
 let slab_grow t =

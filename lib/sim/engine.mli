@@ -6,7 +6,11 @@
     clock.  Scheduling in the past is a programming error and raises.
 
     The engine is single-threaded by design: a simulated cluster of
-    thousands of executors runs as one deterministic event loop.
+    thousands of executors runs as one deterministic event loop.  To
+    shard one simulation across domains, several engines are composed as
+    logical processes ({!Lp}) under a conservative barrier-window
+    coordinator ({!Sync}); each engine still runs single-threaded inside
+    its window.
 
     {2 Allocation-free core}
 
@@ -52,6 +56,12 @@ val executed : t -> int
 (** Number of events currently queued (including cancelled events whose
     queue entries have not yet been consumed). *)
 val pending : t -> int
+
+(** [next_at t] is the timestamp of the earliest queued event (cancelled
+    entries included — a conservative lower bound on the next live
+    event), or [None] on an empty queue.  Used by the {!Sync} barrier
+    protocol to compute the global safe horizon. *)
+val next_at : t -> Time.t option
 
 (** [schedule t ~after f] runs [f] at [now t + after].
     @raise Invalid_argument if [after < 0]. *)

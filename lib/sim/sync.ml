@@ -1,0 +1,74 @@
+type t = {
+  lps : Lp.t array;
+  lookahead : Time.t;
+  mutable windows : int;
+}
+
+type executor = (unit -> unit) array -> unit
+
+let sequential thunks = Array.iter (fun f -> f ()) thunks
+
+let create ~lookahead lps =
+  if lookahead <= 0 then invalid_arg "Sync.create: lookahead must be positive";
+  if Array.length lps = 0 then invalid_arg "Sync.create: no logical processes";
+  let seen = Hashtbl.create (Array.length lps) in
+  Array.iter
+    (fun lp ->
+      let id = Lp.id lp in
+      if Hashtbl.mem seen id then
+        invalid_arg (Printf.sprintf "Sync.create: duplicate LP id %d" id);
+      Hashtbl.add seen id ())
+    lps;
+  { lps = Array.copy lps; lookahead; windows = 0 }
+
+let lookahead t = t.lookahead
+let lps t = Array.copy t.lps
+let windows t = t.windows
+
+let executed t =
+  Array.fold_left (fun acc lp -> acc + Engine.executed (Lp.engine lp)) 0 t.lps
+
+let drained t =
+  Array.for_all
+    (fun lp -> Engine.pending (Lp.engine lp) = 0 && Lp.inbox_length lp = 0)
+    t.lps
+
+(* Global floor: the earliest instant any LP still owes work at. *)
+let floor t =
+  Array.fold_left
+    (fun acc lp ->
+      match Lp.next_at lp with
+      | None -> acc
+      | Some a -> ( match acc with Some b when b <= a -> acc | _ -> Some a))
+    None t.lps
+
+let run ?until ?(executor = sequential) t =
+  (* Everything at or before [u] has run; park every clock at [u],
+     matching Engine.run's horizon semantics. *)
+  let finish_at u =
+    Array.iter (fun lp -> Engine.run ~until:u (Lp.engine lp)) t.lps
+  in
+  let rec loop () =
+    match floor t with
+    | None -> Option.iter finish_at until
+    | Some f -> (
+      match until with
+      | Some u when f > u -> finish_at u
+      | _ ->
+        (* Events strictly below [f + lookahead] are safe: any message
+           produced inside this window is stamped at least [lookahead]
+           past its send time, hence at or beyond the horizon. *)
+        let horizon =
+          let h = f + t.lookahead - 1 in
+          match until with Some u -> min h u | None -> h
+        in
+        Array.iter (fun lp -> Lp.inject lp ~upto:horizon) t.lps;
+        Array.iter (fun lp -> Lp.set_floor lp horizon) t.lps;
+        executor
+          (Array.map
+             (fun lp () -> Engine.run ~until:horizon (Lp.engine lp))
+             t.lps);
+        t.windows <- t.windows + 1;
+        loop ())
+  in
+  loop ()

@@ -25,6 +25,7 @@ let () =
       ("trace-file", Test_trace_file.suite);
       ("harness", Test_harness.suite);
       ("pool", Test_pool.suite);
+      ("shard", Test_shard.suite);
       ("obs", Test_obs.suite);
       ("attribution", Test_attribution.suite);
     ]

@@ -72,6 +72,68 @@ let test_empty_pool () =
   Alcotest.(check (list int)) "no jobs" [] (H.Pool.map ~jobs:4 []);
   Alcotest.(check (list int)) "no jobs seq" [] (H.Pool.map ~jobs:1 [])
 
+(* -- worker-count cap ------------------------------------------------------ *)
+
+let test_set_jobs_cap () =
+  let raises f = try f () ; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "0 rejected" true (raises (fun () -> H.Pool.set_jobs 0));
+  Alcotest.(check bool) "above cap rejected" true
+    (raises (fun () -> H.Pool.set_jobs (H.Pool.max_jobs + 1)));
+  H.Pool.set_jobs 1;
+  Alcotest.(check int) "cap itself accepted" 1 (H.Pool.jobs ())
+
+(* -- persistent worker team ------------------------------------------------ *)
+
+let test_team_runs_batches () =
+  let team = H.Pool.Team.create ~size:3 in
+  Fun.protect
+    ~finally:(fun () -> H.Pool.Team.shutdown team)
+    (fun () ->
+      Alcotest.(check int) "size" 3 (H.Pool.Team.size team);
+      let total = Atomic.make 0 in
+      (* Many small batches, like barrier windows. *)
+      for _ = 1 to 50 do
+        H.Pool.Team.run team
+          (Array.init 8 (fun i () -> ignore (Atomic.fetch_and_add total (i + 1))))
+      done;
+      Alcotest.(check int) "every thunk of every batch ran" (50 * 36)
+        (Atomic.get total);
+      H.Pool.Team.run team [||])
+
+let test_team_exception_propagates () =
+  let team = H.Pool.Team.create ~size:2 in
+  Fun.protect
+    ~finally:(fun () -> H.Pool.Team.shutdown team)
+    (fun () ->
+      let ran = Atomic.make 0 in
+      (try
+         H.Pool.Team.run team
+           (Array.init 6 (fun i () ->
+                Atomic.incr ran;
+                if i = 2 then failwith "window 2 exploded"));
+         Alcotest.fail "expected Failure"
+       with Failure msg -> Alcotest.(check string) "message" "window 2 exploded" msg);
+      Alcotest.(check int) "batch barrier completed" 6 (Atomic.get ran);
+      (* The team survives a failed batch. *)
+      let ok = Atomic.make 0 in
+      H.Pool.Team.run team (Array.init 4 (fun _ () -> Atomic.incr ok));
+      Alcotest.(check int) "next batch healthy" 4 (Atomic.get ok))
+
+let test_team_shutdown () =
+  let team = H.Pool.Team.create ~size:2 in
+  H.Pool.Team.shutdown team;
+  H.Pool.Team.shutdown team;
+  (* idempotent *)
+  (try
+     H.Pool.Team.run team [| (fun () -> ()) |];
+     Alcotest.fail "expected rejection after shutdown"
+   with Invalid_argument _ -> ());
+  let raises f = try f () ; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "size 0 rejected" true (raises (fun () ->
+      ignore (H.Pool.Team.create ~size:0)));
+  Alcotest.(check bool) "oversized team rejected" true (raises (fun () ->
+      ignore (H.Pool.Team.create ~size:(H.Pool.max_jobs + 1))))
+
 (* -- determinism: the tentpole guarantee ----------------------------------- *)
 
 let small_spec =
@@ -177,6 +239,11 @@ let suite =
     Alcotest.test_case "submit after results rejected" `Quick
       test_submit_after_results_rejected;
     Alcotest.test_case "empty pool" `Quick test_empty_pool;
+    Alcotest.test_case "set_jobs validates the cap" `Quick test_set_jobs_cap;
+    Alcotest.test_case "team runs repeated batches" `Quick test_team_runs_batches;
+    Alcotest.test_case "team propagates exceptions" `Quick
+      test_team_exception_propagates;
+    Alcotest.test_case "team shutdown" `Quick test_team_shutdown;
     Alcotest.test_case "determinism: jobs=1 vs jobs=4" `Slow test_jobs1_jobs4_identical;
     Alcotest.test_case "determinism: repeated parallel runs" `Slow
       test_repeated_parallel_runs_identical;

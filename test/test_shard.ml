@@ -1,0 +1,285 @@
+(* Tests for parallel-in-run sharding: the topology partitioner, the
+   Lp/Sync conservative-window protocol, the cross-LP mailbox, and the
+   headline determinism contract — the sharded cluster model produces
+   identical outcomes across 1/2/4 logical processes, with and without
+   worker domains, faults, and seq-counter renumbering. *)
+
+open Draconis_sim
+module H = Draconis_harness
+module Fabric = Draconis_net.Fabric
+module Topology = Draconis_net.Topology
+module Plan = Draconis_fault.Plan
+
+(* -- topology partitioning ------------------------------------------------- *)
+
+let test_partition_rack_aligned () =
+  let topo = Topology.create ~nodes:12 ~racks:4 in
+  let part = Topology.partition topo ~groups:2 in
+  Alcotest.(check int) "covers all hosts" 12 (Array.length part);
+  (* Rack-aligned: no rack straddles a group boundary. *)
+  for rack = 0 to 3 do
+    let groups =
+      List.sort_uniq compare
+        (List.map (fun h -> part.(h)) (Topology.hosts_in_rack topo rack))
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "rack %d in one group" rack)
+      1 (List.length groups)
+  done;
+  (* Contiguous and onto [0, groups). *)
+  Alcotest.(check int) "first group" 0 part.(0);
+  Alcotest.(check int) "last group" 1 part.(11);
+  Array.iteri
+    (fun h g ->
+      if h > 0 && g < part.(h - 1) then
+        Alcotest.failf "groups not monotone at host %d" h)
+    part;
+  Alcotest.(check int) "group_of matches" part.(7)
+    (Topology.group_of topo ~groups:2 7)
+
+let test_partition_more_groups_than_racks () =
+  let topo = Topology.create ~nodes:10 ~racks:2 in
+  let part = Topology.partition topo ~groups:5 in
+  let sizes = Array.make 5 0 in
+  Array.iter (fun g -> sizes.(g) <- sizes.(g) + 1) part;
+  Array.iteri
+    (fun g n -> Alcotest.(check int) (Printf.sprintf "group %d size" g) 2 n)
+    sizes
+
+let test_partition_bounds () =
+  let topo = Topology.create ~nodes:4 ~racks:2 in
+  let raises f = try f () ; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "groups=0 rejected" true (raises (fun () ->
+      ignore (Topology.partition topo ~groups:0)));
+  Alcotest.(check bool) "groups>nodes rejected" true (raises (fun () ->
+      ignore (Topology.partition topo ~groups:5)));
+  let ident = Topology.partition topo ~groups:4 in
+  Array.iteri (fun h g -> Alcotest.(check int) "one host per group" h g) ident
+
+(* -- Lp / Mailbox safety --------------------------------------------------- *)
+
+let test_lp_post_floor_violation () =
+  let lp = Lp.create ~id:0 ~seed:1 () in
+  Lp.set_floor lp 100;
+  (try
+     Lp.post lp ~at:100 ~src:0 ~seq:1 ignore;
+     Alcotest.fail "expected lookahead violation"
+   with Invalid_argument _ -> ());
+  Lp.post lp ~at:101 ~src:0 ~seq:2 ignore;
+  Alcotest.(check int) "accepted post pending" 1 (Lp.inbox_length lp)
+
+let test_mailbox_lookahead_enforced () =
+  let lp = Lp.create ~id:0 ~seed:1 () in
+  let box = Fabric.Mailbox.create ~lookahead:500 lp in
+  (try
+     Fabric.Mailbox.post box ~now:0 ~latency:499 ~src:1 ~seq:1 ignore;
+     Alcotest.fail "expected lookahead violation"
+   with Invalid_argument _ -> ());
+  Fabric.Mailbox.post box ~now:0 ~latency:500 ~src:1 ~seq:2 ignore;
+  Alcotest.(check int) "posted" 1 (Fabric.Mailbox.posted box);
+  try
+    ignore (Fabric.Mailbox.create ~lookahead:0 lp);
+    Alcotest.fail "expected zero-lookahead rejection"
+  with Invalid_argument _ -> ()
+
+(* Injection order must follow the (at, src, seq) stamp, not the post
+   (domain-schedule) order. *)
+let test_injection_sorted_by_stamp () =
+  let lp = Lp.create ~id:0 ~seed:1 () in
+  let order = ref [] in
+  let mark n () = order := n :: !order in
+  Lp.post lp ~at:50 ~src:9 ~seq:1 (mark 3);
+  Lp.post lp ~at:50 ~src:2 ~seq:7 (mark 2);
+  Lp.post lp ~at:40 ~src:9 ~seq:2 (mark 1);
+  Lp.post lp ~at:50 ~src:9 ~seq:9 (mark 4);
+  Lp.inject lp ~upto:100;
+  Engine.run (Lp.engine lp);
+  Alcotest.(check (list int)) "stamp order" [ 1; 2; 3; 4 ] (List.rev !order)
+
+(* -- Sync across a seq-counter renumber ------------------------------------ *)
+
+(* Mirror test_pool's FIFO-ties-across-renumber, but with the churn
+   driven through barrier windows and a cross-LP message landing at the
+   same instant as the direct ties: the packed-key renumber must neither
+   reorder ties nor disturb mailbox injection. *)
+let test_sync_ties_survive_renumber () =
+  let lp0 = Lp.create ~id:0 ~seed:1 () in
+  let lp1 = Lp.create ~id:1 ~seed:1 () in
+  let box0 = Fabric.Mailbox.create ~lookahead:100 lp0 in
+  let sync = Sync.create ~lookahead:100 [| lp0; lp1 |] in
+  let e0 = Lp.engine lp0 in
+  let target = 3_000_000 in
+  let order = ref [] in
+  let mark n () = order := n :: !order in
+  ignore (Engine.schedule e0 ~after:target (mark 1));
+  ignore (Engine.schedule e0 ~after:target (mark 2));
+  (* Churn > 2^21 schedule+cancel pairs in drained batches, advancing
+     the clocks through Sync windows (10ns per batch, far short of the
+     ties' timestamp). *)
+  let churn = (1 lsl 21) + 100_000 in
+  for _ = 1 to churn / 500 do
+    let hs = List.init 500 (fun _ -> Engine.schedule e0 ~after:10 ignore) in
+    List.iter (Engine.cancel e0) hs;
+    Sync.run ~until:(Engine.now e0 + 10) sync
+  done;
+  (* Two more direct ties after the renumber... *)
+  ignore (Engine.schedule e0 ~after:(target - Engine.now e0) (mark 3));
+  ignore (Engine.schedule e0 ~after:(target - Engine.now e0) (mark 4));
+  (* ...and a cross-LP message arriving at the same instant. *)
+  let e1 = Lp.engine lp1 in
+  ignore
+    (Engine.schedule e1 ~after:10 (fun () ->
+         Fabric.Mailbox.post box0 ~now:(Engine.now e1)
+           ~latency:(target - Engine.now e1)
+           ~src:1 ~seq:1 (mark 5)));
+  Sync.run sync;
+  Alcotest.(check (list int)) "ties + injection in order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order);
+  Alcotest.(check int) "cross-post injected" 1 (Lp.injected lp0);
+  Alcotest.(check bool) "drained" true (Sync.drained sync)
+
+(* -- the determinism contract on the cluster model ------------------------- *)
+
+let model ?(faults = Plan.empty) ?(service = Dist.exponential ~mean:(Time.us 50))
+    ~seed () =
+  {
+    H.Shard.clients = 4;
+    executors = 6;
+    interarrival = Dist.exponential ~mean:(Time.us 25);
+    service;
+    horizon = Time.ms 1;
+    seed;
+    fabric = Fabric.default_config;
+    faults;
+  }
+
+let check_equal_across_lps ?(lp_counts = [ 1; 2; 4 ]) config =
+  let results =
+    List.map (fun lps -> H.Shard.run_model ~lps ~workers:1 config) lp_counts
+  in
+  let reference = List.hd results in
+  List.iter
+    (fun (r : H.Shard.result) ->
+      if r.outcome <> reference.outcome then
+        Alcotest.failf "outcome with %d LPs diverges: %a vs %a" r.lps
+          H.Runner.pp_outcome r.outcome H.Runner.pp_outcome reference.outcome;
+      Alcotest.(check int) "windows" reference.windows r.windows;
+      Alcotest.(check int) "messages" reference.cross_posts r.cross_posts;
+      Alcotest.(check int) "fault drops" reference.dropped r.dropped)
+    results;
+  reference
+
+let test_sharded_equals_sequential () =
+  let r = check_equal_across_lps (model ~seed:42 ()) in
+  Alcotest.(check bool) "work happened" true (r.outcome.submitted > 50);
+  Alcotest.(check bool) "drained" true r.outcome.drained
+
+(* fig6 shape: bimodal service times (short tasks with a heavy tail). *)
+let test_bimodal_equality () =
+  let service = Dist.bimodal (Time.us 25, 0.9) (Time.us 500) in
+  let r = check_equal_across_lps (model ~service ~seed:7 ()) in
+  Alcotest.(check bool) "tail produced queueing" true (r.outcome.sched_p99 > 0)
+
+(* Randomized workloads: the contract must hold for arbitrary seeds. *)
+let test_random_seeds_equality =
+  QCheck.Test.make ~count:8 ~name:"sharded = sequential on random seeds"
+    QCheck.(pair (int_bound 1_000_000) bool)
+    (fun (seed, bimodal) ->
+      let service =
+        if bimodal then Dist.bimodal (Time.us 25, 0.9) (Time.us 500)
+        else Dist.exponential ~mean:(Time.us 50)
+      in
+      let config = model ~service ~seed () in
+      let a = (H.Shard.run_model ~lps:1 ~workers:1 config).outcome in
+      let b = (H.Shard.run_model ~lps:3 ~workers:1 config).outcome in
+      a = b)
+
+(* Worker domains must not change anything either: same model, 4 LPs,
+   executed by 1 vs 2 domains through the persistent team. *)
+let test_workers_equality () =
+  let config = model ~seed:11 () in
+  let one = H.Shard.run_model ~lps:4 ~workers:1 config in
+  let two = H.Shard.run_model ~lps:4 ~workers:2 config in
+  if one.outcome <> two.outcome then
+    Alcotest.failf "worker count changed the outcome: %a vs %a"
+      H.Runner.pp_outcome one.outcome H.Runner.pp_outcome two.outcome;
+  Alcotest.(check int) "windows" one.windows two.windows
+
+(* Faults compose with the window protocol: loss burst + partition +
+   straggler windows produce the same (degraded) outcome everywhere. *)
+let test_fault_plan_equality () =
+  let faults =
+    Plan.create
+      [
+        { Plan.at = Time.us 50;
+          event = Plan.Straggler { node = 1; factor = 4.0; duration = Time.us 800 } };
+        { Plan.at = Time.us 100;
+          event = Plan.Partition { hosts = [ 0; 5 ]; duration = Time.us 400 } };
+        { Plan.at = Time.us 200;
+          event = Plan.Loss_burst { duration = Time.us 300; loss = 0.5 } };
+      ]
+  in
+  let r = check_equal_across_lps (model ~faults ~seed:42 ()) in
+  Alcotest.(check bool) "faults dropped messages" true (r.dropped > 0);
+  Alcotest.(check bool) "drops become timeouts" true (r.outcome.timeouts > 0);
+  Alcotest.(check int) "timeouts = submitted - completed"
+    (r.outcome.submitted - r.outcome.completed)
+    r.outcome.timeouts
+
+let test_unsupported_faults_rejected () =
+  let faults = Plan.create [ { Plan.at = Time.us 10; event = Plan.Switch_failover } ] in
+  try
+    ignore (H.Shard.run_model ~lps:1 ~workers:1 (model ~faults ~seed:1 ()));
+    Alcotest.fail "expected rejection of Switch_failover"
+  with Invalid_argument msg ->
+    Alcotest.(check bool) "names the fault" true
+      (Astring.String.is_infix ~affix:"failover" msg)
+
+(* The sequential path is the bit-deterministic reference: re-running
+   the exact same config reproduces the outcome exactly. *)
+let test_sequential_reproducible () =
+  let config = model ~seed:123 () in
+  let a = (H.Shard.run_model ~lps:1 ~workers:1 config).outcome in
+  let b = (H.Shard.run_model ~lps:1 ~workers:1 config).outcome in
+  Alcotest.(check bool) "bit-identical rerun" true (a = b)
+
+(* -- the DRACONIS_SHARDS knob ---------------------------------------------- *)
+
+let test_shards_knob () =
+  let raises f = try f () ; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "0 rejected" true (raises (fun () -> H.Shard.set_shards 0));
+  Alcotest.(check bool) "above cap rejected" true
+    (raises (fun () -> H.Shard.set_shards (H.Shard.max_shards + 1)));
+  H.Shard.set_shards 2;
+  Alcotest.(check int) "override sticks" 2 (H.Shard.shards ());
+  H.Shard.set_shards 1
+
+let suite =
+  [
+    Alcotest.test_case "topology partition is rack-aligned" `Quick
+      test_partition_rack_aligned;
+    Alcotest.test_case "partition with more groups than racks" `Quick
+      test_partition_more_groups_than_racks;
+    Alcotest.test_case "partition bounds" `Quick test_partition_bounds;
+    Alcotest.test_case "Lp.post rejects stamps below the floor" `Quick
+      test_lp_post_floor_violation;
+    Alcotest.test_case "mailbox enforces the lookahead" `Quick
+      test_mailbox_lookahead_enforced;
+    Alcotest.test_case "injection sorts by (at, src, seq)" `Quick
+      test_injection_sorted_by_stamp;
+    Alcotest.test_case "ties + injection survive renumber" `Slow
+      test_sync_ties_survive_renumber;
+    Alcotest.test_case "sharded = sequential outcomes" `Quick
+      test_sharded_equals_sequential;
+    Alcotest.test_case "bimodal (fig6-shape) equality" `Quick test_bimodal_equality;
+    QCheck_alcotest.to_alcotest test_random_seeds_equality;
+    Alcotest.test_case "worker domains do not change outcomes" `Quick
+      test_workers_equality;
+    Alcotest.test_case "fault plans compose with sharding" `Quick
+      test_fault_plan_equality;
+    Alcotest.test_case "unsupported faults rejected" `Quick
+      test_unsupported_faults_rejected;
+    Alcotest.test_case "sequential path is reproducible" `Quick
+      test_sequential_reproducible;
+    Alcotest.test_case "DRACONIS_SHARDS knob validation" `Quick test_shards_knob;
+  ]
