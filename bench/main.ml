@@ -9,6 +9,8 @@
                               (default: DRACONIS_JOBS or cores-1)
      main.exe --shards N      worker domains *inside* sharded runs
                               (default: DRACONIS_SHARDS or 1)
+     main.exe --seed N        workload seed override (default 1000003);
+                              the effective seed lands in the --json header
      main.exe --json FILE     write machine-readable results (wall time,
                               events/sec, key percentiles) to FILE
      main.exe --csv DIR       also write every table as CSV under DIR
@@ -244,10 +246,18 @@ let () =
     | Some _ | None ->
       Printf.eprintf "--shards wants a positive integer, got %S\n" v;
       exit 1));
+  (match value_of "--seed" args with
+  | None -> ()
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> H.Runner.set_workload_seed n
+    | None ->
+      Printf.eprintf "--seed wants an integer, got %S\n" v;
+      exit 1));
   let names =
     let rec drop_flags = function
-      | ("--csv" | "--json" | "--jobs" | "--shards" | "--trace-out" | "--metrics-out"
-        | "--probe-interval-us" | "--max-trace-events")
+      | ("--csv" | "--json" | "--jobs" | "--shards" | "--seed" | "--trace-out"
+        | "--metrics-out" | "--probe-interval-us" | "--max-trace-events")
         :: _ :: rest ->
         drop_flags rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> drop_flags rest

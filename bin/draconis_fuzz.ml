@@ -1,0 +1,200 @@
+(* draconis-fuzz: property-fuzz the switch pipeline against an oracle.
+
+   Subcommands:
+     run     sweep generated schedules over a seed range
+     replay  re-execute one saved reproducer
+     corpus  re-execute every reproducer in a directory *)
+
+open Cmdliner
+module Fuzz = Draconis_fuzz.Fuzz
+module Exec = Draconis_fuzz.Exec
+module Schedule = Draconis_fuzz.Schedule
+
+let bug_conv =
+  let parse s =
+    try Ok (Exec.bug_of_string s)
+    with Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Exec.bug_to_string b))
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some bug_conv) None
+    & info [ "inject" ] ~docv:"BUG"
+        ~doc:
+          "Inject a known bug (skip-stamp-check or drop-retrieve-repair) to \
+           prove the harness catches and shrinks it; the run then $(i,fails) \
+           if no violation is found.")
+
+(* -- run --------------------------------------------------------------------- *)
+
+let run_cmd seeds seed_base ops inject json artifacts require_all shrink_budget =
+  if seeds < 1 then begin
+    Printf.eprintf "draconis-fuzz: --seeds must be >= 1\n";
+    exit 1
+  end;
+  let seed_list = List.init seeds (fun i -> seed_base + i) in
+  let campaign =
+    Fuzz.run_campaign ?bug:inject ~ops ~shrink_budget ?artifacts ~seeds:seed_list ()
+  in
+  print_string (if json then Fuzz.to_json campaign else Fuzz.render_text campaign);
+  match inject with
+  | None ->
+    let missing = Fuzz.unexercised campaign in
+    if require_all && missing <> [] then begin
+      Printf.eprintf "draconis-fuzz: invariants never exercised: %s\n"
+        (String.concat ", " missing);
+      exit 1
+    end;
+    if not (Fuzz.ok campaign) then exit 1
+  | Some bug ->
+    (* Self-test: the injected bug must be caught on at least one seed. *)
+    if Fuzz.ok campaign then begin
+      Printf.eprintf "draconis-fuzz: injected bug %s escaped %d seed(s)\n"
+        (Exec.bug_to_string bug) seeds;
+      exit 1
+    end
+
+let run_term =
+  let seeds =
+    Arg.(
+      value & opt int 200
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of consecutive seeds to sweep.")
+  in
+  let seed_base =
+    Arg.(
+      value & opt int 1
+      & info [ "seed-base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt int Fuzz.default_ops
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per generated schedule.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the campaign report as JSON.")
+  in
+  let artifacts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:"Directory to write shrunk reproducers into (seed-N.fuzz).")
+  in
+  let require_all =
+    Arg.(
+      value & flag
+      & info [ "require-all-invariants" ]
+          ~doc:
+            "Fail if any invariant was never evaluated during the sweep (used \
+             by the smoke gate to keep the sweep honest).")
+  in
+  let shrink_budget =
+    Arg.(
+      value
+      & opt int Fuzz.default_shrink_budget
+      & info [ "max-shrink-execs" ] ~docv:"N"
+          ~doc:"Execution budget for minimizing each failure.")
+  in
+  Term.(
+    const run_cmd $ seeds $ seed_base $ ops $ inject_arg $ json $ artifacts
+    $ require_all $ shrink_budget)
+
+let run_info =
+  Cmd.info "run"
+    ~doc:
+      "Generate adversarial schedules over a seed range, drive each through \
+       the real switch pipeline twice (replication check), and verify every \
+       invariant against the oracle queue, shrinking any failure to a minimal \
+       reproducer; exits non-zero on violations"
+
+(* -- replay ------------------------------------------------------------------ *)
+
+let replay_cmd path inject =
+  let schedule =
+    try Schedule.load path
+    with
+    | Invalid_argument msg | Sys_error msg ->
+      Printf.eprintf "draconis-fuzz: %s\n" msg;
+      exit 1
+  in
+  let report = Exec.run_checked ?bug:inject schedule in
+  print_string (Fuzz.render_report schedule report);
+  if report.Draconis_fuzz.Checker.violations <> [] then exit 1
+
+let replay_term =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Saved schedule (draconis-fuzz/1 format).")
+  in
+  Term.(const replay_cmd $ path $ inject_arg)
+
+let replay_info =
+  Cmd.info "replay"
+    ~doc:
+      "Re-execute one saved reproducer deterministically and re-check every \
+       invariant; exits non-zero if the violation still fires"
+
+(* -- corpus ------------------------------------------------------------------ *)
+
+let corpus_cmd dir inject =
+  let entries =
+    try Sys.readdir dir
+    with Sys_error msg ->
+      Printf.eprintf "draconis-fuzz: %s\n" msg;
+      exit 1
+  in
+  let files =
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".fuzz")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  in
+  if files = [] then begin
+    Printf.eprintf "draconis-fuzz: no .fuzz reproducers under %s\n" dir;
+    exit 1
+  end;
+  let failed = ref 0 in
+  List.iter
+    (fun path ->
+      let schedule =
+        try Schedule.load path
+        with Invalid_argument msg | Sys_error msg ->
+          Printf.eprintf "draconis-fuzz: %s: %s\n" path msg;
+          exit 1
+      in
+      let report = Exec.run_checked ?bug:inject schedule in
+      let bad = report.Draconis_fuzz.Checker.violations <> [] in
+      if bad then incr failed;
+      Printf.printf "%-8s %s\n" (if bad then "FAIL" else "ok") path)
+    files;
+  Printf.printf "%d reproducer(s), %d failing\n" (List.length files) !failed;
+  if !failed > 0 then exit 1
+
+let corpus_term =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Directory of .fuzz reproducers.")
+  in
+  Term.(const corpus_cmd $ dir $ inject_arg)
+
+let corpus_info =
+  Cmd.info "corpus"
+    ~doc:
+      "Replay every .fuzz reproducer in a directory (a regression corpus of \
+       previously shrunk failures) and exit non-zero if any still violates"
+
+let main =
+  Cmd.group
+    (Cmd.info "draconis-fuzz" ~version:"%%VERSION%%"
+       ~doc:"Deterministic property-fuzzing of the Draconis switch pipeline")
+    [ Cmd.v run_info run_term; Cmd.v replay_info replay_term;
+      Cmd.v corpus_info corpus_term ]
+
+let () = exit (Cmd.eval main)

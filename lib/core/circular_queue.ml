@@ -49,6 +49,16 @@ let capacity t = t.capacity
 let name t = t.name
 let wrap_modulus t = t.wrap
 
+(* -- hidden correctness-check kill switches -------------------------------- *)
+
+(* Each ref disables one of the checks that make the optimistic pointer
+   protocol safe.  They exist solely so the fuzz harness (lib/fuzz) can
+   prove its oracle detects the class of bug each check prevents; see
+   Draconis_fuzz.Exec.  Nothing else may set them.  Both default to
+   false, where the extra branch is free on the hot path. *)
+let debug_skip_stamp_check = ref false
+let debug_drop_retrieve_repair = ref false
+
 (* -- wrap-aware pointer arithmetic ---------------------------------------- *)
 
 let next_index t p = if p + 1 >= t.wrap then 0 else p + 1
@@ -62,7 +72,7 @@ let is_ahead t a b =
 
 type enqueue_outcome =
   | Enqueued of { index : int; retrieve_repair : int option }
-  | Rejected of { add_repair : int option }
+  | Rejected of { add_repair : int option; retrieve_repair : int option }
 
 let read_and_advance t reg ctx =
   Register.read_modify_write reg ctx 0 (fun v -> next_index t v)
@@ -74,39 +84,62 @@ let enqueue t ctx entry =
   let occupancy = distance t ~ahead:a ~behind:r in
   (* [occupancy] beyond half the range means the retrieve pointer has
      overrun (queue empty + polled); that is never "full". *)
-  let full = occupancy >= t.capacity && occupancy <= t.wrap / 2 in
-  (* (3) flag stage: one RMW per flag.  The add flag is set by the first
-     full-detecting packet; while it is set, later submissions treat the
-     queue as full because add_ptr is inflated and their index would be
-     unreliable (§4.7.1). *)
+  let pointer_full = occupancy >= t.capacity && occupancy <= t.wrap / 2 in
+  (* Lazy retrieve-pointer repair: r overran past the slot we would
+     fill, so a repair must point it back (§4.5). *)
+  let overrun = is_ahead t r a && not !debug_drop_retrieve_repair in
+  (* (3) flag stage: one RMW per flag; each condition uses only
+     pointer-stage metadata and the flag's own previous value, as the
+     per-stage ALUs of the hardware require.  The retrieve flag word
+     doubles as the in-flight repair target ([0] = clear,
+     [target + 1] otherwise): while the repair is in flight the
+     retrieve pointer is inflated and [occupancy] above is only a
+     lower bound — trusting it let a store overwrite a live slot whose
+     write-index maps to the same physical slot (found by lib/fuzz).
+     The target in the flag word is the true retrieve position, so the
+     true occupancy stays computable in this stage. *)
+  let old_retrieve_flag =
+    Register.read_modify_write t.retrieve_repair_flag ctx 0 (fun f ->
+        if overrun && f = 0 then a + 1 else f)
+  in
+  let retrieve_pending = old_retrieve_flag <> 0 in
+  let retrieve_launch = overrun && not retrieve_pending in
+  let full =
+    if retrieve_pending then begin
+      (* No "distance beyond wrap/2 means behind" escape here: when the
+         in-flight repair was launched by a rejected packet its target
+         is a hole, and an add-pointer repair can then reset [a] below
+         the target — reading that as "empty" let two stores alias one
+         slot (found by lib/fuzz).  Rejecting is safe: the lazy repair
+         rounds converge once the window closes. *)
+      let d = distance t ~ahead:a ~behind:(old_retrieve_flag - 1) in
+      d >= t.capacity
+    end
+    else pointer_full
+  in
   let old_add_flag =
     Register.read_modify_write t.add_repair_flag ctx 0 (fun f ->
         if full && f = 0 then 1 else f)
   in
-  if full || old_add_flag = 1 then begin
-    (* Touch the retrieve flag too so the access pattern is uniform for
-       every job_submission packet (P4 programs have a static layout). *)
-    ignore (Register.read t.retrieve_repair_flag ctx 0);
-    Rejected { add_repair = (if full && old_add_flag = 0 then Some a else None) }
-  end
+  if full || old_add_flag = 1 then
+    (* [retrieve_repair] is non-None only in the rare case where this
+       packet detected an overrun but an add repair is already in
+       flight: the flag was set above, so the repair must still launch
+       (targeting [a]: the queue is empty when overrun, and a further
+       overrun round re-repairs against the post-repair add pointer). *)
+    Rejected
+      {
+        add_repair = (if full && old_add_flag = 0 then Some a else None);
+        retrieve_repair = (if retrieve_launch then Some a else None);
+      }
   else begin
-    (* Lazy retrieve-pointer repair: r overran past the slot we are
-       filling, so point it back at the newly added task (§4.5). *)
-    let overrun = is_ahead t r a in
-    let old_retrieve_flag =
-      Register.read_modify_write t.retrieve_repair_flag ctx 0 (fun f ->
-          if overrun && f = 0 then 1 else f)
-    in
     (* (5) egress queue access: write the entry words and stamp. *)
     let slot = a mod t.capacity in
     let image = Entry.to_words entry in
     Array.iteri (fun i word -> Register.write t.words.(i) ctx slot word) image;
     Register.write t.stamps ctx slot a;
     Enqueued
-      {
-        index = a;
-        retrieve_repair = (if overrun && old_retrieve_flag = 0 then Some a else None);
-      }
+      { index = a; retrieve_repair = (if retrieve_launch then Some a else None) }
   end
 
 type dequeue_outcome =
@@ -120,14 +153,14 @@ let dequeue t ctx =
   (* (3) flag stage: a pending retrieve repair means r is unreliable;
      answer with a no-op and let the repair land (§4.7.2). *)
   let flag = Register.read t.retrieve_repair_flag ctx 0 in
-  if flag = 1 then Repair_pending
+  if flag <> 0 then Repair_pending
   else begin
     (* (5) egress: the stamp check is the task-validity test of §4.5 —
        it fails when the queue is empty (the optimistic increment was a
        mistake, to be lazily repaired) and in pointer-repair windows. *)
     let slot = r mod t.capacity in
     let stamp = Register.read_modify_write t.stamps ctx slot (fun _ -> free_stamp t) in
-    if stamp <> r then Empty
+    if stamp <> r && not !debug_skip_stamp_check then Empty
     else begin
       let image =
         Array.init Entry.word_count (fun i -> Register.read t.words.(i) ctx slot)
@@ -184,7 +217,7 @@ let occupancy t =
 let peek_add_ptr t = Register.peek t.add_ptr 0
 let peek_retrieve_ptr t = Register.peek t.retrieve_ptr 0
 let peek_add_repair_flag t = Register.peek t.add_repair_flag 0 = 1
-let peek_retrieve_repair_flag t = Register.peek t.retrieve_repair_flag 0 = 1
+let peek_retrieve_repair_flag t = Register.peek t.retrieve_repair_flag 0 <> 0
 
 let peek_entry t ~index =
   let index = index mod t.wrap in

@@ -71,10 +71,15 @@ type enqueue_outcome =
       (** task stored at write-index [index]; if [retrieve_repair] is
           [Some target] this packet must launch a retrieve-pointer
           repair with that target (§4.5) *)
-  | Rejected of { add_repair : int option }
-      (** queue full (or an add-repair is pending, treated as full); if
-          [add_repair] is [Some target] this packet must launch the
-          add-pointer repair *)
+  | Rejected of { add_repair : int option; retrieve_repair : int option }
+      (** queue full — by pointer distance, or (while a retrieve
+          repair is in flight, when the retrieve pointer is inflated)
+          by distance to the pending repair target, which the flag
+          register carries; if [add_repair] is [Some target] this
+          packet must launch the add-pointer repair, and if
+          [retrieve_repair] is [Some target] it detected a retrieve
+          overrun while an add repair was already in flight and must
+          launch the retrieve repair too *)
 
 (** [enqueue t ctx entry] is the job-submission path: one access each to
     [add_ptr], [retrieve_ptr], both repair flags, and (on success) the
@@ -137,6 +142,24 @@ val register_bits : t -> int
     both pointers (tests exercising wraparound).  Values are taken mod
     the wrap modulus. *)
 val unsafe_set_pointers_for_test : t -> add:int -> retrieve:int -> unit
+
+(** {2 Correctness-check kill switches} — fuzz-harness self-test only.
+
+    Setting one of these disables a safety check of the optimistic
+    pointer protocol, deliberately re-introducing the class of bug the
+    check prevents.  {!Draconis_fuzz} flips them (run-scoped) to prove
+    its oracle catches each class; production code must never touch
+    them. *)
+
+(** When true, [dequeue] skips the §4.5 stamp-validity test and treats
+    every slot as holding a valid task — empty polls then resurrect
+    stale or never-written entries. *)
+val debug_skip_stamp_check : bool ref
+
+(** When true, [enqueue] never detects a retrieve-pointer overrun, so
+    the lazy §4.5 repair is never launched and overrun-stranded tasks
+    are silently lost. *)
+val debug_drop_retrieve_repair : bool ref
 
 (** Every register array the queue allocated, for structural placement
     onto pipeline stages ({!Draconis_p4.Layout}). *)

@@ -140,7 +140,7 @@ let handle_submission t ctx ~client ~uid ~jid ~tasks =
         end
       in
       repairs @ continuation
-    | Circular_queue.Rejected { add_repair } ->
+    | Circular_queue.Rejected { add_repair; retrieve_repair } ->
       (* Bounce every not-yet-enqueued task back to the client (§4.3). *)
       t.rejected_tasks <- t.rejected_tasks + List.length tasks;
       t.instrument.on_reject (List.length tasks);
@@ -157,6 +157,7 @@ let handle_submission t ctx ~client ~uid ~jid ~tasks =
           Obs.Recorder.count "switch.repairs_launched" 1;
           [ recirc t ~kind:"repair-add" (Switch_packet.Repair_add { level; target }) ]
       in
+      let repairs = repairs @ retrieve_repair_output t ~level retrieve_repair in
       repairs @ [ Pipeline.Emit (client, Message.Queue_full { uid; jid; tasks }) ])
 
 (* -- task retrieval (§4.6, §5.1, §6.1) ------------------------------------ *)
@@ -280,7 +281,7 @@ let handle_resubmit t ctx ~level (entry : Entry.t) =
   match enqueue_entry t ctx ~level entry with
   | Circular_queue.Enqueued { index = _; retrieve_repair } ->
     retrieve_repair_output t ~level retrieve_repair
-  | Circular_queue.Rejected { add_repair } ->
+  | Circular_queue.Rejected { add_repair; retrieve_repair } ->
     (* The queue filled while the task was travelling; bounce it to its
        client like any full-queue submission. *)
     t.rejected_tasks <- t.rejected_tasks + 1;
@@ -296,6 +297,7 @@ let handle_resubmit t ctx ~level (entry : Entry.t) =
         Obs.Recorder.count "switch.repairs_launched" 1;
         [ recirc t ~kind:"repair-add" (Switch_packet.Repair_add { level; target }) ]
     in
+    let repairs = repairs @ retrieve_repair_output t ~level retrieve_repair in
     let task = entry.task in
     repairs
     @ [ Pipeline.Emit

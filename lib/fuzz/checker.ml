@@ -1,0 +1,279 @@
+open Draconis_proto
+
+(* -- the recorded execution ------------------------------------------------ *)
+
+type event =
+  | Submitted of { id : Task.id }
+  | Enqueued of { id : Task.id; level : int }
+  | Dequeued of { id : Task.id; level : int }
+  | Swapped of { into : Task.id; out : Task.id; level : int }
+  | Assigned of { id : Task.id; node : int }
+  | Rejected of { count : int }
+  | Noop
+  | Repair_flag of { flag : string; level : int }
+  | Recirculated of { kind : string }
+  | Delivered of { id : Task.id; executor : int }
+  | Returned of { id : Task.id }
+  | Completed of { id : Task.id }
+
+let id_to_string (id : Task.id) = Printf.sprintf "%d.%d.%d" id.uid id.jid id.tid
+
+let event_to_string = function
+  | Submitted { id } -> Printf.sprintf "submitted %s" (id_to_string id)
+  | Enqueued { id; level } -> Printf.sprintf "enqueued %s L%d" (id_to_string id) level
+  | Dequeued { id; level } -> Printf.sprintf "dequeued %s L%d" (id_to_string id) level
+  | Swapped { into; out; level } ->
+    Printf.sprintf "swapped in=%s out=%s L%d" (id_to_string into) (id_to_string out)
+      level
+  | Assigned { id; node } -> Printf.sprintf "assigned %s node=%d" (id_to_string id) node
+  | Rejected { count } -> Printf.sprintf "rejected %d" count
+  | Noop -> "noop"
+  | Repair_flag { flag; level } -> Printf.sprintf "repair-flag %s L%d" flag level
+  | Recirculated { kind } -> Printf.sprintf "recirculated %s" kind
+  | Delivered { id; executor } ->
+    Printf.sprintf "delivered %s exec=%d" (id_to_string id) executor
+  | Returned { id } -> Printf.sprintf "returned %s" (id_to_string id)
+  | Completed { id } -> Printf.sprintf "completed %s" (id_to_string id)
+
+type level_state = {
+  add_ptr : int;
+  retrieve_ptr : int;
+  add_flag : bool;
+  retrieve_flag : bool;
+  pointer_occupancy : int;
+  walk : Task.id list;  (** stamped entries from retrieve to add pointer *)
+}
+
+type run = {
+  events : event array;
+  levels : level_state array;
+  fabric_lost : int;  (** loss + partition drops *)
+  recirc_dropped : int;
+  access_violation : string option;
+  fingerprint : int64;
+}
+
+(* -- invariant registry ---------------------------------------------------- *)
+
+let invariants =
+  [
+    "no-lost-task";
+    "no-duplicate-task";
+    "fifo-order";
+    "occupancy-bound";
+    "pointer-convergence";
+    "stamp-validity";
+    "single-register-access";
+    "replication-consistency";
+  ]
+
+type violation = { invariant : string; detail : string; trace : string list }
+
+type report = {
+  checks : (string * int) list;
+  violations : violation list;
+  strict : bool;
+}
+
+let trace_window = 32
+
+(* -- the replay ------------------------------------------------------------ *)
+
+let check ?twin schedule run =
+  let checks = Hashtbl.create 16 in
+  List.iter (fun inv -> Hashtbl.replace checks inv 0) invariants;
+  let checked inv = Hashtbl.replace checks inv (Hashtbl.find checks inv + 1) in
+  let violations = ref [] in
+  (* The causal trace of a mid-log violation is the log up to that
+     event; end-state violations carry the tail of the whole log. *)
+  let trace_upto n =
+    let lo = max 0 (n - trace_window) in
+    List.init (n - lo) (fun i -> event_to_string run.events.(lo + i))
+  in
+  let violate ~at invariant detail =
+    violations := { invariant; detail; trace = trace_upto at } :: !violations
+  in
+  let n = Array.length run.events in
+  (* Conservation is exact only when no packet can legitimately vanish:
+     lossy fault windows eat wire packets and recirculation overflow
+     eats repair/swap/resubmit packets. *)
+  let strict =
+    (not (List.exists Op.is_lossy schedule.Schedule.ops))
+    && run.recirc_dropped = 0
+    && run.access_violation = None
+  in
+  let oracle =
+    Oracle.create
+      ~levels:(Schedule.levels schedule.Schedule.policy)
+      ~capacity:schedule.Schedule.capacity ()
+  in
+  (* The swap primitive of constraint-based policies reorders the queue
+     by design (§5.1), and duplicate submissions make physical copies of
+     one id indistinguishable to the oracle — so FIFO order is only an
+     invariant of the non-swapping policies.  Conservation and occupancy
+     stay exact either way. *)
+  let reorders =
+    match schedule.Schedule.policy with Schedule.Rsrc _ -> true | _ -> false
+  in
+  let submitted = Hashtbl.create 64 in
+  let accounted = Hashtbl.create 64 in
+  let bump tbl id =
+    Hashtbl.replace tbl id (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
+  in
+  let i = ref 0 in
+  while !i < n do
+    let at = !i in
+    (match run.events.(at) with
+    | Submitted { id } -> bump submitted id
+    | Dequeued { id = out; level }
+      when at + 2 < n
+           && (match (run.events.(at + 1), run.events.(at + 2)) with
+              | Enqueued e, Swapped s ->
+                Task.compare_id e.id s.into = 0
+                && Task.compare_id s.out out = 0
+                && e.level = level && s.level = level
+              | _ -> false) ->
+      (* The in-slot exchange of the swap primitive: the switch emits
+         dequeue(out) / enqueue(into) / swap as one synchronous triple,
+         and the oracle replaces in place (FIFO position preserved,
+         pointers untouched). *)
+      let into =
+        match run.events.(at + 1) with Enqueued e -> e.id | _ -> assert false
+      in
+      checked "stamp-validity";
+      (match Oracle.swap oracle ~out_id:out ~in_id:into with
+      | Oracle.Swapped -> ()
+      | Oracle.Not_found ->
+        violate ~at:(at + 2) "stamp-validity"
+          (Printf.sprintf "swap popped %s at L%d, which the oracle never queued"
+             (id_to_string out) level));
+      i := at + 2
+    | Enqueued { id; level } -> (
+      checked "occupancy-bound";
+      match Oracle.push oracle ~level id with
+      | Oracle.Pushed -> ()
+      | Oracle.Overflow ->
+        violate ~at "occupancy-bound"
+          (Printf.sprintf "enqueue of %s at L%d beyond capacity %d" (id_to_string id)
+             level schedule.Schedule.capacity))
+    | Dequeued { id; level } -> (
+      if not reorders then checked "fifo-order";
+      checked "stamp-validity";
+      match Oracle.head oracle ~level with
+      | Some head when Task.compare_id head id = 0 -> ignore (Oracle.pop oracle ~level)
+      | _ ->
+        if Oracle.remove oracle id then begin
+          if not reorders then
+            violate ~at "fifo-order"
+              (Printf.sprintf "dequeue of %s at L%d out of FIFO order (head was %s)"
+                 (id_to_string id) level
+                 (match Oracle.head oracle ~level with
+                 | Some h -> id_to_string h
+                 | None -> "<empty>"))
+        end
+        else
+          violate ~at "stamp-validity"
+            (Printf.sprintf
+               "dequeue of %s at L%d, which the oracle never queued (stale or free \
+                slot resurrected)"
+               (id_to_string id) level))
+    | Swapped _ (* orphan swap: its pair was consumed above *)
+    | Assigned _ | Rejected _ | Noop | Repair_flag _ | Recirculated _ -> ()
+    | Delivered { id; _ } | Returned { id } -> bump accounted id
+    | Completed _ -> ());
+    incr i
+  done;
+  (* -- end state ----------------------------------------------------------- *)
+  Array.iteri
+    (fun level st ->
+      checked "pointer-convergence";
+      let fail detail = violate ~at:n "pointer-convergence" detail in
+      if run.recirc_dropped = 0 then begin
+        if st.add_flag then
+          fail (Printf.sprintf "L%d: add-repair flag still set after drain" level);
+        if st.retrieve_flag then
+          fail (Printf.sprintf "L%d: retrieve-repair flag still set after drain" level)
+      end;
+      let oracle_ids = Oracle.contents oracle ~level in
+      if List.length st.walk <> List.length oracle_ids then
+        fail
+          (Printf.sprintf "L%d: queue walk holds %d tasks, oracle %d" level
+             (List.length st.walk) (List.length oracle_ids))
+      else if
+        (let order l = if reorders then List.sort Task.compare_id l else l in
+         not
+           (List.for_all2
+              (fun a b -> Task.compare_id a b = 0)
+              (order st.walk) (order oracle_ids)))
+      then
+        fail
+          (Printf.sprintf "L%d: queue contents diverge from oracle ([%s] vs [%s])"
+             level
+             (String.concat " " (List.map id_to_string st.walk))
+             (String.concat " " (List.map id_to_string oracle_ids)));
+      if
+        (not st.add_flag) && (not st.retrieve_flag)
+        && st.pointer_occupancy <> List.length st.walk
+      then
+        fail
+          (Printf.sprintf "L%d: pointer occupancy %d but %d stamped entries" level
+             st.pointer_occupancy (List.length st.walk)))
+    run.levels;
+  (* Conservation: every copy of a submitted task must end up assigned,
+     bounced back, or still queued.  Remaining copies come from the
+     walk, which the pointer-convergence pass just tied to the oracle. *)
+  let remaining = Hashtbl.create 64 in
+  Array.iter (fun st -> List.iter (bump remaining) st.walk) run.levels;
+  let count tbl id = Option.value ~default:0 (Hashtbl.find_opt tbl id) in
+  Hashtbl.iter
+    (fun id sub ->
+      let acc = count accounted id + count remaining id in
+      checked "no-duplicate-task";
+      if acc > sub then
+        violate ~at:n "no-duplicate-task"
+          (Printf.sprintf "%s: submitted %d time(s) but accounted %d time(s)"
+             (id_to_string id) sub acc);
+      if strict then begin
+        checked "no-lost-task";
+        if acc < sub then
+          violate ~at:n "no-lost-task"
+            (Printf.sprintf
+               "%s: submitted %d time(s) but only %d assigned/bounced/queued"
+               (id_to_string id) sub acc)
+      end)
+    submitted;
+  (* A delivery or bounce for a task never submitted is fabrication. *)
+  Hashtbl.iter
+    (fun id acc ->
+      if count submitted id = 0 then begin
+        checked "no-duplicate-task";
+        violate ~at:n "no-duplicate-task"
+          (Printf.sprintf "%s: accounted %d time(s) but never submitted"
+             (id_to_string id) acc)
+      end)
+    accounted;
+  checked "single-register-access";
+  (match run.access_violation with
+  | None -> ()
+  | Some name ->
+    violate ~at:n "single-register-access"
+      (Printf.sprintf "register %S accessed twice in one packet traversal" name));
+  (match twin with
+  | None -> ()
+  | Some other ->
+    checked "replication-consistency";
+    if run.fingerprint <> other.fingerprint then
+      violate ~at:n "replication-consistency"
+        (Printf.sprintf "register fingerprints diverge (%Lx vs %Lx)" run.fingerprint
+           other.fingerprint)
+    else if
+      Array.length run.events <> Array.length other.events
+      || not (Array.for_all2 ( = ) run.events other.events)
+    then violate ~at:n "replication-consistency" "event logs diverge across replicas");
+  {
+    checks = List.map (fun inv -> (inv, Hashtbl.find checks inv)) invariants;
+    violations = List.rev !violations;
+    strict;
+  }
+
+let ok report = report.violations = []

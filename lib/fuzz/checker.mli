@@ -1,0 +1,83 @@
+(** Invariant checking: replay a recorded execution against the
+    {!Oracle} and an end-state audit of the real register state.
+
+    {!Exec.run} records every switch-side {!Draconis.Instrument} event
+    and every host-side delivery into an event log; [check] replays
+    that log through the oracle and compares the drained end state
+    (pointers, repair flags, stamped entries) level by level.  Each
+    invariant keeps an evaluation counter so a sweep can prove every
+    invariant was actually exercised, and every violation carries a
+    causal trace — the event window leading up to the divergence. *)
+
+open Draconis_proto
+
+(** One entry of the recorded execution, in engine order.  Switch-side
+    events come from {!Draconis.Instrument} hooks; [Submitted] /
+    [Delivered] / [Returned] / [Completed] are host-side. *)
+type event =
+  | Submitted of { id : Task.id }  (** client sent a job copy holding this task *)
+  | Enqueued of { id : Task.id; level : int }
+  | Dequeued of { id : Task.id; level : int }
+  | Swapped of { into : Task.id; out : Task.id; level : int }
+  | Assigned of { id : Task.id; node : int }
+  | Rejected of { count : int }
+  | Noop
+  | Repair_flag of { flag : string; level : int }
+  | Recirculated of { kind : string }
+  | Delivered of { id : Task.id; executor : int }
+      (** assignment arrived at an executor *)
+  | Returned of { id : Task.id }  (** queue_full bounced the task to its client *)
+  | Completed of { id : Task.id }  (** completion arrived back at the client *)
+
+val event_to_string : event -> string
+val id_to_string : Task.id -> string
+
+(** Drained end state of one queue level. *)
+type level_state = {
+  add_ptr : int;
+  retrieve_ptr : int;
+  add_flag : bool;
+  retrieve_flag : bool;
+  pointer_occupancy : int;
+  walk : Task.id list;
+      (** stamped entries walked from retrieve to add pointer *)
+}
+
+type run = {
+  events : event array;
+  levels : level_state array;
+  fabric_lost : int;  (** injected loss + partition drops *)
+  recirc_dropped : int;
+  access_violation : string option;
+      (** register name, when the one-access-per-register-per-packet
+          rule was violated *)
+  fingerprint : int64;  (** FNV-1a over every register cell after drain *)
+}
+
+(** The invariant registry, in reporting order: no-lost-task,
+    no-duplicate-task, fifo-order, occupancy-bound,
+    pointer-convergence, stamp-validity, single-register-access,
+    replication-consistency. *)
+val invariants : string list
+
+type violation = {
+  invariant : string;
+  detail : string;
+  trace : string list;  (** event window leading up to the divergence *)
+}
+
+type report = {
+  checks : (string * int) list;  (** evaluations per invariant *)
+  violations : violation list;
+  strict : bool;
+      (** whether conservation was checked exactly (no lossy faults, no
+          recirculation drops, no access violation) *)
+}
+
+(** [check ?twin schedule run] replays and audits.  When [twin] is the
+    result of a second execution of the same schedule, replication
+    consistency (identical fingerprints and event logs) is checked
+    too. *)
+val check : ?twin:run -> Schedule.t -> run -> report
+
+val ok : report -> bool

@@ -1,0 +1,270 @@
+open Draconis_sim
+open Draconis_net
+open Draconis_proto
+open Draconis_p4
+open Draconis
+
+type bug = Skip_stamp_check | Drop_retrieve_repair
+
+let bug_to_string = function
+  | Skip_stamp_check -> "skip-stamp-check"
+  | Drop_retrieve_repair -> "drop-retrieve-repair"
+
+let bug_of_string = function
+  | "skip-stamp-check" -> Skip_stamp_check
+  | "drop-retrieve-repair" -> Drop_retrieve_repair
+  | s ->
+    invalid_arg
+      (Printf.sprintf
+         "Exec.bug_of_string: unknown bug %S (want skip-stamp-check|drop-retrieve-repair)"
+         s)
+
+(* Generous recirculation budget: the rig must not lose repair/swap
+   packets to loop overflow, or conservation violations would be rig
+   artifacts rather than protocol bugs. *)
+let recirc_queue_limit = 4096
+
+(* Livelock backstop; the rig is bounded, so a real run drains in far
+   fewer events and a run that hits this fails pointer convergence. *)
+let max_events = 2_000_000
+
+let policy_of = function
+  | Schedule.Fcfs -> Policy.Fcfs
+  | Schedule.Prio levels -> Policy.Priority { levels }
+  | Schedule.Rsrc max_swaps -> Policy.Resource_aware { max_swaps }
+
+let tprops_of = function
+  | Op.P_none -> Task.No_props
+  | Op.P_prio p -> Task.Priority p
+  | Op.P_rsrc r -> Task.Resources r
+
+(* Resource bitmaps the executors advertise, round-robin by index; the
+   generator draws task requirements from the same set. *)
+let exec_rsrc_of i = [| 0x1; 0x2; 0x3 |].(i mod 3)
+
+let executor_addr i = Addr.Host (100 + i)
+
+let info_of i =
+  {
+    Message.exec_addr = executor_addr i;
+    exec_port = i;
+    exec_rsrc = exec_rsrc_of i;
+    exec_node = i;
+  }
+
+(* FNV-1a over every register cell: a cheap structural fingerprint of
+   the drained switch state, compared across replicated executions. *)
+let fingerprint_registers regs =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int v)) 0x100000001b3L
+  in
+  List.iter
+    (fun reg ->
+      for i = 0 to Draconis_p4.Register.size reg - 1 do
+        mix (Draconis_p4.Register.peek reg i)
+      done)
+    regs;
+  !h
+
+let fuzz_target ~engine ~fabric ~slowdown =
+  {
+    Draconis_fault.Target.name = "fuzz-rig";
+    engine;
+    failover = (fun () -> 0);
+    crash_node = (fun _ -> invalid_arg "fuzz rig: executors cannot crash");
+    restart_node = (fun _ -> ());
+    set_loss_override = Fabric.set_loss_override fabric;
+    partition = Fabric.partition fabric;
+    heal = Fabric.heal fabric;
+    set_slowdown =
+      (fun node factor ->
+        if node >= 0 && node < Array.length slowdown then slowdown.(node) <- factor);
+    supports_crash = false;
+    supports_straggler = true;
+  }
+
+let plan_of_ops ops =
+  Draconis_fault.Plan.create
+    (List.filter_map
+       (fun op ->
+         match op with
+         | Op.Loss { at; duration; loss } ->
+           Some
+             { Draconis_fault.Plan.at; event = Loss_burst { duration; loss } }
+         | Op.Partition { at; hosts; duration } ->
+           Some { Draconis_fault.Plan.at; event = Partition { hosts; duration } }
+         | Op.Straggler { at; executor; factor; duration } ->
+           Some
+             {
+               Draconis_fault.Plan.at;
+               event = Straggler { node = executor; factor; duration };
+             }
+         | Op.Submit _ | Op.Request _ -> None)
+       ops)
+
+let run ?bug (schedule : Schedule.t) =
+  Schedule.validate schedule;
+  let events = ref [] in
+  let record ev = events := ev :: !events in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:schedule.seed in
+  let fabric = Fabric.create engine rng in
+  let instrument =
+    {
+      Instrument.on_enqueue = (fun id ~level -> record (Checker.Enqueued { id; level }));
+      on_dequeue = (fun id ~level -> record (Checker.Dequeued { id; level }));
+      on_assign =
+        (fun id ~node ~requested_at:_ -> record (Checker.Assigned { id; node }));
+      on_reject = (fun count -> record (Checker.Rejected { count }));
+      on_noop = (fun () -> record Checker.Noop);
+      on_swap =
+        (fun ~swapped_in ~swapped_out ~level ->
+          record (Checker.Swapped { into = swapped_in; out = swapped_out; level }));
+      on_recirculate = (fun ~kind -> record (Checker.Recirculated { kind }));
+      on_repair_flag =
+        (fun flag ~level ->
+          record
+            (Checker.Repair_flag
+               { flag = Instrument.repair_flag_name flag; level }));
+    }
+  in
+  let program =
+    Switch_program.create ~engine ~instrument ~policy:(policy_of schedule.policy)
+      ~queue_capacity:schedule.capacity ()
+  in
+  let pipeline =
+    Pipeline.attach
+      ~config:{ Pipeline.default_config with recirc_queue_limit }
+      fabric
+      ~wrap:(fun m -> Switch_packet.Wire m)
+      (Switch_program.program program)
+  in
+  (* Pointer wraparound: start both pointers of every level just below
+     the wrap modulus so the schedule crosses the boundary early. *)
+  (match schedule.wrap_offset with
+  | None -> ()
+  | Some offset ->
+    for level = 0 to Policy.queue_count (policy_of schedule.policy) - 1 do
+      let q = Switch_program.queue program level in
+      let wrap = Circular_queue.wrap_modulus q in
+      let p = (wrap - (offset mod wrap)) mod wrap in
+      Circular_queue.unsafe_set_pointers_for_test q ~add:p ~retrieve:p
+    done);
+  (* Clients: sinks for acks, bounces, and completions. *)
+  for c = 0 to schedule.clients - 1 do
+    Fabric.register fabric (Addr.Host c) (fun env ->
+        match env.Fabric.payload with
+        | Message.Queue_full { tasks; _ } ->
+          List.iter (fun (task : Task.t) -> record (Checker.Returned { id = task.id })) tasks
+        | Message.Task_completion { task_id; _ } ->
+          record (Checker.Completed { id = task_id })
+        | _ -> ())
+  done;
+  (* Executors: all record deliveries; odd-indexed ones are "pulling"
+     executors that complete the task after its service time and
+     piggyback the next request on the completion (§3.1), until a no-op
+     tells them the queues are dry.  Even-indexed executors absorb the
+     task silently, so drained runs can still end with queued work. *)
+  let slowdown = Array.make schedule.executors 1.0 in
+  for e = 0 to schedule.executors - 1 do
+    Fabric.register fabric (executor_addr e) (fun env ->
+        match env.Fabric.payload with
+        | Message.Task_assignment { task; client; _ } ->
+          record (Checker.Delivered { id = task.id; executor = e });
+          if e mod 2 = 1 then begin
+            let service =
+              max 1 (int_of_float (float_of_int schedule.service *. slowdown.(e)))
+            in
+            ignore @@ Engine.schedule engine ~after:service (fun () ->
+                Fabric.send fabric ~src:(executor_addr e) ~dst:Addr.Switch
+                  (Message.Task_completion
+                     { task_id = task.id; client; info = info_of e; rtrv_prio = 1 }))
+          end
+        | _ -> ())
+  done;
+  (* Workload ops become engine events; fault ops become a fault plan. *)
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Submit { at; client; uid; jid; count; prop } ->
+        let client = client mod schedule.clients in
+        let tasks =
+          List.init count (fun tid ->
+              Task.make ~uid ~jid ~tid ~tprops:(tprops_of prop) ~fn_id:Task.Fn.noop
+                ~fn_par:0 ())
+        in
+        ignore @@ Engine.schedule_at engine ~at (fun () ->
+            List.iter (fun (t : Task.t) -> record (Checker.Submitted { id = t.id })) tasks;
+            Fabric.send fabric ~src:(Addr.Host client) ~dst:Addr.Switch
+              (Message.Job_submission { client = Addr.Host client; uid; jid; tasks }))
+      | Op.Request { at; executor; prio } ->
+        let executor = executor mod schedule.executors in
+        ignore @@ Engine.schedule_at engine ~at (fun () ->
+            Fabric.send fabric ~src:(executor_addr executor) ~dst:Addr.Switch
+              (Message.Task_request { info = info_of executor; rtrv_prio = prio }))
+      | Op.Loss _ | Op.Partition _ | Op.Straggler _ -> ())
+    schedule.ops;
+  let plan = plan_of_ops schedule.ops in
+  if not (Draconis_fault.Plan.is_empty plan) then
+    ignore
+      (Draconis_fault.Injector.arm plan (fuzz_target ~engine ~fabric ~slowdown));
+  (* Scoped bug injection: flip the queue's hidden kill switch for this
+     run only. *)
+  let set_bug v =
+    match bug with
+    | None -> ()
+    | Some Skip_stamp_check -> Circular_queue.debug_skip_stamp_check := v
+    | Some Drop_retrieve_repair -> Circular_queue.debug_drop_retrieve_repair := v
+  in
+  let access_violation = ref None in
+  set_bug true;
+  Fun.protect
+    ~finally:(fun () -> set_bug false)
+    (fun () ->
+      try ignore (Engine.run ~max_events engine)
+      with Draconis_p4.Packet_ctx.Access_violation name ->
+        access_violation := Some name);
+  (* Drained end state, level by level. *)
+  let levels =
+    Array.init
+      (Policy.queue_count (policy_of schedule.policy))
+      (fun level ->
+        let q = Switch_program.queue program level in
+        let add_ptr = Circular_queue.peek_add_ptr q in
+        let retrieve_ptr = Circular_queue.peek_retrieve_ptr q in
+        let d = Circular_queue.distance q ~ahead:add_ptr ~behind:retrieve_ptr in
+        let wrap = Circular_queue.wrap_modulus q in
+        let span = if d > wrap / 2 then 0 else min d (4 * schedule.capacity) in
+        let walk = ref [] in
+        let p = ref retrieve_ptr in
+        for _ = 1 to span do
+          (match Circular_queue.peek_entry q ~index:!p with
+          | Some (entry : Entry.t) -> walk := entry.task.id :: !walk
+          | None -> ());
+          p := Circular_queue.next_index q !p
+        done;
+        {
+          Checker.add_ptr;
+          retrieve_ptr;
+          add_flag = Circular_queue.peek_add_repair_flag q;
+          retrieve_flag = Circular_queue.peek_retrieve_repair_flag q;
+          pointer_occupancy = Circular_queue.occupancy q;
+          walk = List.rev !walk;
+        })
+  in
+  {
+    Checker.events = Array.of_list (List.rev !events);
+    levels;
+    fabric_lost = Fabric.lost fabric + Fabric.partition_dropped fabric;
+    recirc_dropped = Pipeline.recirc_dropped pipeline;
+    access_violation = !access_violation;
+    fingerprint = fingerprint_registers (Switch_program.registers program);
+  }
+
+(* One schedule, executed twice: determinism makes the second run free
+   insurance, and it feeds the replication-consistency invariant. *)
+let run_checked ?bug schedule =
+  let first = run ?bug schedule in
+  let twin = run ?bug schedule in
+  Checker.check ~twin schedule first

@@ -1,0 +1,33 @@
+(** Execute a {!Schedule.t} against the real switch: the
+    {!Draconis.Switch_program} over {!Draconis.Circular_queue}
+    registers, driven through the {!Draconis_p4.Pipeline} and the
+    latency-modeled {!Draconis_net.Fabric}, with fault ops armed via
+    {!Draconis_fault.Injector}.
+
+    The rig is fully deterministic: clients at [Host 0..], executors at
+    [Host 100..] (odd-indexed executors pull — they complete tasks and
+    piggyback the next request; even-indexed ones absorb, so runs can
+    end with queued work), all switch-side {!Draconis.Instrument}
+    events and host-side deliveries recorded into one event log for
+    {!Checker.check}. *)
+
+(** An intentionally (re-)introduced protocol bug — the fuzz harness's
+    self-test.  Each maps to a hidden kill switch in
+    {!Draconis.Circular_queue} that disables one safety check for the
+    duration of the run. *)
+type bug =
+  | Skip_stamp_check
+      (** dequeue trusts every slot: stale/free slots get resurrected *)
+  | Drop_retrieve_repair
+      (** retrieve-pointer overruns are never repaired: tasks strand *)
+
+val bug_to_string : bug -> string
+
+(** @raise Invalid_argument on unknown names. *)
+val bug_of_string : string -> bug
+
+(** Execute once; returns the recorded run for {!Checker.check}. *)
+val run : ?bug:bug -> Schedule.t -> Checker.run
+
+(** Execute twice (replication) and check all invariants. *)
+val run_checked : ?bug:bug -> Schedule.t -> Checker.report

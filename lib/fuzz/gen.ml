@@ -1,0 +1,157 @@
+open Draconis_sim
+
+(* Weighted choice: pick from [(weight, value); ...]. *)
+let choose rng choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  let roll = Rng.int rng total in
+  let rec pick acc = function
+    | [] -> assert false
+    | (w, v) :: rest -> if roll < acc + w then v else pick (acc + w) rest
+  in
+  pick 0 choices
+
+let pick rng arr = arr.(Rng.int rng (Array.length arr))
+
+(* Small capacities keep the queue bouncing off both the full and the
+   empty edge, which is where the repair protocol lives. *)
+let capacities = [| 1; 2; 3; 4; 8; 16 |]
+
+(* Time gaps between ops, ns.  Zero gaps produce same-tick bursts that
+   interleave inside the pipeline; large gaps let repairs drain. *)
+let gaps = [| 0; 0; 1; 10; 100; 1_000; 10_000 |]
+
+let gen_policy rng =
+  choose rng
+    [
+      (6, Schedule.Fcfs);
+      (2, Schedule.Prio (2 + Rng.int rng 3));
+      (2, Schedule.Rsrc (1 + Rng.int rng 3));
+    ]
+
+let gen_prop rng policy =
+  match policy with
+  | Schedule.Fcfs -> Op.P_none
+  | Schedule.Prio levels ->
+    (* Mostly valid priorities; occasionally overflowing ones to hit
+       the switch program's invalid-priority clamp (0 is not
+       expressible in the TPROPS wire field). *)
+    if Rng.int rng 10 = 0 then Op.P_prio (levels + 3)
+    else Op.P_prio (1 + Rng.int rng levels)
+  | Schedule.Rsrc _ ->
+    (* Resource masks the executors advertise are 0x1/0x2/0x3. *)
+    Op.P_rsrc (pick rng [| 0x1; 0x2; 0x3 |])
+
+let gen_fault rng ~executors ~at =
+  choose rng
+    [
+      ( 3,
+        fun () ->
+          Op.Loss
+            {
+              at;
+              duration = Time.us (1 + Rng.int rng 50);
+              loss = 0.1 +. (Rng.float rng *. 0.8);
+            } );
+      ( 2,
+        fun () ->
+          (* Partition a client, an executor, or both off the fabric. *)
+          let hosts =
+            choose rng
+              [
+                (1, [ 0 ]);
+                (1, [ 100 + Rng.int rng executors ]);
+                (1, [ 0; 100 + Rng.int rng executors ]);
+              ]
+          in
+          Op.Partition { at; hosts; duration = Time.us (1 + Rng.int rng 50) } );
+      ( 2,
+        fun () ->
+          Op.Straggler
+            {
+              at;
+              executor = Rng.int rng executors;
+              factor = 2.0 +. (Rng.float rng *. 8.0);
+              duration = Time.us (1 + Rng.int rng 100);
+            } );
+    ]
+    ()
+
+let schedule ?(ops = 40) ~seed () =
+  if ops < 1 then invalid_arg "Gen.schedule: ops must be >= 1";
+  let rng = Rng.create ~seed in
+  let capacity = pick rng capacities in
+  let policy = gen_policy rng in
+  let clients = 1 + Rng.int rng 3 in
+  let executors = 1 + Rng.int rng 6 in
+  let service = Time.us (1 + Rng.int rng 5) in
+  let wrap_offset =
+    (* Half the schedules start right below the pointer wrap boundary. *)
+    if Rng.bool rng then Some (Rng.int rng ((2 * capacity) + 1)) else None
+  in
+  (* ~30% of schedules carry fault windows; conservation stays strict on
+     the rest (Checker relaxes it only when lossy faults are present). *)
+  let with_faults = Rng.int rng 10 < 3 in
+  let now = ref 0 in
+  let uid = ref 0 in
+  let submits = ref [] in
+  let acc = ref [] in
+  for _ = 1 to ops do
+    now := !now + pick rng gaps;
+    let op =
+      choose rng
+        [
+          ( 5,
+            fun () ->
+              let op =
+                Op.Submit
+                  {
+                    at = !now;
+                    client = Rng.int rng clients;
+                    uid = !uid;
+                    jid = Rng.int rng 4;
+                    count = 1 + Rng.int rng 3;
+                    prop = gen_prop rng policy;
+                  }
+              in
+              incr uid;
+              submits := op :: !submits;
+              op );
+          ( 6,
+            fun () ->
+              Op.Request
+                {
+                  at = !now;
+                  executor = Rng.int rng executors;
+                  prio =
+                    (* Invalid priorities (0 / too large) exercise the
+                       no-op answer path. *)
+                    (if Rng.int rng 12 = 0 then
+                       choose rng [ (1, 0); (1, Schedule.levels policy + 4) ]
+                     else 1 + Rng.int rng (Schedule.levels policy));
+                } );
+          ( (if !submits = [] then 0 else 1),
+            fun () ->
+              (* Duplicate submission: re-send an earlier job verbatim,
+                 modelling a client retransmit. *)
+              Op.with_at (pick rng (Array.of_list !submits)) !now );
+          ( (if with_faults then 1 else 0),
+            fun () -> gen_fault rng ~executors ~at:!now );
+        ]
+        ()
+    in
+    acc := op :: !acc
+  done;
+  let t =
+    {
+      Schedule.seed;
+      capacity;
+      policy;
+      clients;
+      executors;
+      service;
+      wrap_offset;
+      ops = Schedule.sort_ops (List.rev !acc);
+    }
+  in
+  Schedule.validate t;
+  t

@@ -1,0 +1,91 @@
+open Draconis_proto
+
+(* Each level is a plain FIFO list of task ids, head first.  Everything
+   is O(n) over tiny lists — clarity beats speed in the oracle. *)
+type t = { capacity : int; levels : Task.id list array }
+
+let create ~levels ~capacity () =
+  if levels < 1 then invalid_arg "Oracle.create: levels must be >= 1";
+  if capacity < 1 then invalid_arg "Oracle.create: capacity must be >= 1";
+  { capacity; levels = Array.make levels [] }
+
+let levels t = Array.length t.levels
+
+let check_level t level =
+  if level < 0 || level >= Array.length t.levels then
+    invalid_arg (Printf.sprintf "Oracle: level %d out of range" level)
+
+let size t ~level =
+  check_level t level;
+  List.length t.levels.(level)
+
+let contents t ~level =
+  check_level t level;
+  t.levels.(level)
+
+type push_outcome = Pushed | Overflow
+
+let push t ~level id =
+  check_level t level;
+  if List.length t.levels.(level) >= t.capacity then Overflow
+  else begin
+    t.levels.(level) <- t.levels.(level) @ [ id ];
+    Pushed
+  end
+
+let head t ~level =
+  check_level t level;
+  match t.levels.(level) with [] -> None | id :: _ -> Some id
+
+let pop t ~level =
+  check_level t level;
+  match t.levels.(level) with
+  | [] -> None
+  | id :: rest ->
+    t.levels.(level) <- rest;
+    Some id
+
+let mem t id =
+  Array.exists (List.exists (fun other -> Task.compare_id other id = 0)) t.levels
+
+(* Remove the first occurrence anywhere — used by the checker to resync
+   after reporting a violation, so one divergence does not cascade. *)
+let remove t id =
+  let removed = ref false in
+  Array.iteri
+    (fun level ids ->
+      if not !removed then
+        t.levels.(level) <-
+          List.filter
+            (fun other ->
+              if (not !removed) && Task.compare_id other id = 0 then begin
+                removed := true;
+                false
+              end
+              else true)
+            ids)
+    t.levels;
+  !removed
+
+(* Swap replaces [out_id] in place, preserving FIFO position — mirroring
+   the switch's in-slot entry exchange that moves neither pointer. *)
+type swap_outcome = Swapped | Not_found
+
+let swap t ~out_id ~in_id =
+  let found = ref false in
+  Array.iteri
+    (fun level ids ->
+      if not !found then
+        t.levels.(level) <-
+          List.map
+            (fun id ->
+              if (not !found) && Task.compare_id id out_id = 0 then begin
+                found := true;
+                in_id
+              end
+              else id)
+            ids)
+    t.levels;
+  if !found then Swapped else Not_found
+
+let total t = Array.fold_left (fun acc ids -> acc + List.length ids) 0 t.levels

@@ -1,0 +1,47 @@
+(** Naive semantic oracle for the switch's queue state: one bounded
+    FIFO list of task ids per priority level.
+
+    The checker replays the recorded event log against this model; any
+    divergence between what the real pipeline did and what the oracle
+    allows is an invariant violation.  The oracle deliberately knows
+    nothing about pointers, stamps, or repairs — it is the spec the
+    optimistic protocol must be equivalent to. *)
+
+open Draconis_proto
+
+type t
+
+(** @raise Invalid_argument if [levels < 1] or [capacity < 1]. *)
+val create : levels:int -> capacity:int -> unit -> t
+
+val levels : t -> int
+val size : t -> level:int -> int
+
+(** Queue contents, head first. *)
+val contents : t -> level:int -> Task.id list
+
+type push_outcome = Pushed | Overflow
+
+val push : t -> level:int -> Task.id -> push_outcome
+
+val head : t -> level:int -> Task.id option
+val pop : t -> level:int -> Task.id option
+
+(** Is the id queued at any level? *)
+val mem : t -> Task.id -> bool
+
+(** Remove the first occurrence of [id] at any level; returns whether
+    one was found.  Checker resync helper — after a reported
+    divergence it realigns the oracle so one bug yields one
+    violation, not a cascade. *)
+val remove : t -> Task.id -> bool
+
+type swap_outcome = Swapped | Not_found
+
+(** [swap t ~out_id ~in_id] replaces [out_id] with [in_id] in place
+    (same level, same FIFO position) — the oracle's view of the
+    pointer-free task-swap primitive. *)
+val swap : t -> out_id:Task.id -> in_id:Task.id -> swap_outcome
+
+(** Tasks queued across all levels. *)
+val total : t -> int

@@ -1,0 +1,150 @@
+open Draconis_sim
+
+let format_tag = "draconis-fuzz/1"
+
+type policy = Fcfs | Prio of int | Rsrc of int
+
+type t = {
+  seed : int;
+  capacity : int;
+  policy : policy;
+  clients : int;
+  executors : int;
+  service : Time.t;
+  wrap_offset : int option;
+  ops : Op.t list;
+}
+
+let levels = function Fcfs -> 1 | Prio l -> l | Rsrc _ -> 1
+
+let policy_to_string = function
+  | Fcfs -> "fcfs"
+  | Prio l -> Printf.sprintf "prio:%d" l
+  | Rsrc s -> Printf.sprintf "rsrc:%d" s
+
+let policy_of_string s =
+  match String.split_on_char ':' s with
+  | [ "fcfs" ] -> Fcfs
+  | [ "prio"; l ] -> (
+    match int_of_string_opt l with
+    | Some l -> Prio l
+    | None -> invalid_arg (Printf.sprintf "Schedule: bad policy %S" s))
+  | [ "rsrc"; m ] -> (
+    match int_of_string_opt m with
+    | Some m -> Rsrc m
+    | None -> invalid_arg (Printf.sprintf "Schedule: bad policy %S" s))
+  | _ -> invalid_arg (Printf.sprintf "Schedule: bad policy %S (want fcfs|prio:N|rsrc:N)" s)
+
+let validate t =
+  if t.capacity < 1 then invalid_arg "Schedule.validate: capacity must be >= 1";
+  if t.clients < 1 then invalid_arg "Schedule.validate: clients must be >= 1";
+  if t.executors < 1 then invalid_arg "Schedule.validate: executors must be >= 1";
+  if t.service < 1 then invalid_arg "Schedule.validate: service must be positive";
+  (match t.policy with
+  | Fcfs -> ()
+  | Prio l ->
+    if l < 1 || l > 8 then invalid_arg "Schedule.validate: priority levels outside 1..8"
+  | Rsrc m -> if m < 0 then invalid_arg "Schedule.validate: negative swap bound");
+  (match t.wrap_offset with
+  | None -> ()
+  | Some o -> if o < 0 then invalid_arg "Schedule.validate: negative wrap offset");
+  List.iter Op.validate t.ops;
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      if Op.at a > Op.at b then invalid_arg "Schedule.validate: ops not time-sorted"
+      else sorted rest
+    | _ -> ()
+  in
+  sorted t.ops
+
+let sort_ops ops = List.stable_sort (fun a b -> compare (Op.at a) (Op.at b)) ops
+
+let config_line t =
+  Printf.sprintf "seed=%d capacity=%d policy=%s clients=%d executors=%d service=%d%s"
+    t.seed t.capacity (policy_to_string t.policy) t.clients t.executors t.service
+    (match t.wrap_offset with
+    | None -> ""
+    | Some o -> Printf.sprintf " wrap_offset=%d" o)
+
+let to_string t =
+  String.concat "\n"
+    (format_tag :: config_line t :: List.map Op.to_string t.ops)
+  ^ "\n"
+
+let parse_config line =
+  let fields =
+    List.filter_map
+      (fun tok ->
+        if tok = "" then None
+        else
+          match String.index_opt tok '=' with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Schedule: config line: bad field %S (want key=value)" tok)
+          | Some i ->
+            Some
+              (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)))
+      (String.split_on_char ' ' (String.trim line))
+  in
+  let fields = ref fields in
+  let take key =
+    match List.assoc_opt key !fields with
+    | None -> invalid_arg (Printf.sprintf "Schedule: config line: missing %S" key)
+    | Some v ->
+      fields := List.remove_assoc key !fields;
+      v
+  in
+  let take_opt key =
+    match List.assoc_opt key !fields with
+    | None -> None
+    | Some v ->
+      fields := List.remove_assoc key !fields;
+      Some v
+  in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Schedule: config line: bad integer %S" s)
+  in
+  let seed = int_of (take "seed") in
+  let capacity = int_of (take "capacity") in
+  let policy = policy_of_string (take "policy") in
+  let clients = int_of (take "clients") in
+  let executors = int_of (take "executors") in
+  let service = int_of (take "service") in
+  let wrap_offset = Option.map int_of (take_opt "wrap_offset") in
+  (match !fields with
+  | [] -> ()
+  | (key, _) :: _ ->
+    invalid_arg (Printf.sprintf "Schedule: config line: unknown field %S" key));
+  { seed; capacity; policy; clients; executors; service; wrap_offset; ops = [] }
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match lines with
+  | tag :: config :: ops when tag = format_tag ->
+    let t = { (parse_config config) with ops = List.map Op.of_string ops } in
+    validate t;
+    t
+  | tag :: _ ->
+    invalid_arg
+      (Printf.sprintf "Schedule.of_string: bad format tag %S (want %S)" tag format_tag)
+  | [] -> invalid_arg "Schedule.of_string: empty input"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

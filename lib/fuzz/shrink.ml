@@ -1,0 +1,88 @@
+(* Delta debugging (ddmin) over the op list, then a few per-op
+   simplification passes.  The predicate [fails] decides what counts as
+   "still reproduces"; the caller typically requires the same invariant
+   to fire, so shrinking cannot wander onto a different bug. *)
+
+type outcome = { schedule : Schedule.t; executions : int }
+
+let with_ops (s : Schedule.t) ops = { s with ops }
+
+let split_chunks n ops =
+  let len = List.length ops in
+  let base = len / n and extra = len mod n in
+  let rec take k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go i rest acc =
+    if i = n then List.rev acc
+    else begin
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size [] rest in
+      go (i + 1) rest (chunk :: acc)
+    end
+  in
+  go 0 ops [] |> List.filter (fun c -> c <> [])
+
+let minimize ?(budget = 500) ~fails (schedule : Schedule.t) =
+  let executions = ref 0 in
+  let attempt s =
+    if !executions >= budget then false
+    else begin
+      incr executions;
+      fails s
+    end
+  in
+  (* -- ddmin over the op list --------------------------------------------- *)
+  let rec ddmin ops n =
+    let len = List.length ops in
+    if len <= 1 || !executions >= budget then ops
+    else begin
+      let n = max 2 (min n len) in
+      let chunks = split_chunks n ops in
+      let removal_that_fails =
+        List.find_map
+          (fun chunk ->
+            let reduced = List.filter (fun op -> not (List.memq op chunk)) ops in
+            if reduced <> [] && attempt (with_ops schedule reduced) then Some reduced
+            else None)
+          chunks
+      in
+      match removal_that_fails with
+      | Some reduced -> ddmin reduced (max 2 (n - 1))
+      | None -> if n >= len then ops else ddmin ops (min (2 * n) len)
+    end
+  in
+  let ops = ddmin schedule.ops 2 in
+  let best = ref (with_ops schedule ops) in
+  let try_improve candidate = if attempt candidate then best := candidate in
+  (* -- per-op simplifications --------------------------------------------- *)
+  (* Multi-task submissions down to one task. *)
+  List.iteri
+    (fun i op ->
+      match op with
+      | Op.Submit ({ count; _ } as s) when count > 1 ->
+        try_improve
+          (with_ops !best
+             (List.mapi
+                (fun j o -> if j = i then Op.Submit { s with count = 1 } else o)
+                (!best).ops))
+      | _ -> ())
+    (!best).ops;
+  (* Drop the wraparound start. *)
+  (match !best.wrap_offset with
+  | Some _ -> try_improve { !best with wrap_offset = None }
+  | None -> ());
+  (* Collapse all timing: same-tick if possible, else rank * 1us. *)
+  try_improve (with_ops !best (List.map (fun op -> Op.with_at op 0) (!best).ops));
+  (if List.exists (fun op -> Op.at op <> 0) (!best).ops then
+     let _, compacted =
+       List.fold_left
+         (fun (i, acc) op -> (i + 1, Op.with_at op (i * 1_000) :: acc))
+         (0, []) (!best).ops
+     in
+     try_improve (with_ops !best (List.rev compacted)));
+  { schedule = !best; executions = !executions }

@@ -1,0 +1,14 @@
+(** Schedule minimization: delta debugging (ddmin) over the op list
+    followed by per-op simplifications (multi-task submissions to one
+    task, dropping the wraparound start, collapsing timing), bounded by
+    an execution budget. *)
+
+type outcome = {
+  schedule : Schedule.t;  (** smallest still-failing schedule found *)
+  executions : int;  (** predicate evaluations spent *)
+}
+
+(** [minimize ~fails schedule] greedily shrinks while [fails] holds.
+    [fails] must be true for [schedule] itself (the caller checks);
+    [budget] (default 500) caps predicate evaluations. *)
+val minimize : ?budget:int -> fails:(Schedule.t -> bool) -> Schedule.t -> outcome

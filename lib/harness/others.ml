@@ -62,7 +62,7 @@ let firmament_table ~quick =
       let horizon = if quick then Time.ms 60 else Time.ms 200 in
       (* Measure the steady state over the submission window only: a
          scheduler that keeps up has no growing backlog. *)
-      let rng = Rng.create ~seed:1_000_003 in
+      let rng = Rng.create ~seed:(Runner.workload_seed ()) in
       Arrival.drive system.Systems.engine rng
         (Arrival.uniform_spec ~rate_tps:load ~duration:(Dist.constant duration) ~horizon)
         ~submit:system.Systems.submit;

@@ -16,22 +16,24 @@ let env_var = "DRACONIS_JOBS"
    useful configuration. *)
 let max_jobs = 64
 
+(* An invalid value is a configuration error, not a preference: silently
+   falling back to the default would run the sweep with the wrong
+   parallelism and bury the typo (same contract as DRACONIS_CALENDAR). *)
 let env_jobs () =
   match Sys.getenv_opt env_var with
-  | None -> None
+  | None | Some "" -> None
   | Some raw -> (
     match int_of_string_opt (String.trim raw) with
     | Some n when n >= 1 && n <= max_jobs -> Some n
-    | Some n when n > max_jobs ->
-      Printf.eprintf
-        "warning: ignoring %s=%d (above the cap of %d worker domains; the runtime \
-         supports at most 128 domains per process)\n%!"
-        env_var n max_jobs;
-      None
-    | Some _ | None ->
-      Printf.eprintf "warning: ignoring %s=%S (want a positive integer)\n%!"
-        env_var raw;
-      None)
+    | Some n ->
+      invalid_arg
+        (Printf.sprintf
+           "Pool: %s=%d out of range [1, %d] (the OCaml 5 runtime supports at \
+            most 128 domains per process)"
+           env_var n max_jobs)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Pool: %s=%S is not an integer" env_var raw))
 
 let default_jobs () =
   match env_jobs () with

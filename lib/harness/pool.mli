@@ -27,8 +27,10 @@ type 'a t
 val max_jobs : int
 
 (** Process-wide default worker count: [DRACONIS_JOBS] if set and within
-    [\[1, max_jobs\]] (out-of-range values warn and are ignored), else
-    [Domain.recommended_domain_count () - 1], at least 1. *)
+    [\[1, max_jobs\]], else [Domain.recommended_domain_count () - 1],
+    at least 1.
+    @raise Invalid_argument on a non-integer or out-of-range setting —
+    a bad knob is a configuration error, never a preference. *)
 val default_jobs : unit -> int
 
 (** Current worker count used when [create]/[map] get no [?jobs]. *)

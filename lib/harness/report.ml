@@ -107,10 +107,11 @@ let to_json ~jobs ~shards ~quick =
      \  \"jobs\": %d,\n\
      \  \"shards\": %d,\n\
      \  \"quick\": %b,\n\
+     \  \"workload_seed\": %d,\n\
      \  \"total_wall_s\": %.3f,\n\
      \  \"total_events\": %d,\n\
      \  \"experiments\": [\n%s\n  ]\n}\n"
-    jobs shards quick total_wall total_events
+    jobs shards quick (Runner.workload_seed ()) total_wall total_events
     (String.concat ",\n" (List.map entry_json !entries))
 
 let write ~path ~jobs ~shards ~quick =

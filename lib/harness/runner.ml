@@ -117,8 +117,20 @@ let observed (system : Systems.running) ~label ~until f =
     Obs.Sink.put recorder;
     outcome
 
-let run (system : Systems.running) ~driver ~load_tps ~horizon ?drain
-    ?(workload_seed = 1_000_003) () =
+(* Process-wide workload-seed override (the bench --seed flag).  The
+   historical default stays the figure-pinning constant so committed
+   baselines remain reproducible byte for byte. *)
+let default_workload_seed = 1_000_003
+let workload_seed_override = ref None
+
+let workload_seed () =
+  Option.value ~default:default_workload_seed !workload_seed_override
+
+let set_workload_seed seed = workload_seed_override := Some seed
+
+let run (system : Systems.running) ~driver ~load_tps ~horizon ?drain ?workload_seed:ws
+    () =
+  let workload_seed = Option.value ws ~default:(workload_seed ()) in
   let drain = Option.value drain ~default:(4 * horizon) in
   observed system
     ~label:(Printf.sprintf "%s@%.0ftps" system.name load_tps)

@@ -55,8 +55,18 @@ val pp_outcome : Format.formatter -> outcome -> unit
     {!Draconis_workload.Arrival} / {!Draconis_workload.Google_trace}. *)
 type driver = Engine.t -> Rng.t -> submit:(Draconis_proto.Task.t list -> unit) -> unit
 
+(** The effective workload seed: the [set_workload_seed] override if
+    any, else the historical figure-pinning default (1_000_003). *)
+val workload_seed : unit -> int
+
+(** Process-wide workload-seed override (the bench [--seed] flag);
+    applies to every subsequent [run] that passes no explicit
+    [?workload_seed]. *)
+val set_workload_seed : int -> unit
+
 (** [run system ~driver ~load_tps ~horizon ?drain ?workload_seed ()] —
-    [drain] defaults to 4x the horizon. *)
+    [drain] defaults to 4x the horizon, [workload_seed] to
+    {!workload_seed}[ ()]. *)
 val run :
   Systems.running ->
   driver:driver ->

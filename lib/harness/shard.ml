@@ -9,19 +9,18 @@ module Sampler = Draconis_stats.Sampler
 let env_var = "DRACONIS_SHARDS"
 let max_shards = Pool.max_jobs
 
+(* Invalid values fail loudly rather than silently running unsharded —
+   the same contract as DRACONIS_CALENDAR and Pool's jobs knob. *)
 let env_shards () =
   match Sys.getenv_opt env_var with
-  | None -> None
+  | None | Some "" -> None
   | Some v -> (
     match int_of_string_opt (String.trim v) with
     | Some n when n >= 1 && n <= max_shards -> Some n
     | Some n ->
-      Printf.eprintf "warning: %s=%d out of range [1, %d]; ignored\n%!" env_var n
-        max_shards;
-      None
-    | None ->
-      Printf.eprintf "warning: %s=%S is not an integer; ignored\n%!" env_var v;
-      None)
+      invalid_arg
+        (Printf.sprintf "Shard: %s=%d out of range [1, %d]" env_var n max_shards)
+    | None -> invalid_arg (Printf.sprintf "Shard: %s=%S is not an integer" env_var v))
 
 let override = ref None
 

@@ -35,9 +35,15 @@ val env_var : string
 (** Upper bound on shard/worker counts (= {!Pool.max_jobs}). *)
 val max_shards : int
 
+(** The [DRACONIS_SHARDS] setting alone, ignoring any [set_shards]
+    override ([None] when unset or empty).
+    @raise Invalid_argument on a non-integer or out-of-range setting —
+    a bad knob is a configuration error, never a preference. *)
+val env_shards : unit -> int option
+
 (** Process-wide shard count: the [set_shards] override if any, else
-    [DRACONIS_SHARDS] if set and within [\[1, max_shards\]]
-    (out-of-range values warn and are ignored), else [1]. *)
+    [DRACONIS_SHARDS] if set and within [\[1, max_shards\]], else [1].
+    @raise Invalid_argument on a non-integer or out-of-range setting. *)
 val shards : unit -> int
 
 (** Override the process-wide shard count.

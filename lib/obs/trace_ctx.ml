@@ -29,10 +29,17 @@ type t = {
   check : bool;
 }
 
+(* Only explicit booleans are accepted: treating any junk value as
+   "on" would hide typos (DRACONIS_PHASE_CHECK=ture), and treating it
+   as "off" would silently disarm the check — the same fail-loudly
+   contract as DRACONIS_CALENDAR. *)
 let env_check () =
   match Sys.getenv_opt "DRACONIS_PHASE_CHECK" with
   | None | Some "" | Some "0" -> false
-  | Some _ -> true
+  | Some "1" -> true
+  | Some v ->
+    invalid_arg
+      (Printf.sprintf "Trace_ctx: DRACONIS_PHASE_CHECK must be \"1\" or \"0\", got %S" v)
 
 let create ?check ?top_k () =
   {

@@ -30,7 +30,9 @@ type key = int * int * int
 type t
 
 (** [create ?check ?top_k ()] — [check] defaults to the
-    [DRACONIS_PHASE_CHECK] environment variable ("0"/empty disable). *)
+    [DRACONIS_PHASE_CHECK] environment variable ("1" enables,
+    "0"/empty disable).
+    @raise Invalid_argument on any other value of the variable. *)
 val create : ?check:bool -> ?top_k:int -> unit -> t
 
 val collector : t -> Attribution.t

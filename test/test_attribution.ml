@@ -272,10 +272,29 @@ let test_compare_rejects_wrong_schema () =
         Alcotest.(check bool) "error names the schema" true
           (Astring.String.is_infix ~affix:"draconis-obs/2" msg))
 
+let test_phase_check_env_fails_loudly () =
+  (* DRACONIS_PHASE_CHECK takes explicit booleans only: junk must raise
+     rather than silently arming (or disarming) the exact-sum check. *)
+  let with_env v f =
+    Unix.putenv "DRACONIS_PHASE_CHECK" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "DRACONIS_PHASE_CHECK" "") f
+  in
+  with_env "ture" (fun () ->
+      (try
+         ignore (Obs.Trace_ctx.create ());
+         Alcotest.fail "junk DRACONIS_PHASE_CHECK accepted"
+       with Invalid_argument _ -> ());
+      (* An explicit [check] never consults the environment. *)
+      ignore (Obs.Trace_ctx.create ~check:true ()));
+  with_env "1" (fun () -> ignore (Obs.Trace_ctx.create ()));
+  with_env "0" (fun () -> ignore (Obs.Trace_ctx.create ()))
+
 let suite =
   [
     Alcotest.test_case "multi-task recirculation sums exactly" `Quick
       test_multi_task_recirculation;
+    Alcotest.test_case "DRACONIS_PHASE_CHECK fails loudly" `Quick
+      test_phase_check_env_fails_loudly;
     Alcotest.test_case "swaps attributed and exact" `Quick test_swaps_attributed;
     Alcotest.test_case "fail-over resubmission sums exactly" `Quick
       test_failover_resubmission_attributed;

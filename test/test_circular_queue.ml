@@ -95,10 +95,47 @@ let test_only_one_retrieve_repair () =
   (match Circular_queue.enqueue q (ctx ()) (entry 1) with
   | Circular_queue.Enqueued { retrieve_repair = Some _; _ } -> ()
   | _ -> Alcotest.fail "first enqueue should repair");
-  (* ...the second sees the flag and does not. *)
+  (* ...and while it is in flight further submissions store normally
+     (true occupancy 1 < 4, read from the repair target the flag word
+     carries) but never launch a second retrieve repair. *)
   match Circular_queue.enqueue q (ctx ()) (entry 2) with
   | Circular_queue.Enqueued { retrieve_repair = None; _ } -> ()
-  | _ -> Alcotest.fail "second enqueue must not launch another repair"
+  | Circular_queue.Enqueued { retrieve_repair = Some _; _ } ->
+    Alcotest.fail "second enqueue must not launch another retrieve repair"
+  | Circular_queue.Rejected _ ->
+    Alcotest.fail "room remains during the repair window: store must proceed"
+
+let test_no_overwrite_during_retrieve_repair () =
+  (* Capacity 1 makes the hazard sharp: while a retrieve repair is in
+     flight the retrieve pointer is inflated, so the naive pointer
+     occupancy reads 0 even though the slot holds a live task.  The
+     true occupancy (from the repair target in the flag word) must
+     reject the store instead of overwriting the live slot. *)
+  let q = Circular_queue.create ~name:"q" ~capacity:1 () in
+  ignore (enqueue_ok q (entry 1));
+  Alcotest.(check int) "first task drains" 1 (tid (dequeue_ok q));
+  (match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Empty -> ()
+  | _ -> Alcotest.fail "expected Empty overrun");
+  let target =
+    match Circular_queue.enqueue q (ctx ()) (entry 2) with
+    | Circular_queue.Enqueued { retrieve_repair = Some target; _ } -> target
+    | _ -> Alcotest.fail "overrun-detecting enqueue should store and repair"
+  in
+  let add_target =
+    match Circular_queue.enqueue q (ctx ()) (entry 3) with
+    | Circular_queue.Rejected { add_repair = Some t; retrieve_repair = None } -> t
+    | Circular_queue.Rejected _ -> Alcotest.fail "rejection must launch the add repair"
+    | Circular_queue.Enqueued _ ->
+      Alcotest.fail "store during the window would overwrite the live slot"
+  in
+  Circular_queue.apply_repair_retrieve q (ctx ()) ~target;
+  Circular_queue.apply_repair_add q (ctx ()) ~target:add_target;
+  (* The live task survived the window and drains; the queue then
+     accepts the bounced task on resubmission. *)
+  Alcotest.(check int) "live task survives" 2 (tid (dequeue_ok q));
+  ignore (enqueue_ok q (entry 3));
+  Alcotest.(check int) "bounced task resubmits" 3 (tid (dequeue_ok q))
 
 (* -- full-queue behaviour (add repair, §4.5/§4.7.1) ---------------------------- *)
 
@@ -113,14 +150,14 @@ let test_full_rejection_and_repair () =
   (* Full: the mistaken increment must be repaired by this packet. *)
   let repair_target =
     match Circular_queue.enqueue q (ctx ()) (entry 3) with
-    | Circular_queue.Rejected { add_repair = Some target } -> target
+    | Circular_queue.Rejected { add_repair = Some target; _ } -> target
     | _ -> Alcotest.fail "expected rejection with repair"
   in
   Alcotest.(check int) "add_ptr inflated" 3 (Circular_queue.peek_add_ptr q);
   Alcotest.(check bool) "add flag set" true (Circular_queue.peek_add_repair_flag q);
   (* A second full submission sees the flag: rejected, no second repair. *)
   (match Circular_queue.enqueue q (ctx ()) (entry 4) with
-  | Circular_queue.Rejected { add_repair = None } -> ()
+  | Circular_queue.Rejected { add_repair = None; _ } -> ()
   | _ -> Alcotest.fail "second rejection must not repair");
   (* Repair lands: pointer restored, flag cleared. *)
   Circular_queue.apply_repair_add q (ctx ()) ~target:repair_target;
@@ -138,7 +175,7 @@ let test_enqueue_while_add_repair_pending_rejected () =
      pointer untrustworthy — submissions are still bounced (§4.7.1). *)
   ignore (dequeue_ok q);
   (match Circular_queue.enqueue q (ctx ()) (entry 4) with
-  | Circular_queue.Rejected { add_repair = None } -> ()
+  | Circular_queue.Rejected { add_repair = None; _ } -> ()
   | _ -> Alcotest.fail "must reject while add repair pending");
   Circular_queue.apply_repair_add q (ctx ()) ~target:2;
   (* Now the slot is usable again. *)
@@ -245,7 +282,7 @@ let prop_matches_fifo_model =
               (match retrieve_repair with
               | Some target -> Circular_queue.apply_repair_retrieve q (ctx ()) ~target
               | None -> ())
-            | Circular_queue.Rejected { add_repair } -> (
+            | Circular_queue.Rejected { add_repair; _ } -> (
               if Queue.length model < capacity then ok := false;
               match add_repair with
               | Some target -> Circular_queue.apply_repair_add q (ctx ()) ~target
@@ -278,10 +315,10 @@ let prop_pointer_invariant =
              match Circular_queue.enqueue q (ctx ()) (entry 1) with
              | Circular_queue.Enqueued { retrieve_repair = Some target; _ } ->
                Circular_queue.apply_repair_retrieve q (ctx ()) ~target
-             | Circular_queue.Rejected { add_repair = Some target } ->
+             | Circular_queue.Rejected { add_repair = Some target; _ } ->
                Circular_queue.apply_repair_add q (ctx ()) ~target
              | Circular_queue.Enqueued { retrieve_repair = None; _ }
-             | Circular_queue.Rejected { add_repair = None } ->
+             | Circular_queue.Rejected { add_repair = None; _ } ->
                ()
            end
            else ignore (Circular_queue.dequeue q (ctx ())));
@@ -301,6 +338,8 @@ let suite =
       test_empty_dequeue_and_lazy_repair;
     Alcotest.test_case "single retrieve repair in flight" `Quick
       test_only_one_retrieve_repair;
+    Alcotest.test_case "no overwrite during retrieve repair" `Quick
+      test_no_overwrite_during_retrieve_repair;
     Alcotest.test_case "full rejection + add repair" `Quick test_full_rejection_and_repair;
     Alcotest.test_case "reject while add repair pending" `Quick
       test_enqueue_while_add_repair_pending_rejected;

@@ -1,0 +1,142 @@
+(* Tests of the lib/fuzz property-fuzzing subsystem: generator
+   determinism, schedule serialization round-trips, the semantic
+   oracle, clean campaigns over the real pipeline, and the harness's
+   self-test — an intentionally re-introduced protocol bug must be
+   caught, shrunk to a small reproducer, and the reproducer must
+   replay to the same violation. *)
+
+open Draconis_proto
+module Fz = Draconis_fuzz
+
+let id ~tid : Task.id = { uid = 1; jid = 1; tid }
+
+let test_gen_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Fz.Gen.schedule ~seed () in
+      let b = Fz.Gen.schedule ~seed () in
+      Alcotest.(check string) "same seed, same schedule"
+        (Fz.Schedule.to_string a) (Fz.Schedule.to_string b))
+    [ 1; 7; 42; 1_000_003 ];
+  let a = Fz.Gen.schedule ~seed:1 () in
+  let b = Fz.Gen.schedule ~seed:2 () in
+  Alcotest.(check bool) "different seeds differ" false
+    (Fz.Schedule.to_string a = Fz.Schedule.to_string b)
+
+let test_schedule_round_trip () =
+  List.iter
+    (fun seed ->
+      let s = Fz.Gen.schedule ~seed () in
+      let text = Fz.Schedule.to_string s in
+      let reparsed = Fz.Schedule.of_string text in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d round-trips" seed)
+        text
+        (Fz.Schedule.to_string reparsed))
+    (List.init 25 (fun i -> i + 1))
+
+let test_schedule_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Fz.Schedule.of_string text with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted garbage %S" text)
+    [
+      "";
+      "not-a-header\n";
+      "draconis-fuzz/1\nseed=1 capacity=0 policy=fcfs clients=1 executors=1 \
+       service=1000\n";
+      "draconis-fuzz/1\nseed=1 capacity=4 policy=bogus clients=1 executors=1 \
+       service=1000\n";
+    ]
+
+let test_oracle_fifo () =
+  let o = Fz.Oracle.create ~levels:2 ~capacity:2 () in
+  Alcotest.(check bool) "push 1" true (Fz.Oracle.push o ~level:0 (id ~tid:1) = Fz.Oracle.Pushed);
+  Alcotest.(check bool) "push 2" true (Fz.Oracle.push o ~level:0 (id ~tid:2) = Fz.Oracle.Pushed);
+  Alcotest.(check bool) "overflow at capacity" true
+    (Fz.Oracle.push o ~level:0 (id ~tid:3) = Fz.Oracle.Overflow);
+  Alcotest.(check int) "other level empty" 0 (Fz.Oracle.size o ~level:1);
+  Alcotest.(check bool) "mem finds queued id" true (Fz.Oracle.mem o (id ~tid:2));
+  (match Fz.Oracle.pop o ~level:0 with
+  | Some popped -> Alcotest.(check int) "FIFO head first" 1 popped.tid
+  | None -> Alcotest.fail "pop on non-empty level");
+  Alcotest.(check bool) "swap replaces in place" true
+    (Fz.Oracle.swap o ~out_id:(id ~tid:2) ~in_id:(id ~tid:9) = Fz.Oracle.Swapped);
+  Alcotest.(check bool) "swap misses absent id" true
+    (Fz.Oracle.swap o ~out_id:(id ~tid:2) ~in_id:(id ~tid:9) = Fz.Oracle.Not_found);
+  Alcotest.(check bool) "remove finds swapped-in id" true (Fz.Oracle.remove o (id ~tid:9));
+  Alcotest.(check int) "empty after remove" 0 (Fz.Oracle.total o)
+
+let test_clean_campaign_exercises_all_invariants () =
+  (* The real pipeline over a seed sweep: zero violations, and every
+     registered invariant actually evaluated at least once. *)
+  let seeds = List.init 150 (fun i -> i + 1) in
+  let campaign = Fz.Fuzz.run_campaign ~seeds () in
+  (match campaign.Fz.Fuzz.failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "seed %d violated %s: %s" f.Fz.Fuzz.seed f.Fz.Fuzz.invariant
+      f.Fz.Fuzz.detail);
+  Alcotest.(check (list string)) "all invariants exercised" []
+    (Fz.Fuzz.unexercised campaign);
+  List.iter
+    (fun inv ->
+      let n = List.assoc inv campaign.Fz.Fuzz.checks in
+      Alcotest.(check bool) (inv ^ " evaluated") true (n > 0))
+    Fz.Checker.invariants
+
+let test_injected_bug_caught_and_shrunk () =
+  (* Harness self-test: re-introduce the stamp-validity bug, catch it,
+     and shrink the failing schedule to a <= 20 op reproducer that
+     still replays to the same violation. *)
+  let campaign =
+    Fz.Fuzz.run_campaign ~bug:Fz.Exec.Skip_stamp_check ~ops:10 ~shrink_budget:60
+      ~seeds:[ 1 ] ()
+  in
+  match campaign.Fz.Fuzz.failures with
+  | [] -> Alcotest.fail "injected stamp bug escaped the campaign"
+  | f :: _ ->
+    let op_count = List.length f.Fz.Fuzz.shrunk.Fz.Schedule.ops in
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk to %d ops (<= 20)" op_count)
+      true (op_count <= 20);
+    let replay = Fz.Exec.run_checked ~bug:Fz.Exec.Skip_stamp_check f.Fz.Fuzz.shrunk in
+    let invariants =
+      List.map (fun v -> v.Fz.Checker.invariant) replay.Fz.Checker.violations
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "reproducer replays %s" f.Fz.Fuzz.invariant)
+      true
+      (List.mem f.Fz.Fuzz.invariant invariants)
+
+let test_dropped_repair_caught () =
+  let campaign =
+    Fz.Fuzz.run_campaign ~bug:Fz.Exec.Drop_retrieve_repair ~shrink_budget:60
+      ~seeds:[ 1 ] ()
+  in
+  match campaign.Fz.Fuzz.failures with
+  | [] -> Alcotest.fail "injected dropped-repair bug escaped the campaign"
+  | f :: _ ->
+    Alcotest.(check bool) "shrunk reproducer is small" true
+      (List.length f.Fz.Fuzz.shrunk.Fz.Schedule.ops <= 20);
+    let replay =
+      Fz.Exec.run_checked ~bug:Fz.Exec.Drop_retrieve_repair f.Fz.Fuzz.shrunk
+    in
+    Alcotest.(check bool) "reproducer still fails" false
+      (Fz.Checker.ok replay)
+
+let suite =
+  [
+    Alcotest.test_case "generator is seed-deterministic" `Quick test_gen_deterministic;
+    Alcotest.test_case "schedule text round-trips" `Quick test_schedule_round_trip;
+    Alcotest.test_case "schedule parser rejects garbage" `Quick
+      test_schedule_rejects_garbage;
+    Alcotest.test_case "oracle FIFO / overflow / swap / remove" `Quick test_oracle_fifo;
+    Alcotest.test_case "clean campaign exercises every invariant" `Quick
+      test_clean_campaign_exercises_all_invariants;
+    Alcotest.test_case "injected stamp bug caught and shrunk" `Quick
+      test_injected_bug_caught_and_shrunk;
+    Alcotest.test_case "injected dropped-repair bug caught" `Quick
+      test_dropped_repair_caught;
+  ]

@@ -28,4 +28,5 @@ let () =
       ("shard", Test_shard.suite);
       ("obs", Test_obs.suite);
       ("attribution", Test_attribution.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

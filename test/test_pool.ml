@@ -82,6 +82,29 @@ let test_set_jobs_cap () =
   H.Pool.set_jobs 1;
   Alcotest.(check int) "cap itself accepted" 1 (H.Pool.jobs ())
 
+let test_env_jobs_fails_loudly () =
+  (* A bad DRACONIS_JOBS is a configuration error: it must raise, not
+     warn and silently fall back to the default parallelism. *)
+  let with_env v f =
+    Unix.putenv "DRACONIS_JOBS" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "DRACONIS_JOBS" "") f
+  in
+  let rejects v =
+    with_env v (fun () ->
+        try
+          ignore (H.Pool.default_jobs ());
+          false
+        with Invalid_argument _ -> true)
+  in
+  Alcotest.(check bool) "garbage rejected" true (rejects "three");
+  Alcotest.(check bool) "zero rejected" true (rejects "0");
+  Alcotest.(check bool) "above cap rejected" true
+    (rejects (string_of_int (H.Pool.max_jobs + 1)));
+  with_env "2" (fun () ->
+      Alcotest.(check int) "valid setting honoured" 2 (H.Pool.default_jobs ()));
+  with_env "" (fun () ->
+      Alcotest.(check bool) "empty means unset" true (H.Pool.default_jobs () >= 1))
+
 (* -- persistent worker team ------------------------------------------------ *)
 
 let test_team_runs_batches () =
@@ -240,6 +263,7 @@ let suite =
       test_submit_after_results_rejected;
     Alcotest.test_case "empty pool" `Quick test_empty_pool;
     Alcotest.test_case "set_jobs validates the cap" `Quick test_set_jobs_cap;
+    Alcotest.test_case "DRACONIS_JOBS fails loudly" `Quick test_env_jobs_fails_loudly;
     Alcotest.test_case "team runs repeated batches" `Quick test_team_runs_batches;
     Alcotest.test_case "team propagates exceptions" `Quick
       test_team_exception_propagates;

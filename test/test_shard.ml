@@ -254,6 +254,29 @@ let test_shards_knob () =
   Alcotest.(check int) "override sticks" 2 (H.Shard.shards ());
   H.Shard.set_shards 1
 
+let test_env_shards_fails_loudly () =
+  (* A bad DRACONIS_SHARDS must raise, not warn and run unsharded. *)
+  let with_env v f =
+    Unix.putenv H.Shard.env_var v;
+    Fun.protect ~finally:(fun () -> Unix.putenv H.Shard.env_var "") f
+  in
+  let rejects v =
+    with_env v (fun () ->
+        try
+          ignore (H.Shard.env_shards ());
+          false
+        with Invalid_argument _ -> true)
+  in
+  Alcotest.(check bool) "garbage rejected" true (rejects "two");
+  Alcotest.(check bool) "zero rejected" true (rejects "0");
+  Alcotest.(check bool) "above cap rejected" true
+    (rejects (string_of_int (H.Shard.max_shards + 1)));
+  with_env "4" (fun () ->
+      Alcotest.(check (option int)) "valid setting honoured" (Some 4)
+        (H.Shard.env_shards ()));
+  with_env "" (fun () ->
+      Alcotest.(check (option int)) "empty means unset" None (H.Shard.env_shards ()))
+
 let suite =
   [
     Alcotest.test_case "topology partition is rack-aligned" `Quick
@@ -282,4 +305,6 @@ let suite =
     Alcotest.test_case "sequential path is reproducible" `Quick
       test_sequential_reproducible;
     Alcotest.test_case "DRACONIS_SHARDS knob validation" `Quick test_shards_knob;
+    Alcotest.test_case "DRACONIS_SHARDS fails loudly" `Quick
+      test_env_shards_fails_loudly;
   ]

@@ -63,7 +63,7 @@ let test_full_rejection_at_wrap () =
   enqueue_ok q (entry 1);
   enqueue_ok q (entry 2);
   (match Circular_queue.enqueue q (ctx ()) (entry 3) with
-  | Circular_queue.Rejected { add_repair = Some target } ->
+  | Circular_queue.Rejected { add_repair = Some target; _ } ->
     Circular_queue.apply_repair_add q (ctx ()) ~target
   | _ -> Alcotest.fail "expected full rejection at wrap");
   Alcotest.(check int) "add pointer repaired across wrap" 1
@@ -90,6 +90,79 @@ let test_empty_overrun_repair_at_wrap () =
     Circular_queue.apply_repair_retrieve q (ctx ()) ~target
   | _ -> Alcotest.fail "expected overrun repair across wrap");
   Alcotest.(check int) "task recovered" 7 (tid (dequeue_ok q))
+
+let test_repair_in_flight_across_exact_boundary () =
+  (* A retrieve-repair window that straddles the exact wrap boundary
+     (the largest multiple of the capacity): the overrun is detected
+     pre-wrap, the repair target carried in the flag register sits at
+     wrap-1, and the next store lands at the wrapped index 0.
+     Admission during the window must compute true occupancy against
+     the pre-wrap target, and FIFO order must survive once the repair
+     lands. *)
+  let q = Circular_queue.create ~name:"w" ~capacity:4 () in
+  let wrap = Circular_queue.wrap_modulus q in
+  Alcotest.(check int) "boundary is a capacity multiple" 0 (wrap mod 4);
+  Circular_queue.unsafe_set_pointers_for_test q ~add:(wrap - 1) ~retrieve:(wrap - 1);
+  (* Two empty polls push the retrieve pointer across the boundary. *)
+  for _ = 1 to 2 do
+    match Circular_queue.dequeue q (ctx ()) with
+    | Circular_queue.Empty -> ()
+    | _ -> Alcotest.fail "expected empty poll"
+  done;
+  Alcotest.(check int) "retrieve overran across wrap" 1
+    (Circular_queue.peek_retrieve_ptr q);
+  (* The enqueue at wrap-1 detects the wrapped overrun and launches the
+     repair; hold the repair in flight. *)
+  let target =
+    match Circular_queue.enqueue q (ctx ()) (entry 1) with
+    | Circular_queue.Enqueued { index; retrieve_repair = Some target } ->
+      Alcotest.(check int) "stored at the last pre-wrap index" (wrap - 1) index;
+      Alcotest.(check int) "repair targets the new task" (wrap - 1) target;
+      target
+    | _ -> Alcotest.fail "expected overrun repair at the boundary"
+  in
+  Alcotest.(check bool) "repair window open" true
+    (Circular_queue.peek_retrieve_repair_flag q);
+  (* While the window straddles the boundary, the next enqueue wraps to
+     index 0 and must still be admitted: true occupancy against the
+     flag-carried target is 1 < capacity. *)
+  (match Circular_queue.enqueue q (ctx ()) (entry 2) with
+  | Circular_queue.Enqueued { index = 0; retrieve_repair = None } -> ()
+  | _ -> Alcotest.fail "expected store at wrapped index 0 during the window");
+  (* Dequeues are no-ops until the repair lands. *)
+  (match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Repair_pending -> ()
+  | _ -> Alcotest.fail "expected repair-pending during the window");
+  Circular_queue.apply_repair_retrieve q (ctx ()) ~target;
+  Alcotest.(check int) "FIFO head across boundary" 1 (tid (dequeue_ok q));
+  Alcotest.(check int) "FIFO tail across boundary" 2 (tid (dequeue_ok q));
+  Alcotest.(check int) "empty after drain" 0 (Circular_queue.occupancy q)
+
+let test_stamp_collision_across_wrap () =
+  (* Stamps store the full 32-bit write-index, not the slot: an index
+     that maps to the same physical slot one lap later must fail the
+     validity check instead of delivering the stale pre-wrap task. *)
+  let q = Circular_queue.create ~name:"w" ~capacity:4 () in
+  let wrap = Circular_queue.wrap_modulus q in
+  Circular_queue.unsafe_set_pointers_for_test q ~add:(wrap - 4) ~retrieve:(wrap - 4);
+  for i = 1 to 4 do
+    enqueue_ok q (entry i)
+  done;
+  (* Same slots, one lap later: post-wrap indices 0..3 alias slots 0..3. *)
+  Circular_queue.unsafe_set_pointers_for_test q ~add:0 ~retrieve:0;
+  (match Circular_queue.dequeue q (ctx ()) with
+  | Circular_queue.Empty -> ()
+  | Circular_queue.Dequeued { entry; _ } ->
+    Alcotest.failf "stale pre-wrap task %d delivered" (tid entry)
+  | Circular_queue.Repair_pending -> Alcotest.fail "unexpected repair-pending");
+  (* The pre-wrap tasks not touched by the colliding poll are still
+     intact under their true indices. *)
+  List.iter
+    (fun i ->
+      match Circular_queue.peek_entry q ~index:(wrap - 4 + i) with
+      | Some e -> Alcotest.(check int) "pre-wrap task intact" (i + 1) (tid e)
+      | None -> Alcotest.fail "pre-wrap task lost")
+    [ 1; 2; 3 ]
 
 let test_is_ahead_semantics () =
   let q = Circular_queue.create ~name:"w" ~capacity:8 () in
@@ -148,6 +221,10 @@ let suite =
       test_full_rejection_at_wrap;
     Alcotest.test_case "empty overrun repair at wrap" `Quick
       test_empty_overrun_repair_at_wrap;
+    Alcotest.test_case "repair in flight across the exact boundary" `Quick
+      test_repair_in_flight_across_exact_boundary;
+    Alcotest.test_case "stamp collision across a full wrap" `Quick
+      test_stamp_collision_across_wrap;
     Alcotest.test_case "is_ahead / next_index / distance" `Quick test_is_ahead_semantics;
     QCheck_alcotest.to_alcotest prop_fifo_survives_any_start;
     Alcotest.test_case "task swap across wrap" `Quick test_swap_across_wrap;
