@@ -11,6 +11,10 @@
                               (default: DRACONIS_SHARDS or 1)
      main.exe --seed N        workload seed override (default 1000003);
                               the effective seed lands in the --json header
+     main.exe --policy P      restrict the pifo experiment to one
+                              discipline (edf:<us> | wfq:<us>:<w,..> |
+                              aging:<levels>:<us>); unknown or malformed
+                              policies abort (also: DRACONIS_POLICY)
      main.exe --json FILE     write machine-readable results (wall time,
                               events/sec, key percentiles) to FILE
      main.exe --csv DIR       also write every table as CSV under DIR
@@ -176,6 +180,8 @@ let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
     ("fig12", "queueing delay across priority levels", H.Fig12.run);
     ("fig13", "get_task() latency across priority levels", H.Fig13.run);
     ("figf", "fault injection: failover/burst/partition recovery", H.Figf.run);
+    ("pifo", "PIFO disciplines (EDF/WFQ/aging) vs circular-queue baselines",
+     H.Pifo_exp.run);
     ("resources", "sec 7 switch resource estimates", H.Resource_table.run);
     ("scaling", "sec 8.2 cluster-scale projection", H.Scaling.run);
     ("others", "sec 8 'other schedulers' (Spark native, Firmament)", H.Others.run);
@@ -246,6 +252,16 @@ let () =
     | Some _ | None ->
       Printf.eprintf "--shards wants a positive integer, got %S\n" v;
       exit 1));
+  (match value_of "--policy" args with
+  | None -> ()
+  | Some v -> (
+    (* Fail-loud: an unknown discipline or malformed parameters abort
+       the invocation instead of silently falling back to a default. *)
+    match H.Pifo_exp.set_policy (Draconis.Policy.of_string v) with
+    | () -> ()
+    | exception Invalid_argument msg ->
+      Printf.eprintf "--policy: %s\n" msg;
+      exit 1));
   (match value_of "--seed" args with
   | None -> ()
   | Some v -> (
@@ -256,8 +272,9 @@ let () =
       exit 1));
   let names =
     let rec drop_flags = function
-      | ("--csv" | "--json" | "--jobs" | "--shards" | "--seed" | "--trace-out"
-        | "--metrics-out" | "--probe-interval-us" | "--max-trace-events")
+      | ("--csv" | "--json" | "--jobs" | "--shards" | "--seed" | "--policy"
+        | "--trace-out" | "--metrics-out" | "--probe-interval-us"
+        | "--max-trace-events")
         :: _ :: rest ->
         drop_flags rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> drop_flags rest

@@ -47,6 +47,12 @@ let tprops_to_words = function
   | Task.Priority p ->
     if p < 1 || p > 0xFF then invalid_arg "Entry: priority range";
     (3, p, 0)
+  | Task.Deadline d ->
+    if d < 0 || d > mask32 then invalid_arg "Entry: deadline range";
+    (4, d, 0)
+  | Task.Tenant id ->
+    if id < 0 || id > mask32 then invalid_arg "Entry: tenant range";
+    (5, id, 0)
 
 let tprops_of_words tag lo hi =
   match tag land 0xFF with
@@ -59,6 +65,8 @@ let tprops_of_words tag lo hi =
                 hi land 0xFFFF; (hi lsr 16) land 0xFFFF ] in
     Task.Locality (List.filteri (fun i _ -> i < n) all)
   | 3 -> Task.Priority lo
+  | 4 -> Task.Deadline lo
+  | 5 -> Task.Tenant lo
   | _ -> invalid_arg "Entry: bad tprops tag"
 
 let to_words t =

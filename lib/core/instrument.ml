@@ -12,6 +12,8 @@ type t = {
   on_swap : swapped_in:Task.id -> swapped_out:Task.id -> level:int -> unit;
   on_recirculate : kind:string -> unit;
   on_repair_flag : repair_flag -> level:int -> unit;
+  on_rank : Task.id -> rank:int -> unit;
+  on_pop_scan : unit -> unit;
 }
 
 let default =
@@ -24,6 +26,8 @@ let default =
     on_swap = (fun ~swapped_in:_ ~swapped_out:_ ~level:_ -> ());
     on_recirculate = (fun ~kind:_ -> ());
     on_repair_flag = (fun _ ~level:_ -> ());
+    on_rank = (fun _ ~rank:_ -> ());
+    on_pop_scan = (fun () -> ());
   }
 
 let repair_flag_name = function Add_flag -> "add" | Retrieve_flag -> "retrieve"

@@ -28,10 +28,17 @@ type t = {
   on_recirculate : kind:string -> unit;
       (** the program produced a recirculation; [kind] names the packet
           ("swap", "resubmit", "repair-add", "repair-retrieve",
-          "submission", "prio-request") *)
+          "submission", "prio-request", "pifo-probe", "pifo-scan",
+          "pifo-claim", "pifo-restart") *)
   on_repair_flag : repair_flag -> level:int -> unit;
       (** a pointer-repair flag was set at [level] (§4.7) — the queue
           enters its degraded window until the repair packet lands *)
+  on_rank : Task.id -> rank:int -> unit;
+      (** a PIFO-backed policy computed [rank] for a task being admitted
+          (fires just before the matching [on_enqueue]) *)
+  on_pop_scan : unit -> unit;
+      (** a PIFO pop began a fresh rank-store scan (including restarts
+          after a lost claim) *)
 }
 
 val default : t

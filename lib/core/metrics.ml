@@ -14,6 +14,7 @@ type t = {
   end_to_end_delay : Sampler.t;
   queueing_by_level : (int, Sampler.t) Hashtbl.t;
   get_task_by_level : (int, Sampler.t) Hashtbl.t;
+  delay_by_class : (int, Sampler.t) Hashtbl.t;
   decisions : Meter.t;
   placement : placement;
   mutable submitted : int;
@@ -26,6 +27,8 @@ type t = {
   mutable swaps : int;
   mutable recirculations : int;
   mutable repair_flags : int;
+  mutable deadline_tracked : int;
+  mutable deadline_misses : int;
 }
 
 let create ?topology engine =
@@ -38,6 +41,7 @@ let create ?topology engine =
     end_to_end_delay = Sampler.create ();
     queueing_by_level = Hashtbl.create 8;
     get_task_by_level = Hashtbl.create 8;
+    delay_by_class = Hashtbl.create 8;
     decisions = Meter.create ();
     placement = { local = 0; same_rack = 0; remote = 0 };
     submitted = 0;
@@ -50,6 +54,8 @@ let create ?topology engine =
     swaps = 0;
     recirculations = 0;
     repair_flags = 0;
+    deadline_tracked = 0;
+    deadline_misses = 0;
   }
 
 let level_sampler tbl level =
@@ -85,12 +91,27 @@ let classify_placement t (task : Task.t) ~node =
       t.placement.same_rack <- t.placement.same_rack + 1
     else t.placement.remote <- t.placement.remote + 1
 
+(* A task's fairness class: its tenant or priority level (0 for tasks
+   carrying neither). *)
+let task_class (task : Task.t) =
+  match Task.tenant task with
+  | Some id -> id
+  | None -> ( match task.tprops with Task.Priority p -> p | _ -> 0)
+
 let note_exec_start t task ~node =
   t.started <- t.started + 1;
   classify_placement t task ~node;
   match Hashtbl.find_opt t.submit_times task.Task.id with
   | None -> ()
-  | Some submit -> Sampler.record t.scheduling_delay (Engine.now t.engine - submit)
+  | Some submit ->
+    let delay = Engine.now t.engine - submit in
+    Sampler.record t.scheduling_delay delay;
+    Sampler.record (level_sampler t.delay_by_class (task_class task)) delay;
+    (match Task.relative_deadline task with
+    | None -> ()
+    | Some deadline ->
+      t.deadline_tracked <- t.deadline_tracked + 1;
+      if delay > deadline then t.deadline_misses <- t.deadline_misses + 1)
 
 let note_enqueue t id ~level =
   if not (Hashtbl.mem t.enqueue_times id) then
@@ -121,11 +142,20 @@ let instrument t : Instrument.t =
     on_swap = (fun ~swapped_in:_ ~swapped_out:_ ~level:_ -> note_swap t);
     on_recirculate = (fun ~kind:_ -> note_recirculate t);
     on_repair_flag = (fun _ ~level:_ -> note_repair_flag t);
+    on_rank = (fun _ ~rank:_ -> ());
+    on_pop_scan = (fun () -> ());
   }
 
 let scheduling_delay t = t.scheduling_delay
 let end_to_end_delay t = t.end_to_end_delay
 let queueing_delay t ~level = level_sampler t.queueing_by_level level
+
+let delay_by_class t =
+  Hashtbl.fold (fun cls sampler acc -> (cls, sampler) :: acc) t.delay_by_class []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let deadline_tracked t = t.deadline_tracked
+let deadline_misses t = t.deadline_misses
 let get_task_delay t ~level = level_sampler t.get_task_by_level level
 let decisions t = t.decisions
 let placement t = t.placement

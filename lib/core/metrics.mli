@@ -74,6 +74,18 @@ val end_to_end_delay : t -> Sampler.t
 (** [queueing_delay t ~level] (0-based level; empty sampler if unused). *)
 val queueing_delay : t -> level:int -> Sampler.t
 
+(** Scheduling delay per fairness class — a task's tenant id or
+    priority level (0 otherwise) — sorted by class.  Feeds the PIFO
+    experiment's fairness index and starvation measurements. *)
+val delay_by_class : t -> (int * Sampler.t) list
+
+(** Started tasks that carried a {!Task.Deadline} property. *)
+val deadline_tracked : t -> int
+
+(** Of {!deadline_tracked}, those whose scheduling delay exceeded their
+    relative deadline. *)
+val deadline_misses : t -> int
+
 val get_task_delay : t -> level:int -> Sampler.t
 val decisions : t -> Meter.t
 val placement : t -> placement

@@ -9,7 +9,19 @@
       then the local rack, then anywhere, driven by a per-task skip
       counter with [rack_start_limit] / [global_start_limit] thresholds.
     - {b Priority} (§6.1): one replicated queue per priority level;
-      task requests scan levels from highest (1) to lowest. *)
+      task requests scan levels from highest (1) to lowest.
+
+    The PIFO-backed disciplines (see {!Pifo}) order one logical queue by
+    a computed rank instead of deploying circular queues:
+
+    - {b EDF}: rank is the absolute deadline ([now + relative deadline],
+      tasks without a {!Task.Deadline} property use [default_deadline]).
+    - {b WFQ}: virtual-clock weighted fair queueing across tenants; each
+      admission advances its tenant's virtual finish time by
+      [quantum / weights.(tenant)] and ranks the task by it.
+    - {b Aging priority}: strict priority made starvation-free — rank is
+      [now + (level - 1) * quantum], so a lower-priority task overtakes
+      higher-priority tasks submitted more than [quantum] later. *)
 
 open Draconis_net
 open Draconis_proto
@@ -23,6 +35,28 @@ type t =
       topology : Topology.t;
     }
   | Priority of { levels : int }
+  | Edf of { default_deadline : int }  (** default relative deadline, ns *)
+  | Wfq of { quantum : int; weights : int array }
+      (** [quantum] ns of virtual service per admission; tenant ids
+          index [weights] (out-of-range ids clamp to the last tenant) *)
+  | Aging_priority of { levels : int; quantum : int }
+      (** one priority level costs [quantum] ns of queue age *)
+
+(** Which queue substrate realizes the policy on the switch. *)
+type backend = Circular | Pifo
+
+val backend : t -> backend
+
+(** [validate t] rejects malformed parameters with [Invalid_argument]
+    (fail-loud: callers building policies from user input run this). *)
+val validate : t -> unit
+
+(** [of_string s] parses the [bench --policy] / [DRACONIS_POLICY]
+    syntax: [fcfs], [priority:<levels>], [edf:<deadline_us>],
+    [wfq:<quantum_us>:<w1,w2,...>], [aging:<levels>:<quantum_us>]
+    (durations in microseconds).  Unknown disciplines or malformed
+    parameters raise [Invalid_argument] — never a silent default. *)
+val of_string : string -> t
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,5 +1,12 @@
 open Draconis_sim
+open Draconis_net
 open Draconis_proto
+open Draconis_pifo
+
+type pifo_pop =
+  | Pop_start
+  | Pop_scan of Pifo.scan
+  | Pop_claim of Pifo.candidate
 
 type t =
   | Wire of Message.t
@@ -20,6 +27,25 @@ type t =
       rtrv_prio : int;
       requested_at : Time.t;
     }
+  | Pifo_admit of {
+      probe : Pifo.probe;
+      task : Task.t;
+      client : Addr.t;
+      uid : int;
+      jid : int;
+      rest : Task.t list;
+    }
+  | Pifo_pop of {
+      step : pifo_pop;
+      info : Message.executor_info;
+      requested_at : Time.t;
+      restarts : int;
+    }
+
+let pp_pifo_pop fmt = function
+  | Pop_start -> Format.pp_print_string fmt "start"
+  | Pop_scan _ -> Format.pp_print_string fmt "scan"
+  | Pop_claim _ -> Format.pp_print_string fmt "claim"
 
 let pp fmt = function
   | Wire msg -> Format.fprintf fmt "wire(%a)" Message.pp msg
@@ -34,3 +60,8 @@ let pp fmt = function
     Format.fprintf fmt "resubmit(level=%d %a)" level Entry.pp entry
   | Prio_request { rtrv_prio; requested_at; _ } ->
     Format.fprintf fmt "prio_request(prio=%d at=%a)" rtrv_prio Time.pp requested_at
+  | Pifo_admit { task; rest; _ } ->
+    Format.fprintf fmt "pifo_admit(%a +%d)" Task.pp task (List.length rest)
+  | Pifo_pop { step; restarts; requested_at; _ } ->
+    Format.fprintf fmt "pifo_pop(%a restarts=%d at=%a)" pp_pifo_pop step restarts
+      Time.pp requested_at

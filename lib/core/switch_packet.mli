@@ -12,7 +12,15 @@
     metadata on a real switch. *)
 
 open Draconis_sim
+open Draconis_net
 open Draconis_proto
+open Draconis_pifo
+
+(** Which traversal of a multi-traversal PIFO pop the packet is on. *)
+type pifo_pop =
+  | Pop_start  (** begin (or restart) the rank-store scan *)
+  | Pop_scan of Pifo.scan  (** scan in flight, one row per traversal *)
+  | Pop_claim of Pifo.candidate  (** scan done; claim the winner *)
 
 type t =
   | Wire of Message.t  (** packet from a client or executor *)
@@ -34,5 +42,19 @@ type t =
       rtrv_prio : int;  (** next priority level to scan (1-based) *)
       requested_at : Time.t;
     }
+  | Pifo_admit of {
+      probe : Pifo.probe;  (** in-flight admission probe state *)
+      task : Task.t;  (** the task being admitted *)
+      client : Addr.t;
+      uid : int;
+      jid : int;
+      rest : Task.t list;  (** submission tasks still to admit *)
+    }  (** a PIFO admission whose probe row was full (recirculating) *)
+  | Pifo_pop of {
+      step : pifo_pop;
+      info : Message.executor_info;
+      requested_at : Time.t;
+      restarts : int;  (** pops restarted after a lost claim *)
+    }  (** a multi-traversal PIFO pop serving a task request *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,12 +1,20 @@
 open Draconis_sim
 open Draconis_p4
+open Draconis_pifo
 open Draconis_proto
 module Obs = Draconis_obs
+
+(* The queue substrate behind the program: the paper's circular queues,
+   or a rank store for the PIFO-backed disciplines.  [vft] is WFQ's
+   per-tenant virtual-finish-time register. *)
+type backend =
+  | Queues of Circular_queue.t array
+  | Rank_store of { pifo : Pifo.t; vft : Register.t option }
 
 type t = {
   engine : Engine.t;
   policy : Policy.t;
-  queues : Circular_queue.t array;
+  backend : backend;
   instrument : Instrument.t;
   mutable assignments : int;
   mutable noops : int;
@@ -16,20 +24,59 @@ type t = {
   mutable repairs_launched : int;
 }
 
+(* An in-switch PIFO cannot be deep: every pop spends one recirculation
+   per rank-store row, so rows — and with them capacity — must stay
+   small (see lib/pifo).  [pifo_scan_width] banks keeps the store within
+   the stage register budget while bounding a full scan to
+   [capacity / scan_width] traversals. *)
+let pifo_scan_width = 16
+let pifo_capacity_limit = 4096
+let max_pop_restarts = 3
+
 let create ~engine ?(instrument = Instrument.default) ~policy ~queue_capacity () =
   if queue_capacity < 1 then
     invalid_arg "Switch_program.create: queue_capacity must be >= 1";
-  let levels = Policy.queue_count policy in
-  let queues =
-    Array.init levels (fun level ->
-        Circular_queue.create
-          ~name:(Printf.sprintf "queue%d" level)
-          ~capacity:queue_capacity ())
+  Policy.validate policy;
+  let backend =
+    match Policy.backend policy with
+    | Policy.Circular ->
+      let levels = Policy.queue_count policy in
+      Queues
+        (Array.init levels (fun level ->
+             Circular_queue.create
+               ~name:(Printf.sprintf "queue%d" level)
+               ~capacity:queue_capacity ()))
+    | Policy.Pifo ->
+      if queue_capacity > pifo_capacity_limit then
+        invalid_arg
+          (Printf.sprintf
+             "Switch_program.create: PIFO capacity %d exceeds %d (a pop \
+              recirculates once per rank-store row; deep PIFOs are the point \
+              of the circular queue)"
+             queue_capacity pifo_capacity_limit);
+      let scan_width = min pifo_scan_width queue_capacity in
+      if queue_capacity mod scan_width <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Switch_program.create: PIFO capacity %d must be a multiple of \
+              the scan width %d"
+             queue_capacity scan_width);
+      let pifo =
+        Pifo.create ~name:"pifo" ~capacity:queue_capacity ~scan_width
+          ~word_count:Entry.word_count ()
+      in
+      let vft =
+        match policy with
+        | Policy.Wfq { weights; _ } ->
+          Some (Register.create ~name:"pifo.vft" ~size:(Array.length weights) ())
+        | _ -> None
+      in
+      Rank_store { pifo; vft }
   in
   {
     engine;
     policy;
-    queues;
+    backend;
     instrument;
     assignments = 0;
     noops = 0;
@@ -41,16 +88,32 @@ let create ~engine ?(instrument = Instrument.default) ~policy ~queue_capacity ()
 
 let policy t = t.policy
 
+let queues_exn t =
+  match t.backend with
+  | Queues queues -> queues
+  | Rank_store _ ->
+    invalid_arg "Switch_program: PIFO-backed policy has no circular queue"
+
 let queue t level =
-  if level < 0 || level >= Array.length t.queues then
+  let queues = queues_exn t in
+  if level < 0 || level >= Array.length queues then
     invalid_arg "Switch_program.queue: bad level";
-  t.queues.(level)
+  queues.(level)
+
+let pifo t =
+  match t.backend with Rank_store { pifo; _ } -> Some pifo | Queues _ -> None
 
 let total_occupancy t =
-  Array.fold_left (fun acc q -> acc + Circular_queue.occupancy q) 0 t.queues
+  match t.backend with
+  | Queues queues ->
+    Array.fold_left (fun acc q -> acc + Circular_queue.occupancy q) 0 queues
+  | Rank_store { pifo; _ } -> Pifo.occupancy pifo
 
 let registers t =
-  Array.to_list t.queues |> List.concat_map Circular_queue.registers
+  match t.backend with
+  | Queues queues -> Array.to_list queues |> List.concat_map Circular_queue.registers
+  | Rank_store { pifo; vft } ->
+    Pifo.registers pifo @ (match vft with Some r -> [ r ] | None -> [])
 
 let assignments t = t.assignments
 let noops t = t.noops
@@ -107,7 +170,7 @@ let retrieve_repair_output t ~level = function
 
 (* Enqueue one entry; shared by job submissions and task resubmission. *)
 let enqueue_entry t ctx ~level (entry : Entry.t) =
-  let outcome = Circular_queue.enqueue t.queues.(level) ctx entry in
+  let outcome = Circular_queue.enqueue (queues_exn t).(level) ctx entry in
   (match outcome with
   | Circular_queue.Enqueued _ ->
     t.instrument.on_enqueue entry.task.id ~level;
@@ -171,7 +234,7 @@ let start_swap t ~level ~(entry : Entry.t) ~index ~info ~requested_at =
   Causal.flag_swap entry.task.id;
   Causal.spin entry.task.id ~at:(Engine.now t.engine);
   Obs.Recorder.count "switch.swaps" 1;
-  let next = Circular_queue.next_index t.queues.(level) index in
+  let next = Circular_queue.next_index (queues_exn t).(level) index in
   recirc t ~kind:"swap"
     (Switch_packet.Swap
        {
@@ -185,11 +248,12 @@ let start_swap t ~level ~(entry : Entry.t) ~index ~info ~requested_at =
        })
 
 let handle_request t ctx (info : Message.executor_info) ~rtrv_prio ~requested_at =
-  let levels = Array.length t.queues in
+  let queues = queues_exn t in
+  let levels = Array.length queues in
   if rtrv_prio < 1 || rtrv_prio > levels then [ noop_to t info ]
   else begin
     let level = rtrv_prio - 1 in
-    match Circular_queue.dequeue t.queues.(level) ctx with
+    match Circular_queue.dequeue queues.(level) ctx with
     | Circular_queue.Repair_pending -> [ noop_to t info ]
     | Circular_queue.Empty ->
       (* Priority policy: scan the next-lower priority level via
@@ -222,7 +286,7 @@ let resubmit_and_noop t ~level ~(entry : Entry.t) ~info =
 
 let handle_swap t ctx ~level ~entry ~swap_indx ~info ~pkt_retrieve_ptr ~attempts
     ~requested_at =
-  let q = t.queues.(level) in
+  let q = (queues_exn t).(level) in
   let add_ptr, retrieve_ptr = Circular_queue.read_pointers q ctx in
   (* §5.1 staleness guard: if the retrieve pointer moved past our
      snapshot, swapping at SWAP_INDX could strand the packet's task in a
@@ -306,28 +370,195 @@ let handle_resubmit t ctx ~level (entry : Entry.t) =
           );
       ]
 
+(* -- PIFO-backed disciplines (admission, multi-traversal pops) ------------- *)
+
+(* Rank computation rides the admission traversal; every register it
+   touches (WFQ's vft) is distinct from the PIFO's own arrays, so the
+   traversal stays within the one-access-per-register rule. *)
+let pifo_rank t ctx vft (task : Task.t) =
+  let now = Engine.now t.engine in
+  match t.policy with
+  | Policy.Edf { default_deadline } ->
+    (* Rank = absolute deadline. *)
+    now + Option.value ~default:default_deadline (Task.relative_deadline task)
+  | Policy.Wfq { quantum; weights } ->
+    let n = Array.length weights in
+    let tenant =
+      match Task.tenant task with
+      | Some id when id >= 0 && id < n -> id
+      | Some _ -> n - 1
+      | None -> 0
+    in
+    let cost = max 1 (quantum / weights.(tenant)) in
+    let reg = Option.get vft in
+    (* Virtual finish time F = max(prev, now) + quantum/weight; the
+       stateful ALU hands the updated value back in packet metadata.
+       Note the clock advances even if the occupancy gate later bounces
+       the task — the ALUs fire in stage order on real hardware too. *)
+    let finish = ref 0 in
+    ignore
+      (Register.read_modify_write reg ctx tenant (fun prev ->
+           let f = (if prev > now then prev else now) + cost in
+           finish := f;
+           f));
+    !finish
+  | Policy.Aging_priority { levels; quantum } ->
+    (* Strict priority with aging: one level costs [quantum] of queue
+       age, so lower-priority tasks overtake once they are old enough. *)
+    let p = Task.priority_level task in
+    let p = if p < 1 then 1 else if p > levels then levels else p in
+    now + ((p - 1) * quantum)
+  | Policy.Fcfs | Policy.Resource_aware _ | Policy.Locality_aware _
+  | Policy.Priority _ ->
+    now
+
+let pifo_admitted t pifo (task : Task.t) ~packed =
+  t.instrument.on_rank task.id ~rank:(Pifo.rank_of_packed packed);
+  t.instrument.on_enqueue task.id ~level:0;
+  Causal.enqueue task.id ~at:(Engine.now t.engine) ~level:0;
+  if Pifo.needs_renumber pifo then begin
+    (* Switch-CPU stamp compaction; in-flight scans lose their claims
+       through the epoch bump and restart. *)
+    Pifo.renumber pifo;
+    Obs.Recorder.count "pifo.renumbers" 1
+  end
+
+let pifo_reject t ~client ~uid ~jid tasks =
+  t.rejected_tasks <- t.rejected_tasks + List.length tasks;
+  t.instrument.on_reject (List.length tasks);
+  List.iter
+    (fun (task : Task.t) -> Causal.reject task.id ~at:(Engine.now t.engine))
+    tasks;
+  Obs.Recorder.count "switch.rejected_tasks" (List.length tasks);
+  [ Pipeline.Emit (client, Message.Queue_full { uid; jid; tasks }) ]
+
+let pifo_continue t ~client ~uid ~jid rest =
+  if rest = [] then [ Pipeline.Emit (client, Message.Job_ack { uid; jid }) ]
+  else begin
+    List.iter
+      (fun (task : Task.t) -> Causal.spin task.id ~at:(Engine.now t.engine))
+      rest;
+    [ recirc t ~kind:"submission"
+        (Switch_packet.Wire (Job_submission { client; uid; jid; tasks = rest }));
+    ]
+  end
+
+let pifo_admit_outcome t pifo ~client ~uid ~jid ~(task : Task.t) ~rest = function
+  | Pifo.Admitted { slot = _; packed } ->
+    pifo_admitted t pifo task ~packed;
+    pifo_continue t ~client ~uid ~jid rest
+  | Pifo.Probing probe ->
+    (* Probe row was full: the admission recirculates with an advanced
+       row cursor. *)
+    Causal.spin task.id ~at:(Engine.now t.engine);
+    [ recirc t ~kind:"pifo-probe"
+        (Switch_packet.Pifo_admit { probe; task; client; uid; jid; rest });
+    ]
+  | Pifo.Full ->
+    (* Occupancy gate (or probe budget): bounce every not-yet-admitted
+       task back to the client, like a full circular queue (§4.3). *)
+    pifo_reject t ~client ~uid ~jid (task :: rest)
+
+let handle_pifo_submission t ctx pifo vft ~client ~uid ~jid ~tasks =
+  match tasks with
+  | [] -> [ Pipeline.Emit (client, Message.Job_ack { uid; jid }) ]
+  | task :: rest ->
+    let rank = pifo_rank t ctx vft task in
+    let words = Entry.to_words (Entry.make ~task ~client ()) in
+    pifo_admit_outcome t pifo ~client ~uid ~jid ~task ~rest
+      (Pifo.admit pifo ctx ~rank ~words)
+
+let pifo_pop_next t ~info ~requested_at ~restarts = function
+  | Pifo.Empty | Pifo.Drained ->
+    (* Nothing claimable (drained scans race in-flight admissions): the
+       executor gets a no-op and polls again. *)
+    [ noop_to t info ]
+  | Pifo.Scanning s ->
+    [ recirc t ~kind:"pifo-scan"
+        (Switch_packet.Pifo_pop
+           { step = Switch_packet.Pop_scan s; info; requested_at; restarts });
+    ]
+  | Pifo.Ready c ->
+    (* The claim needs its own traversal: the final scan traversal
+       already accessed the winner's bank register. *)
+    [ recirc t ~kind:"pifo-claim"
+        (Switch_packet.Pifo_pop
+           { step = Switch_packet.Pop_claim c; info; requested_at; restarts });
+    ]
+
+let handle_pifo_pop t ctx pifo ~info ~requested_at ~restarts step =
+  match step with
+  | Switch_packet.Pop_start ->
+    t.instrument.on_pop_scan ();
+    pifo_pop_next t ~info ~requested_at ~restarts (Pifo.scan_start pifo ctx)
+  | Switch_packet.Pop_scan s ->
+    pifo_pop_next t ~info ~requested_at ~restarts (Pifo.scan_step pifo ctx s)
+  | Switch_packet.Pop_claim c -> (
+    match Pifo.claim pifo ctx c with
+    | Pifo.Claimed { slot = _; packed = _; words } ->
+      let entry = Entry.of_words words in
+      t.instrument.on_dequeue entry.task.id ~level:0;
+      Causal.dequeue entry.task.id ~at:(Engine.now t.engine);
+      [ assign_to t info entry ~requested_at ]
+    | Pifo.Lost ->
+      (* Raced by another claimer or invalidated by a renumber. *)
+      if restarts >= max_pop_restarts then [ noop_to t info ]
+      else
+        [ recirc t ~kind:"pifo-restart"
+            (Switch_packet.Pifo_pop
+               {
+                 step = Switch_packet.Pop_start;
+                 info;
+                 requested_at;
+                 restarts = restarts + 1;
+               });
+        ])
+
+(* Serve an executor's task request on whichever backend the policy
+   deployed. *)
+let serve_request t ctx info ~rtrv_prio ~requested_at =
+  match t.backend with
+  | Queues _ -> handle_request t ctx info ~rtrv_prio ~requested_at
+  | Rank_store { pifo; _ } ->
+    handle_pifo_pop t ctx pifo ~info ~requested_at ~restarts:0
+      Switch_packet.Pop_start
+
 (* -- the program ----------------------------------------------------------- *)
 
 let program t : (Message.t, Switch_packet.t) Pipeline.program =
  fun ctx pkt ->
   let now = Engine.now t.engine in
   match pkt with
-  | Switch_packet.Wire (Job_submission { client; uid; jid; tasks }) ->
-    handle_submission t ctx ~client ~uid ~jid ~tasks
+  | Switch_packet.Wire (Job_submission { client; uid; jid; tasks }) -> (
+    match t.backend with
+    | Queues _ -> handle_submission t ctx ~client ~uid ~jid ~tasks
+    | Rank_store { pifo; vft } ->
+      handle_pifo_submission t ctx pifo vft ~client ~uid ~jid ~tasks)
   | Switch_packet.Wire (Task_request { info; rtrv_prio }) ->
-    handle_request t ctx info ~rtrv_prio ~requested_at:now
+    serve_request t ctx info ~rtrv_prio ~requested_at:now
   | Switch_packet.Prio_request { info; rtrv_prio; requested_at } ->
     handle_request t ctx info ~rtrv_prio ~requested_at
   | Switch_packet.Wire (Task_completion { task_id = _; client; info; rtrv_prio } as completion) ->
     (* Forward the completion to the client and serve the piggybacked
        request for the executor's next task (§3.1). *)
     Pipeline.Emit (client, completion)
-    :: handle_request t ctx info ~rtrv_prio ~requested_at:now
+    :: serve_request t ctx info ~rtrv_prio ~requested_at:now
+  | Switch_packet.Pifo_admit { probe; task; client; uid; jid; rest } -> (
+    match t.backend with
+    | Rank_store { pifo; _ } ->
+      pifo_admit_outcome t pifo ~client ~uid ~jid ~task ~rest
+        (Pifo.probe pifo ctx probe)
+    | Queues _ -> [ Pipeline.Drop ])
+  | Switch_packet.Pifo_pop { step; info; requested_at; restarts } -> (
+    match t.backend with
+    | Rank_store { pifo; _ } ->
+      handle_pifo_pop t ctx pifo ~info ~requested_at ~restarts step
+    | Queues _ -> [ noop_to t info ])
   | Switch_packet.Repair_add { level; target } ->
-    Circular_queue.apply_repair_add t.queues.(level) ctx ~target;
+    Circular_queue.apply_repair_add (queues_exn t).(level) ctx ~target;
     []
   | Switch_packet.Repair_retrieve { level; target } ->
-    Circular_queue.apply_repair_retrieve t.queues.(level) ctx ~target;
+    Circular_queue.apply_repair_retrieve (queues_exn t).(level) ctx ~target;
     []
   | Switch_packet.Swap { level; entry; swap_indx; info; pkt_retrieve_ptr; attempts; requested_at } ->
     handle_swap t ctx ~level ~entry ~swap_indx ~info ~pkt_retrieve_ptr ~attempts

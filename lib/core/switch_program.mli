@@ -5,6 +5,13 @@
     scheduling via task swapping, and priority scheduling over
     replicated per-level queues scanned through recirculation.
 
+    PIFO-backed policies ({!Policy.backend} = [Pifo]: EDF, WFQ, aging
+    priority) replace the circular queues with a {!Draconis_pifo.Pifo}
+    rank store: admissions compute a rank on their traversal and pops
+    become multi-traversal scans whose recirculations the instrument
+    hooks surface ("pifo-probe" / "pifo-scan" / "pifo-claim" /
+    "pifo-restart").
+
     The program is pure packet-in / packets-out logic against the
     {!Circular_queue} register state; it never blocks, loops, or holds
     state outside registers and per-packet metadata — the restrictions
@@ -17,7 +24,11 @@ type t
 
 (** [create ~engine ~policy ~queue_capacity ()] allocates the per-level
     queues ([queue_capacity] entries each) and program state.
-    [instrument] defaults to {!Instrument.default}. *)
+    [instrument] defaults to {!Instrument.default}.  Runs
+    {!Policy.validate} on [policy].  For PIFO-backed policies
+    [queue_capacity] must be a multiple of the scan width (16, or the
+    capacity itself when smaller) and at most 4096 — a pop recirculates
+    once per rank-store row, so deep PIFOs are rejected loudly. *)
 val create :
   engine:Engine.t ->
   ?instrument:Instrument.t ->
@@ -35,8 +46,12 @@ val policy : t -> Policy.t
 
 (** [queue t level] exposes a level's queue for tests and invariant
     checks.
-    @raise Invalid_argument on an out-of-range level. *)
+    @raise Invalid_argument on an out-of-range level or when the policy
+    deploys the PIFO backend. *)
 val queue : t -> int -> Circular_queue.t
+
+(** The rank store, when the policy deploys the PIFO backend. *)
+val pifo : t -> Draconis_pifo.Pifo.t option
 
 (** Total tasks currently held across all levels (control-plane view). *)
 val total_occupancy : t -> int

@@ -12,6 +12,8 @@ type event =
   | Noop
   | Repair_flag of { flag : string; level : int }
   | Recirculated of { kind : string }
+  | Ranked of { id : Task.id; rank : int }
+  | Pop_scan_started
   | Delivered of { id : Task.id; executor : int }
   | Returned of { id : Task.id }
   | Completed of { id : Task.id }
@@ -30,6 +32,8 @@ let event_to_string = function
   | Noop -> "noop"
   | Repair_flag { flag; level } -> Printf.sprintf "repair-flag %s L%d" flag level
   | Recirculated { kind } -> Printf.sprintf "recirculated %s" kind
+  | Ranked { id; rank } -> Printf.sprintf "ranked %s rank=%d" (id_to_string id) rank
+  | Pop_scan_started -> "pop-scan"
   | Delivered { id; executor } ->
     Printf.sprintf "delivered %s exec=%d" (id_to_string id) executor
   | Returned { id } -> Printf.sprintf "returned %s" (id_to_string id)
@@ -65,6 +69,7 @@ let invariants =
     "stamp-validity";
     "single-register-access";
     "replication-consistency";
+    "pifo-order";
   ]
 
 type violation = { invariant : string; detail : string; trace : string list }
@@ -110,10 +115,57 @@ let check ?twin schedule run =
   (* The swap primitive of constraint-based policies reorders the queue
      by design (§5.1), and duplicate submissions make physical copies of
      one id indistinguishable to the oracle — so FIFO order is only an
-     invariant of the non-swapping policies.  Conservation and occupancy
-     stay exact either way. *)
+     invariant of the non-swapping policies.  PIFO disciplines release
+     by rank, not FIFO; they get the dedicated pifo-order invariant
+     below instead.  Conservation and occupancy stay exact either way. *)
+  let pifo = Schedule.is_pifo schedule.Schedule.policy in
   let reorders =
-    match schedule.Schedule.policy with Schedule.Rsrc _ -> true | _ -> false
+    (match schedule.Schedule.policy with Schedule.Rsrc _ -> true | _ -> false)
+    || pifo
+  in
+  (* PIFO-order bookkeeping: ranks stamped at admission, the queued set
+     in enqueue order, and outstanding scan starts.  A dequeue may
+     legally miss entries admitted after its scan began; entries
+     admitted before the EARLIEST outstanding scan start were visible
+     to every active scan, so releasing a larger rank past one of them
+     is a real ordering violation (same-rank ties are free). *)
+  let last_rank = Hashtbl.create 64 in
+  let pifo_queued = ref [] in
+  let scan_starts = Queue.create () in
+  let pifo_dequeue ~at id =
+    let rec split acc = function
+      | [] -> None
+      | (id', r, e) :: rest when Task.compare_id id' id = 0 ->
+        Some ((r, e), List.rev_append acc rest)
+      | x :: rest -> split (x :: acc) rest
+    in
+    match split [] !pifo_queued with
+    | None -> () (* stamp-validity flags unknown dequeues already *)
+    | Some ((rank, _), rest) ->
+      pifo_queued := rest;
+      checked "pifo-order";
+      let horizon =
+        match Queue.peek_opt scan_starts with Some s -> s | None -> at
+      in
+      let offender =
+        List.fold_left
+          (fun best (id', r', e') ->
+            if e' < horizon && r' < rank then
+              match best with
+              | Some (_, rb, _) when rb <= r' -> best
+              | _ -> Some (id', r', e')
+            else best)
+          None rest
+      in
+      (match offender with
+      | None -> ()
+      | Some (id', r', _) ->
+        violate ~at "pifo-order"
+          (Printf.sprintf
+             "dequeued %s (rank %d) while %s (rank %d, admitted before the \
+              scan began) was still queued"
+             (id_to_string id) rank (id_to_string id') r'));
+      ignore (Queue.take_opt scan_starts)
   in
   let submitted = Hashtbl.create 64 in
   let accounted = Hashtbl.create 64 in
@@ -148,7 +200,13 @@ let check ?twin schedule run =
           (Printf.sprintf "swap popped %s at L%d, which the oracle never queued"
              (id_to_string out) level));
       i := at + 2
+    | Ranked { id; rank } -> Hashtbl.replace last_rank id rank
+    | Pop_scan_started -> if pifo then Queue.add at scan_starts
     | Enqueued { id; level } -> (
+      if pifo then
+        pifo_queued :=
+          !pifo_queued
+          @ [ (id, Option.value ~default:0 (Hashtbl.find_opt last_rank id), at) ];
       checked "occupancy-bound";
       match Oracle.push oracle ~level id with
       | Oracle.Pushed -> ()
@@ -157,6 +215,7 @@ let check ?twin schedule run =
           (Printf.sprintf "enqueue of %s at L%d beyond capacity %d" (id_to_string id)
              level schedule.Schedule.capacity))
     | Dequeued { id; level } -> (
+      if pifo then pifo_dequeue ~at id;
       if not reorders then checked "fifo-order";
       checked "stamp-validity";
       match Oracle.head oracle ~level with

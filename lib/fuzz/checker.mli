@@ -24,6 +24,9 @@ type event =
   | Noop
   | Repair_flag of { flag : string; level : int }
   | Recirculated of { kind : string }
+  | Ranked of { id : Task.id; rank : int }
+      (** the switch computed this task's PIFO rank at admission *)
+  | Pop_scan_started  (** a PIFO pop began its scan (occupancy was read) *)
   | Delivered of { id : Task.id; executor : int }
       (** assignment arrived at an executor *)
   | Returned of { id : Task.id }  (** queue_full bounced the task to its client *)
@@ -57,7 +60,7 @@ type run = {
 (** The invariant registry, in reporting order: no-lost-task,
     no-duplicate-task, fifo-order, occupancy-bound,
     pointer-convergence, stamp-validity, single-register-access,
-    replication-consistency. *)
+    replication-consistency, pifo-order. *)
 val invariants : string list
 
 type violation = {

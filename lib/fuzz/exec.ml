@@ -32,11 +32,17 @@ let policy_of = function
   | Schedule.Fcfs -> Policy.Fcfs
   | Schedule.Prio levels -> Policy.Priority { levels }
   | Schedule.Rsrc max_swaps -> Policy.Resource_aware { max_swaps }
+  | Schedule.Edf default_deadline -> Policy.Edf { default_deadline }
+  | Schedule.Wfq (quantum, weights) ->
+    Policy.Wfq { quantum; weights = Array.of_list weights }
+  | Schedule.Aging (levels, quantum) -> Policy.Aging_priority { levels; quantum }
 
 let tprops_of = function
   | Op.P_none -> Task.No_props
   | Op.P_prio p -> Task.Priority p
   | Op.P_rsrc r -> Task.Resources r
+  | Op.P_deadline d -> Task.Deadline d
+  | Op.P_tenant t -> Task.Tenant t
 
 (* Resource bitmaps the executors advertise, round-robin by index; the
    generator draws task requirements from the same set. *)
@@ -127,6 +133,8 @@ let run ?bug (schedule : Schedule.t) =
           record
             (Checker.Repair_flag
                { flag = Instrument.repair_flag_name flag; level }));
+      on_rank = (fun id ~rank -> record (Checker.Ranked { id; rank }));
+      on_pop_scan = (fun () -> record Checker.Pop_scan_started);
     }
   in
   let program =
@@ -141,7 +149,8 @@ let run ?bug (schedule : Schedule.t) =
       (Switch_program.program program)
   in
   (* Pointer wraparound: start both pointers of every level just below
-     the wrap modulus so the schedule crosses the boundary early. *)
+     the wrap modulus so the schedule crosses the boundary early
+     (Schedule.validate rejects wrap_offset for pointer-free PIFOs). *)
   (match schedule.wrap_offset with
   | None -> ()
   | Some offset ->
@@ -225,8 +234,29 @@ let run ?bug (schedule : Schedule.t) =
       try ignore (Engine.run ~max_events engine)
       with Draconis_p4.Packet_ctx.Access_violation name ->
         access_violation := Some name);
-  (* Drained end state, level by level. *)
+  (* Drained end state.  PIFO backends have no pointers or repair flags;
+     their walk is the rank store in packed (pop) order, and the
+     occupancy register plays the pointer-occupancy role (a claim that
+     leaked the occupancy gate fails pointer convergence). *)
   let levels =
+    match Switch_program.pifo program with
+    | Some pifo ->
+      let walk =
+        List.map
+          (fun words -> (Entry.of_words words).Entry.task.id)
+          (Draconis_pifo.Pifo.peek_payloads pifo)
+      in
+      [|
+        {
+          Checker.add_ptr = 0;
+          retrieve_ptr = 0;
+          add_flag = false;
+          retrieve_flag = false;
+          pointer_occupancy = Draconis_pifo.Pifo.occupancy pifo;
+          walk;
+        };
+      |]
+    | None ->
     Array.init
       (Policy.queue_count (policy_of schedule.policy))
       (fun level ->

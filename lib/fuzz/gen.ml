@@ -20,12 +20,22 @@ let capacities = [| 1; 2; 3; 4; 8; 16 |]
    interleave inside the pipeline; large gaps let repairs drain. *)
 let gaps = [| 0; 0; 1; 10; 100; 1_000; 10_000 |]
 
+(* PIFO capacities: multiples of min(16, capacity), including multi-row
+   stores (32/48) so pops exercise multi-traversal scans. *)
+let pifo_capacities = [| 2; 4; 8; 16; 32; 48 |]
+
 let gen_policy rng =
   choose rng
     [
-      (6, Schedule.Fcfs);
+      (5, Schedule.Fcfs);
       (2, Schedule.Prio (2 + Rng.int rng 3));
       (2, Schedule.Rsrc (1 + Rng.int rng 3));
+      (2, Schedule.Edf (Time.us (1 + Rng.int rng 100)));
+      ( 2,
+        Schedule.Wfq
+          ( Time.us (1 + Rng.int rng 20),
+            List.init (2 + Rng.int rng 3) (fun _ -> 1 + Rng.int rng 8) ) );
+      (1, Schedule.Aging (2 + Rng.int rng 3, Time.us (1 + Rng.int rng 50)));
     ]
 
 let gen_prop rng policy =
@@ -40,6 +50,22 @@ let gen_prop rng policy =
   | Schedule.Rsrc _ ->
     (* Resource masks the executors advertise are 0x1/0x2/0x3. *)
     Op.P_rsrc (pick rng [| 0x1; 0x2; 0x3 |])
+  | Schedule.Edf _ ->
+    (* Mix tight/loose deadlines, the occasional missing one (default
+       deadline path), and a u32-max one that forces a rank clamp. *)
+    if Rng.int rng 10 = 0 then Op.P_none
+    else if Rng.int rng 10 = 0 then Op.P_deadline 0xFFFFFFFF
+    else Op.P_deadline (Time.us (1 + Rng.int rng 200))
+  | Schedule.Wfq (_, weights) ->
+    (* Mostly valid tenants; sometimes out-of-range ids that clamp to
+       the last weight, or a missing prop (tenant 0). *)
+    let n = List.length weights in
+    if Rng.int rng 10 = 0 then Op.P_tenant (n + Rng.int rng 4)
+    else if Rng.int rng 10 = 0 then Op.P_none
+    else Op.P_tenant (Rng.int rng n)
+  | Schedule.Aging (levels, _) ->
+    if Rng.int rng 10 = 0 then Op.P_prio (levels + 3)
+    else Op.P_prio (1 + Rng.int rng levels)
 
 let gen_fault rng ~executors ~at =
   choose rng
@@ -79,14 +105,19 @@ let gen_fault rng ~executors ~at =
 let schedule ?(ops = 40) ~seed () =
   if ops < 1 then invalid_arg "Gen.schedule: ops must be >= 1";
   let rng = Rng.create ~seed in
-  let capacity = pick rng capacities in
   let policy = gen_policy rng in
+  let capacity =
+    if Schedule.is_pifo policy then pick rng pifo_capacities else pick rng capacities
+  in
   let clients = 1 + Rng.int rng 3 in
   let executors = 1 + Rng.int rng 6 in
   let service = Time.us (1 + Rng.int rng 5) in
   let wrap_offset =
-    (* Half the schedules start right below the pointer wrap boundary. *)
-    if Rng.bool rng then Some (Rng.int rng ((2 * capacity) + 1)) else None
+    (* Half the schedules start right below the pointer wrap boundary
+       (rank stores have no pointers to wrap). *)
+    if (not (Schedule.is_pifo policy)) && Rng.bool rng then
+      Some (Rng.int rng ((2 * capacity) + 1))
+    else None
   in
   (* ~30% of schedules carry fault windows; conservation stays strict on
      the rest (Checker relaxes it only when lossy faults are present). *)

@@ -1,6 +1,11 @@
 open Draconis_sim
 
-type prop = P_none | P_prio of int | P_rsrc of int
+type prop =
+  | P_none
+  | P_prio of int
+  | P_rsrc of int
+  | P_deadline of int
+  | P_tenant of int
 
 type t =
   | Submit of {
@@ -55,6 +60,8 @@ let prop_to_string = function
   | P_none -> ""
   | P_prio p -> Printf.sprintf " prio=%d" p
   | P_rsrc r -> Printf.sprintf " rsrc=%d" r
+  | P_deadline d -> Printf.sprintf " deadline=%d" d
+  | P_tenant t -> Printf.sprintf " tenant=%d" t
 
 let to_string = function
   | Submit { at; client; uid; jid; count; prop } ->
@@ -125,13 +132,25 @@ let of_string line =
         let jid = int_of line (take line fields "jid") in
         let count = int_of line (take line fields "count") in
         let prop =
-          match (take_opt fields "prio", take_opt fields "rsrc") with
-          | None, None -> P_none
-          | Some p, None -> P_prio (int_of line p)
-          | None, Some r -> P_rsrc (int_of line r)
-          | Some _, Some _ ->
+          let candidates =
+            List.filter_map
+              (fun (key, wrap) ->
+                Option.map (fun v -> (key, wrap (int_of line v))) (take_opt fields key))
+              [
+                ("prio", fun p -> P_prio p);
+                ("rsrc", fun r -> P_rsrc r);
+                ("deadline", fun d -> P_deadline d);
+                ("tenant", fun t -> P_tenant t);
+              ]
+          in
+          match candidates with
+          | [] -> P_none
+          | [ (_, prop) ] -> prop
+          | picked ->
             invalid_arg
-              (Printf.sprintf "Op.of_string: %S: both prio and rsrc given" line)
+              (Printf.sprintf "Op.of_string: %S: conflicting task properties (%s)"
+                 line
+                 (String.concat ", " (List.map fst picked)))
         in
         Submit { at; client; uid; jid; count; prop }
       | "request" ->
@@ -187,7 +206,14 @@ let validate op =
        adversarial input (the switch clamps them to the lowest level);
        only values the TPROPS wire field cannot carry are rejected. *)
     | P_prio p -> if p < 1 || p > 0xFF then invalid_arg "Op.validate: prio range"
-    | P_rsrc r -> if r < 1 then invalid_arg "Op.validate: rsrc must be >= 1")
+    | P_rsrc r -> if r < 1 then invalid_arg "Op.validate: rsrc must be >= 1"
+    (* Deadlines/tenants up to the full u32 TPROPS field are legal
+       adversarial input: huge deadlines hit the rank clamp and
+       out-of-range tenants hit the weight-table clamp. *)
+    | P_deadline d ->
+      if d < 0 || d > 0xFFFFFFFF then invalid_arg "Op.validate: deadline range"
+    | P_tenant t ->
+      if t < 0 || t > 0xFFFFFFFF then invalid_arg "Op.validate: tenant range")
   | Request { executor; prio; _ } ->
     nonneg "executor" executor;
     nonneg "prio" prio

@@ -7,8 +7,14 @@
 
 open Draconis_sim
 
-(** Task property attached to every task of a submission. *)
-type prop = P_none | P_prio of int | P_rsrc of int
+(** Task property attached to every task of a submission ([P_deadline]
+    is a relative deadline in ns; [P_tenant] a WFQ tenant id). *)
+type prop =
+  | P_none
+  | P_prio of int
+  | P_rsrc of int
+  | P_deadline of int
+  | P_tenant of int
 
 type t =
   | Submit of {

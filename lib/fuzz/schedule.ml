@@ -2,7 +2,13 @@ open Draconis_sim
 
 let format_tag = "draconis-fuzz/1"
 
-type policy = Fcfs | Prio of int | Rsrc of int
+type policy =
+  | Fcfs
+  | Prio of int
+  | Rsrc of int
+  | Edf of int  (** default relative deadline, ns *)
+  | Wfq of int * int list  (** quantum ns, tenant weights *)
+  | Aging of int * int  (** levels, quantum ns *)
 
 type t = {
   seed : int;
@@ -15,25 +21,39 @@ type t = {
   ops : Op.t list;
 }
 
-let levels = function Fcfs -> 1 | Prio l -> l | Rsrc _ -> 1
+let levels = function
+  | Fcfs | Rsrc _ | Edf _ | Wfq _ | Aging _ -> 1
+  | Prio l -> l
+
+let is_pifo = function
+  | Edf _ | Wfq _ | Aging _ -> true
+  | Fcfs | Prio _ | Rsrc _ -> false
 
 let policy_to_string = function
   | Fcfs -> "fcfs"
   | Prio l -> Printf.sprintf "prio:%d" l
   | Rsrc s -> Printf.sprintf "rsrc:%d" s
+  | Edf d -> Printf.sprintf "edf:%d" d
+  | Wfq (q, ws) ->
+    Printf.sprintf "wfq:%d:%s" q (String.concat "+" (List.map string_of_int ws))
+  | Aging (l, q) -> Printf.sprintf "aging:%d:%d" l q
 
 let policy_of_string s =
+  let bad () = invalid_arg (Printf.sprintf "Schedule: bad policy %S" s) in
+  let int_of v = match int_of_string_opt v with Some i -> i | None -> bad () in
   match String.split_on_char ':' s with
   | [ "fcfs" ] -> Fcfs
-  | [ "prio"; l ] -> (
-    match int_of_string_opt l with
-    | Some l -> Prio l
-    | None -> invalid_arg (Printf.sprintf "Schedule: bad policy %S" s))
-  | [ "rsrc"; m ] -> (
-    match int_of_string_opt m with
-    | Some m -> Rsrc m
-    | None -> invalid_arg (Printf.sprintf "Schedule: bad policy %S" s))
-  | _ -> invalid_arg (Printf.sprintf "Schedule: bad policy %S (want fcfs|prio:N|rsrc:N)" s)
+  | [ "prio"; l ] -> Prio (int_of l)
+  | [ "rsrc"; m ] -> Rsrc (int_of m)
+  | [ "edf"; d ] -> Edf (int_of d)
+  | [ "wfq"; q; ws ] ->
+    Wfq (int_of q, List.map int_of (String.split_on_char '+' ws))
+  | [ "aging"; l; q ] -> Aging (int_of l, int_of q)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Schedule: bad policy %S (want fcfs|prio:N|rsrc:N|edf:NS|wfq:NS:W+W|aging:N:NS)"
+         s)
 
 let validate t =
   if t.capacity < 1 then invalid_arg "Schedule.validate: capacity must be >= 1";
@@ -44,7 +64,27 @@ let validate t =
   | Fcfs -> ()
   | Prio l ->
     if l < 1 || l > 8 then invalid_arg "Schedule.validate: priority levels outside 1..8"
-  | Rsrc m -> if m < 0 then invalid_arg "Schedule.validate: negative swap bound");
+  | Rsrc m -> if m < 0 then invalid_arg "Schedule.validate: negative swap bound"
+  | Edf d -> if d < 1 then invalid_arg "Schedule.validate: edf deadline must be >= 1"
+  | Wfq (q, ws) ->
+    if q < 1 then invalid_arg "Schedule.validate: wfq quantum must be >= 1";
+    if ws = [] || List.length ws > 8 then
+      invalid_arg "Schedule.validate: wfq wants 1..8 tenant weights";
+    List.iter
+      (fun w -> if w < 1 then invalid_arg "Schedule.validate: wfq weights must be >= 1")
+      ws
+  | Aging (l, q) ->
+    if l < 1 || l > 8 then invalid_arg "Schedule.validate: aging levels outside 1..8";
+    if q < 1 then invalid_arg "Schedule.validate: aging quantum must be >= 1");
+  if is_pifo t.policy then begin
+    (* Mirror Switch_program's PIFO geometry checks so a bad schedule
+       fails at validation, not deep inside the rig. *)
+    let scan_width = min 16 t.capacity in
+    if t.capacity > 4096 || t.capacity mod scan_width <> 0 then
+      invalid_arg "Schedule.validate: pifo capacity must be a multiple of min(16,capacity) and <= 4096";
+    if t.wrap_offset <> None then
+      invalid_arg "Schedule.validate: wrap_offset is meaningless for pifo policies"
+  end;
   (match t.wrap_offset with
   | None -> ()
   | Some o -> if o < 0 then invalid_arg "Schedule.validate: negative wrap offset");

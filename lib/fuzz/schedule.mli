@@ -14,9 +14,16 @@ open Draconis_sim
 
 val format_tag : string
 
-(** Queue policy of the rig: FCFS, [Prio levels], or resource-aware
-    with a swap bound. *)
-type policy = Fcfs | Prio of int | Rsrc of int
+(** Queue policy of the rig: FCFS, [Prio levels], resource-aware with a
+    swap bound, or a PIFO-backed discipline ([Edf default_deadline_ns],
+    [Wfq (quantum_ns, weights)], [Aging (levels, quantum_ns)]). *)
+type policy =
+  | Fcfs
+  | Prio of int
+  | Rsrc of int
+  | Edf of int
+  | Wfq of int * int list
+  | Aging of int * int
 
 type t = {
   seed : int;  (** generator seed; also seeds the rig RNG *)
@@ -33,6 +40,9 @@ type t = {
 
 (** Queue levels the policy needs (= priority levels, else 1). *)
 val levels : policy -> int
+
+(** True for the rank-store disciplines (Edf/Wfq/Aging). *)
+val is_pifo : policy -> bool
 
 val policy_to_string : policy -> string
 

@@ -1,0 +1,313 @@
+open Draconis_sim
+open Draconis_proto
+open Draconis_stats
+open Draconis
+open Draconis_workload
+
+(* A PIFO pop costs [rows + 1] recirculations where a circular queue
+   costs one, so the experiment provisions the loop-back path the way a
+   deployment would (fig12 does the same for the priority policy) and
+   keeps the rank store shallow: 32 slots / 16 banks = 2 scan rows.
+   Concurrent pops all chase the global minimum and only one claim wins,
+   so sustainable pop throughput is roughly one task per scan round trip
+   (~2.4 us here) — the sweep uses 500 us tasks to keep every swept load
+   under that ceiling; pushing past it wedges the rank store full and
+   the client bounce/retry loop takes over (visible in the rejected
+   column if a future change breaks the balance). *)
+let pifo_pipeline =
+  {
+    Draconis_p4.Pipeline.default_config with
+    recirc_slot = Time.ns 10;
+    recirc_queue_limit = 4096;
+  }
+
+let pifo_capacity = 32
+let wfq_weights = [| 8; 4; 2; 1 |]
+let aging_levels = 4
+
+(* One paired comparison: a PIFO discipline vs the circular-queue
+   arrangement a deployment would use instead, on a workload carrying
+   the properties the discipline ranks by. *)
+type discipline = {
+  key : string;
+  policy : Policy.t;
+  baseline_name : string;
+  baseline : Policy.t;
+  baseline_pipeline : Draconis_p4.Pipeline.config;
+  tprops_of : Rng.t -> Task.tprops;
+  class_weight : int -> int;  (** fairness weight of a task class *)
+}
+
+let disciplines =
+  [
+    {
+      key = "edf";
+      policy = Policy.Edf { default_deadline = Time.us 250 };
+      baseline_name = "FCFS";
+      baseline = Policy.Fcfs;
+      baseline_pipeline = Draconis_p4.Pipeline.default_config;
+      (* Mixed-urgency deadlines on the scheduling delay: tight ones
+         FCFS misses behind a burst, loose ones EDF can safely defer. *)
+      tprops_of =
+        (fun rng -> Task.Deadline (Time.us 20 + Rng.int rng (Time.us 480)));
+      class_weight = (fun _ -> 1);
+    };
+    {
+      key = "wfq";
+      policy = Policy.Wfq { quantum = Time.us 10; weights = wfq_weights };
+      baseline_name = "FCFS";
+      baseline = Policy.Fcfs;
+      baseline_pipeline = Draconis_p4.Pipeline.default_config;
+      (* Equal arrival shares: the discipline, not the mix, must produce
+         the weighted delay differentiation. *)
+      tprops_of =
+        (fun rng -> Task.Tenant (Rng.int rng (Array.length wfq_weights)));
+      class_weight =
+        (fun c ->
+          if c >= 0 && c < Array.length wfq_weights then wfq_weights.(c)
+          else wfq_weights.(Array.length wfq_weights - 1));
+    };
+    {
+      key = "aging";
+      policy = Policy.Aging_priority { levels = aging_levels; quantum = Time.us 200 };
+      baseline_name = "Priority";
+      baseline = Policy.Priority { levels = aging_levels };
+      (* The strict-priority baseline recirculates lower-level
+         retrievals, so it gets the provisioned loop-back too. *)
+      baseline_pipeline = pifo_pipeline;
+      tprops_of = (fun rng -> Task.Priority (1 + Rng.int rng aging_levels));
+      class_weight = (fun _ -> 1);
+    };
+  ]
+
+(* --policy / DRACONIS_POLICY restriction: run exactly one discipline
+   (its workload shape keyed by the policy constructor), parameterized
+   as requested.  Unknown or circular-backend policies fail loudly. *)
+let policy_override : Policy.t option ref = ref None
+let set_policy p = policy_override := Some p
+
+let requested_policy () =
+  match !policy_override with
+  | Some p -> Some p
+  | None -> (
+    match Sys.getenv_opt "DRACONIS_POLICY" with
+    | None -> None
+    | Some s -> Some (Policy.of_string s))
+
+let selected_disciplines () =
+  match requested_policy () with
+  | None -> disciplines
+  | Some p ->
+    let key =
+      match p with
+      | Policy.Edf _ -> "edf"
+      | Policy.Wfq _ -> "wfq"
+      | Policy.Aging_priority _ -> "aging"
+      | other ->
+        invalid_arg
+          (Format.asprintf
+             "pifo experiment: --policy/DRACONIS_POLICY must name a \
+              PIFO-backed discipline (edf/wfq/aging), got %a"
+             Policy.pp other)
+    in
+    let d = List.find (fun d -> d.key = key) disciplines in
+    let d = { d with policy = p } in
+    (* A re-parameterized WFQ changes the tenant universe too. *)
+    (match p with
+    | Policy.Wfq { weights; _ } ->
+      let n = Array.length weights in
+      [
+        {
+          d with
+          tprops_of = (fun rng -> Task.Tenant (Rng.int rng n));
+          class_weight =
+            (fun c -> if c >= 0 && c < n then weights.(c) else weights.(n - 1));
+        };
+      ]
+    | _ -> [ d ])
+
+(* Acceptance gate: every discipline's register allocation must place
+   onto the default switch profile.  Raises (fails the experiment) if
+   the rank store stops fitting. *)
+let check_layout d =
+  let spec = { Systems.default_spec with workers = 1; executors_per_worker = 1 } in
+  let cluster, _ =
+    Systems.draconis_cluster
+      ~policy_of:(fun _ -> d.policy)
+      ~queue_capacity:pifo_capacity ~pipeline_config:pifo_pipeline spec
+  in
+  let registers = Switch_program.registers (Cluster.program cluster) in
+  let constraints = Draconis_p4.Layout.of_profile Draconis_p4.Resources.tofino1 in
+  match Draconis_p4.Layout.place constraints registers with
+  | Ok placement ->
+    Printf.printf "%-6s %3d register arrays place on tofino1 (%d stages used)\n"
+      d.key (List.length registers)
+      (Array.fold_left (fun acc n -> acc + min n 1) 0
+         placement.Draconis_p4.Layout.arrays_used)
+  | Error e ->
+    failwith
+      (Format.asprintf "pifo experiment: %s register layout does not fit tofino1: %a"
+         d.key Draconis_p4.Layout.pp_error e)
+
+(* Weighted Jain fairness over per-class mean delay: x_c = mean delay x
+   weight (WFQ should equalize delay x weight across tenants; a
+   class-blind baseline equalizes raw delay instead).  1.0 = perfectly
+   fair under the discipline's own notion of fairness. *)
+let fairness_index d metrics =
+  let classes =
+    List.filter (fun (_, s) -> Sampler.count s > 0) (Metrics.delay_by_class metrics)
+  in
+  if List.length classes < 2 then None
+  else begin
+    let xs =
+      List.map
+        (fun (c, s) -> Sampler.mean s *. float_of_int (d.class_weight c))
+        classes
+    in
+    let sum = List.fold_left ( +. ) 0.0 xs in
+    let sq = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sq = 0.0 then None
+    else Some (sum *. sum /. (float_of_int (List.length xs) *. sq))
+  end
+
+(* The lowest class = highest tenant id (lightest weight) or lowest
+   priority — the one a starvation-prone discipline hurts first. *)
+let worst_class_p99 metrics =
+  let classes =
+    List.filter (fun (_, s) -> Sampler.count s > 0) (Metrics.delay_by_class metrics)
+  in
+  match List.rev classes with
+  | [] -> None
+  | (_, s) :: _ -> Some (Sampler.percentile s 99.0)
+
+type row = {
+  outcome : Runner.outcome;
+  key : string;
+  miss_rate : float option;
+  fairness : float option;
+  worst_p99 : int option;
+}
+
+let run_one d ~policy ~name ~pipeline ~capacity ~load ~horizon =
+  let spec = Systems.default_spec in
+  let system =
+    Systems.draconis ~policy_of:(fun _ -> policy) ~queue_capacity:capacity
+      ~pipeline_config:pipeline spec
+  in
+  let system = { system with Systems.name } in
+  let driver engine rng ~submit =
+    Arrival.drive engine rng
+      {
+        (Arrival.uniform_spec ~rate_tps:load
+           ~duration:(Synthetic.duration Synthetic.Fixed_100us) ~horizon)
+        with
+        tprops_of = d.tprops_of;
+      }
+      ~submit
+  in
+  let outcome = Runner.run system ~driver ~load_tps:load ~horizon () in
+  let tracked = Metrics.deadline_tracked system.Systems.metrics in
+  {
+    outcome;
+    key = d.key;
+    miss_rate =
+      (if tracked = 0 then None
+       else
+         Some
+           (float_of_int (Metrics.deadline_misses system.Systems.metrics)
+           /. float_of_int tracked));
+    fairness = fairness_index d system.Systems.metrics;
+    worst_p99 = worst_class_p99 system.Systems.metrics;
+  }
+
+let run ?(quick = false) () =
+  let ds = selected_disciplines () in
+  List.iter check_layout ds;
+  let spec = Systems.default_spec in
+  let executors = spec.workers * spec.executors_per_worker in
+  let utilizations = if quick then [ 0.5 ] else [ 0.3; 0.6; 0.85 ] in
+  let kind = Synthetic.Fixed_500us in
+  let loads = Exp_common.loads kind ~executors ~utilizations in
+  let target_tasks = if quick then 3_000 else 15_000 in
+  let runs =
+    List.concat_map
+      (fun d ->
+        List.concat_map
+          (fun (policy, name, pipeline, capacity) ->
+            List.map
+              (fun load () ->
+                let horizon = Exp_common.horizon_for ~rate_tps:load ~target_tasks () in
+                run_one d ~policy ~name ~pipeline ~capacity ~load ~horizon)
+              loads)
+          [
+            ( d.policy,
+              Printf.sprintf "PIFO-%s" d.key,
+              pifo_pipeline,
+              pifo_capacity );
+            ( d.baseline,
+              Printf.sprintf "%s (%s workload)" d.baseline_name d.key,
+              d.baseline_pipeline,
+              164_000 );
+          ])
+      ds
+  in
+  let rows = Pool.map runs in
+  Report.add_outcomes (List.map (fun r -> r.outcome) rows);
+  (* Fig6-style sweep: p99 scheduling delay per utilization. *)
+  let table =
+    Table.create
+      ~columns:
+        ("system"
+        :: List.map (fun u -> Printf.sprintf "p99@%.0f%% (us)" (100.0 *. u))
+             utilizations)
+  in
+  List.iter
+    (fun row ->
+      match row with
+      | [] -> ()
+      | first :: _ ->
+        Table.add_row table
+          (first.outcome.Runner.system
+          :: List.map (fun r -> Exp_common.us r.outcome.Runner.sched_p99) row))
+    (Exp_common.chunk (List.length loads) rows);
+  Table.print
+    ~title:"PIFO: p99 scheduling delay vs utilization (500us tasks)" table;
+  (* Discipline-specific quality metrics at the heaviest swept load. *)
+  let summary =
+    Table.create
+      ~columns:
+        [
+          "system"; "deadline misses"; "fairness (Jain)"; "worst-class p99 (us)";
+          "rejected"; "recirc frac";
+        ]
+  in
+  List.iter
+    (fun row ->
+      match List.rev row with
+      | [] -> ()
+      | heaviest :: _ ->
+        Table.add_row summary
+          [
+            heaviest.outcome.Runner.system;
+            (match heaviest.miss_rate with
+            | Some r -> Exp_common.pct r
+            | None -> "-");
+            (match heaviest.fairness with
+            | Some j -> Printf.sprintf "%.3f" j
+            | None -> "-");
+            (match heaviest.worst_p99 with
+            | Some p -> Exp_common.us p
+            | None -> "-");
+            string_of_int heaviest.outcome.Runner.rejected;
+            Exp_common.pct heaviest.outcome.Runner.recirc_fraction;
+          ])
+    (Exp_common.chunk (List.length loads) rows);
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "PIFO: discipline quality at %.0f%% utilization"
+         (100.0 *. List.nth utilizations (List.length utilizations - 1)))
+    summary;
+  Exp_common.print_phase_breakdown
+    ~title:"PIFO: per-phase delay decomposition (attributed runs)"
+    (List.map (fun r -> r.outcome) rows)

@@ -1,0 +1,21 @@
+(** The [pifo] experiment: PIFO-backed disciplines (EDF, WFQ, aging
+    priority) against their circular-queue counterparts.
+
+    For each discipline the sweep runs the PIFO system and its baseline
+    on the same property-carrying workload (deadlines, tenants, or
+    priorities) across a utilization grid, reporting p99 scheduling
+    delay, deadline-miss rate, a weighted Jain fairness index over
+    per-class delays, and the worst class's p99 (the starvation
+    indicator).  Before sweeping, every discipline's register layout is
+    placed onto the default switch profile ({!Draconis_p4.Resources.tofino1});
+    a layout that no longer fits fails the experiment. *)
+
+(** [set_policy p] restricts the experiment to [p]'s discipline (the
+    bench [--policy] flag).  [p] must be PIFO-backed; a circular-backend
+    policy raises [Invalid_argument] when the experiment runs.  Without
+    an override, the [DRACONIS_POLICY] environment variable is consulted
+    (parsed fail-loud by {!Draconis.Policy.of_string}); unset means all
+    three disciplines run. *)
+val set_policy : Draconis.Policy.t -> unit
+
+val run : ?quick:bool -> unit -> unit

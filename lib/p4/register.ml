@@ -1,6 +1,7 @@
 type t = {
   id : int;
   name : string;
+  cell_bits : int;
   cells : int array;
   mutable accesses : int;
 }
@@ -9,13 +10,24 @@ type t = {
    cluster, and ids must stay globally unique for access tracking. *)
 let next_id = Atomic.make 0
 
-let create ~name ~size () =
+let create ~name ~size ?(cell_bits = 32) () =
   if size <= 0 then invalid_arg "Register.create: size must be positive";
-  { id = 1 + Atomic.fetch_and_add next_id 1; name; cells = Array.make size 0; accesses = 0 }
+  (* Tofino stateful ALUs address 8/16/32-bit cells or a paired 64-bit
+     lane (two 32-bit words read/written as one access). *)
+  if cell_bits <> 8 && cell_bits <> 16 && cell_bits <> 32 && cell_bits <> 64 then
+    invalid_arg "Register.create: cell_bits must be 8, 16, 32 or 64";
+  {
+    id = 1 + Atomic.fetch_and_add next_id 1;
+    name;
+    cell_bits;
+    cells = Array.make size 0;
+    accesses = 0;
+  }
 
 let name t = t.name
 let size t = Array.length t.cells
-let bits t = 32 * Array.length t.cells
+let cell_bits t = t.cell_bits
+let bits t = t.cell_bits * Array.length t.cells
 
 let check_bounds t i =
   if i < 0 || i >= Array.length t.cells then

@@ -13,14 +13,20 @@
 type t
 
 (** [create ~name ~size ()] is a zero-initialised array of [size]
-    32-bit cells.  [name] appears in violation messages and resource
-    accounting. *)
-val create : name:string -> size:int -> unit -> t
+    cells, 32 bits wide by default.  [cell_bits] may be 8, 16, 32 or
+    64: the Tofino stateful ALU addresses sub-word cells or a paired
+    64-bit lane (two 32-bit words moved in one access) — the PIFO rank
+    store uses the pair to keep (rank, tie-break) in one cell.  [name]
+    appears in violation messages and resource accounting. *)
+val create : name:string -> size:int -> ?cell_bits:int -> unit -> t
 
 val name : t -> string
 val size : t -> int
 
-(** Storage the array consumes, in bits (cells x 32). *)
+(** Width of one cell in bits (8, 16, 32 or 64). *)
+val cell_bits : t -> int
+
+(** Storage the array consumes, in bits (cells x cell width). *)
 val bits : t -> int
 
 (** [read t ctx i] reads cell [i] (single access). *)

@@ -73,6 +73,14 @@ let put_tprops b off = function
     if p < 1 || p > 0xFF then invalid_arg "Codec: priority out of range";
     put_u8 b off 3;
     put_u64 b (off + 1) p
+  | Task.Deadline d ->
+    check_u32 "deadline" d;
+    put_u8 b off 4;
+    put_u64 b (off + 1) d
+  | Task.Tenant id ->
+    check_u32 "tenant id" id;
+    put_u8 b off 5;
+    put_u64 b (off + 1) id
 
 let get_tprops b off =
   let tag_byte = get_u8 b off in
@@ -84,6 +92,8 @@ let get_tprops b off =
     if n > max_locality_nodes then raise (Decode (Bad_field "locality count"));
     Task.Locality (List.init n (fun i -> get_u16 b (off + 1 + (2 * i))))
   | 3 -> Task.Priority (get_u64 b (off + 1))
+  | 4 -> Task.Deadline (get_u64 b (off + 1))
+  | 5 -> Task.Tenant (get_u64 b (off + 1))
   | _ -> raise (Decode (Bad_field "tprops tag"))
 
 let put_task b off (t : Task.t) =

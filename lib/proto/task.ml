@@ -9,6 +9,8 @@ type tprops =
   | Resources of int
   | Locality of int list
   | Priority of int
+  | Deadline of int
+  | Tenant of int
 
 let pp_tprops fmt = function
   | No_props -> Format.pp_print_string fmt "none"
@@ -17,6 +19,8 @@ let pp_tprops fmt = function
     Format.fprintf fmt "local:[%s]"
       (String.concat ";" (List.map string_of_int nodes))
   | Priority p -> Format.fprintf fmt "prio:%d" p
+  | Deadline d -> Format.fprintf fmt "deadline:%dns" d
+  | Tenant t -> Format.fprintf fmt "tenant:%d" t
 
 let equal_tprops a b =
   match (a, b) with
@@ -24,7 +28,10 @@ let equal_tprops a b =
   | Resources x, Resources y -> x = y
   | Locality x, Locality y -> x = y
   | Priority x, Priority y -> x = y
-  | (No_props | Resources _ | Locality _ | Priority _), _ -> false
+  | Deadline x, Deadline y -> x = y
+  | Tenant x, Tenant y -> x = y
+  | (No_props | Resources _ | Locality _ | Priority _ | Deadline _ | Tenant _), _ ->
+    false
 
 module Fn = struct
   let noop = 0
@@ -49,3 +56,5 @@ let make ~uid ~jid ~tid ?(tprops = No_props) ~fn_id ~fn_par () =
 let priority_level t = match t.tprops with Priority p -> p | _ -> 1
 let required_resources t = match t.tprops with Resources r -> r | _ -> 0
 let locality_nodes t = match t.tprops with Locality nodes -> nodes | _ -> []
+let relative_deadline t = match t.tprops with Deadline d -> Some d | _ -> None
+let tenant t = match t.tprops with Tenant x -> Some x | _ -> None

@@ -18,6 +18,8 @@ type tprops =
   | Resources of int  (** bitmap of required resources (paper §5.2) *)
   | Locality of int list  (** ids of nodes holding the input data (§5.3) *)
   | Priority of int  (** priority level, 1 = highest (§6.1) *)
+  | Deadline of int  (** relative deadline in ns (PIFO EDF discipline) *)
+  | Tenant of int  (** tenant id for weighted fair queueing (PIFO WFQ) *)
 
 val pp_tprops : Format.formatter -> tprops -> unit
 val equal_tprops : tprops -> tprops -> bool
@@ -63,3 +65,9 @@ val required_resources : t -> int
 
 (** [locality_nodes t] is the data-local node list, defaulting to []. *)
 val locality_nodes : t -> int list
+
+(** [relative_deadline t] is the relative deadline in ns, if any. *)
+val relative_deadline : t -> int option
+
+(** [tenant t] is the tenant id, if any. *)
+val tenant : t -> int option

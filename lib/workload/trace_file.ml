@@ -27,7 +27,8 @@ let task_line ~arrival ~job_index (task : Task.t) =
     match task.tprops with
     | Task.Priority p -> (p, "")
     | Task.Locality nodes -> (0, locality_to_string nodes)
-    | Task.No_props | Task.Resources _ -> (0, "")
+    | Task.No_props | Task.Resources _ | Task.Deadline _ | Task.Tenant _ ->
+      (0, "")
   in
   Printf.sprintf "%d,%d,%d,%d,%d,%s" arrival job_index task.id.tid task.fn_par
     priority locality

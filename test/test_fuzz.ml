@@ -50,6 +50,47 @@ let test_schedule_rejects_garbage () =
        service=1000\n";
     ]
 
+(* Pin the pifo additions to the schedule grammar: policy spellings,
+   deadline/tenant props, and the geometry rules Validate enforces. *)
+let test_pifo_schedule_grammar () =
+  let text =
+    "draconis-fuzz/1\n\
+     seed=7 capacity=16 policy=wfq:10000:3+1 clients=1 executors=2 service=1000\n\
+     submit at=0 client=0 uid=0 jid=0 count=1 tenant=1\n\
+     submit at=5 client=0 uid=1 jid=0 count=2\n\
+     request at=10 executor=0 prio=1\n"
+  in
+  let s = Fz.Schedule.of_string text in
+  Alcotest.(check string) "wfq schedule round-trips" text (Fz.Schedule.to_string s);
+  let edf =
+    "draconis-fuzz/1\n\
+     seed=7 capacity=8 policy=edf:50000 clients=1 executors=1 service=1000\n\
+     submit at=0 client=0 uid=0 jid=0 count=1 deadline=4294967295\n"
+  in
+  Alcotest.(check string) "edf deadline round-trips" edf
+    (Fz.Schedule.to_string (Fz.Schedule.of_string edf));
+  List.iter
+    (fun text ->
+      match Fz.Schedule.of_string text with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted invalid pifo schedule %S" text)
+    [
+      (* wrap_offset is meaningless without queue pointers *)
+      "draconis-fuzz/1\n\
+       seed=1 capacity=16 policy=edf:1000 clients=1 executors=1 service=1000 \
+       wrap_offset=3\n";
+      (* capacity must match the bank geometry *)
+      "draconis-fuzz/1\n\
+       seed=1 capacity=24 policy=aging:2:1000 clients=1 executors=1 service=1000\n";
+      (* conflicting task properties *)
+      "draconis-fuzz/1\n\
+       seed=1 capacity=16 policy=edf:1000 clients=1 executors=1 service=1000\n\
+       submit at=0 client=0 uid=0 jid=0 count=1 deadline=5 tenant=1\n";
+      (* malformed weight list *)
+      "draconis-fuzz/1\n\
+       seed=1 capacity=16 policy=wfq:1000: clients=1 executors=1 service=1000\n";
+    ]
+
 let test_oracle_fifo () =
   let o = Fz.Oracle.create ~levels:2 ~capacity:2 () in
   Alcotest.(check bool) "push 1" true (Fz.Oracle.push o ~level:0 (id ~tid:1) = Fz.Oracle.Pushed);
@@ -132,6 +173,7 @@ let suite =
     Alcotest.test_case "schedule text round-trips" `Quick test_schedule_round_trip;
     Alcotest.test_case "schedule parser rejects garbage" `Quick
       test_schedule_rejects_garbage;
+    Alcotest.test_case "pifo schedule grammar" `Quick test_pifo_schedule_grammar;
     Alcotest.test_case "oracle FIFO / overflow / swap / remove" `Quick test_oracle_fifo;
     Alcotest.test_case "clean campaign exercises every invariant" `Quick
       test_clean_campaign_exercises_all_invariants;

@@ -16,6 +16,7 @@ let () =
       ("wraparound", Test_wraparound.suite);
       ("switch-program", Test_switch_program.suite);
       ("policy", Test_policy.suite);
+      ("pifo", Test_pifo.suite);
       ("client-executor", Test_client_executor.suite);
       ("cluster", Test_cluster.suite);
       ("baselines", Test_baselines.suite);

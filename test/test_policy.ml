@@ -91,6 +91,91 @@ let test_swap_bounds () =
     (Policy.uses_swapping (locality 1 2)
     && Policy.uses_swapping (Policy.Resource_aware { max_swaps = 1 }))
 
+(* -- PIFO-backed disciplines --------------------------------------------------- *)
+
+let test_backend () =
+  let circular =
+    [
+      Policy.Fcfs;
+      Policy.Resource_aware { max_swaps = 3 };
+      Policy.Priority { levels = 4 };
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a circular" Policy.pp p)
+        true
+        (Policy.backend p = Policy.Circular))
+    circular;
+  let pifo =
+    [
+      Policy.Edf { default_deadline = 1_000 };
+      Policy.Wfq { quantum = 1_000; weights = [| 2; 1 |] };
+      Policy.Aging_priority { levels = 4; quantum = 1_000 };
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a pifo" Policy.pp p)
+        true
+        (Policy.backend p = Policy.Pifo))
+    pifo
+
+let test_validate_pifo () =
+  let rejects name p =
+    match Policy.validate p with
+    | () -> Alcotest.fail (name ^ ": expected Invalid_argument")
+    | exception Invalid_argument _ -> ()
+  in
+  Policy.validate (Policy.Edf { default_deadline = 1 });
+  rejects "zero deadline" (Policy.Edf { default_deadline = 0 });
+  rejects "no tenants" (Policy.Wfq { quantum = 1_000; weights = [||] });
+  rejects "zero weight" (Policy.Wfq { quantum = 1_000; weights = [| 2; 0 |] });
+  rejects "zero quantum" (Policy.Wfq { quantum = 0; weights = [| 1 |] });
+  rejects "zero levels" (Policy.Aging_priority { levels = 0; quantum = 1_000 })
+
+let test_of_string_accepts () =
+  let check name s expected =
+    Alcotest.(check bool) name true (Policy.of_string s = expected)
+  in
+  check "fcfs" "fcfs" Policy.Fcfs;
+  check "priority" "priority:4" (Policy.Priority { levels = 4 });
+  check "edf (us -> ns)" "edf:250" (Policy.Edf { default_deadline = 250_000 });
+  check "wfq" "wfq:10:8,4,2,1"
+    (Policy.Wfq { quantum = 10_000; weights = [| 8; 4; 2; 1 |] });
+  check "aging" "aging:4:200"
+    (Policy.Aging_priority { levels = 4; quantum = 200_000 });
+  check "whitespace trimmed" "  fcfs " Policy.Fcfs
+
+(* Fail-loud: unknown disciplines and malformed parameters raise, never
+   fall back to a default policy. *)
+let test_of_string_rejects () =
+  let rejects s =
+    match Policy.of_string s with
+    | _ -> Alcotest.fail (Printf.sprintf "%S: expected Invalid_argument" s)
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S message names the input" s)
+        true
+        (Astring.String.is_infix ~affix:(String.trim s) msg)
+  in
+  List.iter rejects
+    [
+      "sjf";  (* unknown discipline *)
+      "edf";  (* missing parameter *)
+      "edf:abc";  (* malformed parameter *)
+      "edf:0";  (* validation failure flows through *)
+      "wfq:10";  (* missing weight list *)
+      "wfq:10:";  (* empty weight list *)
+      "wfq:10:2,0";  (* invalid weight *)
+      "aging:4";  (* missing quantum *)
+      "priority:0";  (* invalid levels *)
+      "resource:3";  (* needs a topology *)
+      "locality:1:2";
+    ]
+
 (* -- Fn_model ------------------------------------------------------------------ *)
 
 let test_fn_model () =
@@ -127,5 +212,9 @@ let suite =
     Alcotest.test_case "resource subset check" `Quick test_resource_subset;
     Alcotest.test_case "locality escalation levels" `Quick test_locality_levels;
     Alcotest.test_case "swap bounds" `Quick test_swap_bounds;
+    Alcotest.test_case "backend classification" `Quick test_backend;
+    Alcotest.test_case "validate: pifo parameters" `Quick test_validate_pifo;
+    Alcotest.test_case "of_string accepts the grammar" `Quick test_of_string_accepts;
+    Alcotest.test_case "of_string fails loud" `Quick test_of_string_rejects;
     Alcotest.test_case "fn model service times" `Quick test_fn_model;
   ]
