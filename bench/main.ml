@@ -22,6 +22,12 @@
                               (load into Perfetto / chrome://tracing)
      main.exe --metrics-out F export per-run counters/gauges/histograms
                               (.csv extension switches to CSV)
+     main.exe --int-out F     enable in-band telemetry stamping and write
+                              a draconis-obs/3 metrics export (with the
+                              per-run "int" sections) to F — feed it to
+                              `draconis-trace int` (also: DRACONIS_INT)
+     main.exe --int-budget N  INT header budget, 1..64 stamps per packet
+                              (default 4); malformed values abort
      main.exe --probe-interval-us N
                               probe sampling period (default 100us)
      main.exe --max-trace-events N
@@ -182,6 +188,8 @@ let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
     ("figf", "fault injection: failover/burst/partition recovery", H.Figf.run);
     ("pifo", "PIFO disciplines (EDF/WFQ/aging) vs circular-queue baselines",
      H.Pifo_exp.run);
+    ("int", "in-band telemetry: switch queue depth vs client p99 under load",
+     H.Int_exp.run);
     ("resources", "sec 7 switch resource estimates", H.Resource_table.run);
     ("scaling", "sec 8.2 cluster-scale projection", H.Scaling.run);
     ("others", "sec 8 'other schedulers' (Spark native, Firmament)", H.Others.run);
@@ -214,6 +222,28 @@ let () =
   let json_path = value_of "--json" args in
   let trace_path = value_of "--trace-out" args in
   let metrics_path = value_of "--metrics-out" args in
+  (* DRACONIS_INT first, flags second, so the flags win.  Both paths are
+     fail-loud: a malformed value aborts the invocation. *)
+  (try Draconis_obs.Int_telemetry.apply_env () with
+  | Invalid_argument msg ->
+    (* [msg] already carries the DRACONIS_INT prefix. *)
+    Printf.eprintf "%s\n" msg;
+    exit 1);
+  (match value_of "--int-budget" args with
+  | None -> ()
+  | Some v -> (
+    match int_of_string_opt v with
+    | None ->
+      Printf.eprintf "--int-budget wants an integer, got %S\n" v;
+      exit 1
+    | Some n -> (
+      try Draconis_obs.Int_telemetry.set_budget n with
+      | Invalid_argument msg ->
+        Printf.eprintf "--int-budget: %s\n" msg;
+        exit 1)));
+  let int_path = value_of "--int-out" args in
+  if int_path <> None then
+    Draconis_obs.Int_telemetry.enable ~budget:(Draconis_obs.Int_telemetry.budget ()) ();
   let probe_interval =
     match value_of "--probe-interval-us" args with
     | None -> Draconis_obs.Probe.default_interval
@@ -234,7 +264,7 @@ let () =
         Printf.eprintf "--max-trace-events wants a positive integer, got %S\n" v;
         exit 1)
   in
-  if trace_path <> None || metrics_path <> None then
+  if trace_path <> None || metrics_path <> None || int_path <> None then
     Draconis_obs.Sink.enable ~probe_interval ?capacity ();
   (match value_of "--jobs" args with
   | None -> ()
@@ -273,8 +303,8 @@ let () =
   let names =
     let rec drop_flags = function
       | ("--csv" | "--json" | "--jobs" | "--shards" | "--seed" | "--policy"
-        | "--trace-out" | "--metrics-out" | "--probe-interval-us"
-        | "--max-trace-events")
+        | "--trace-out" | "--metrics-out" | "--int-out" | "--int-budget"
+        | "--probe-interval-us" | "--max-trace-events")
         :: _ :: rest ->
         drop_flags rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> drop_flags rest
@@ -322,7 +352,7 @@ let () =
         Printf.eprintf "cannot write --json report: %s\n" msg;
         exit 1);
       Printf.printf "\nwrote %s\n%!" path);
-    if trace_path <> None || metrics_path <> None then begin
+    if trace_path <> None || metrics_path <> None || int_path <> None then begin
       let runs = Draconis_obs.Sink.drain () in
       (match trace_path with
       | None -> ()
@@ -342,10 +372,22 @@ let () =
         | Error msg ->
           Printf.eprintf "trace export is not valid JSON: %s\n" msg;
           exit 1));
-      match metrics_path with
+      (match metrics_path with
       | None -> ()
       | Some path ->
         Draconis_obs.Dump.write_metrics ~path runs;
-        Printf.printf "wrote %s\n%!" path
+        Printf.printf "wrote %s\n%!" path);
+      match int_path with
+      | None -> ()
+      | Some path ->
+        Draconis_obs.Dump.write_metrics ~path runs;
+        let with_int =
+          List.length
+            (List.filter
+               (fun r -> Draconis_obs.Recorder.int_telemetry r <> None)
+               runs)
+        in
+        Printf.printf "wrote %s (%d/%d runs carry INT sections)\n%!" path with_int
+          (List.length runs)
     end
   end

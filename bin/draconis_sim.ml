@@ -13,11 +13,28 @@ module Obs = Draconis_obs
 
 (* -- observability options (shared by run and figures) --------------------- *)
 
-(* [with_obs (trace, metrics, probe_us, max_events) f] enables the
+(* [with_obs (trace, metrics, int, probe_us, max_events) f] enables the
    observability sink around [f] when an export path was given, then
-   writes (and self-checks) the requested files. *)
-let with_obs (trace_out, metrics_out, probe_interval_us, max_events) f =
-  let wanted = trace_out <> None || metrics_out <> None in
+   writes (and self-checks) the requested files.  --int-out also turns
+   on in-band telemetry stamping; DRACONIS_INT applies first, so the
+   flags win. *)
+let with_obs (trace_out, metrics_out, int_out, int_budget, probe_interval_us, max_events)
+    f =
+  let wanted = trace_out <> None || metrics_out <> None || int_out <> None in
+  (try Obs.Int_telemetry.apply_env () with
+  | Invalid_argument msg ->
+    (* [msg] already carries the DRACONIS_INT prefix. *)
+    Printf.eprintf "%s\n" msg;
+    exit 1);
+  (match int_budget with
+  | None -> ()
+  | Some n -> (
+    try Obs.Int_telemetry.set_budget n with
+    | Invalid_argument msg ->
+      Printf.eprintf "--int-budget: %s\n" msg;
+      exit 1));
+  if int_out <> None then
+    Obs.Int_telemetry.enable ~budget:(Obs.Int_telemetry.budget ()) ();
   (match probe_interval_us with
   | Some us when us < 1 ->
     Printf.eprintf "--probe-interval-us must be >= 1 (got %d)\n" us;
@@ -53,7 +70,17 @@ let with_obs (trace_out, metrics_out, probe_interval_us, max_events) f =
       (fun path ->
         Obs.Dump.write_metrics ~path runs;
         Printf.printf "wrote %s\n%!" path)
-      metrics_out
+      metrics_out;
+    Option.iter
+      (fun path ->
+        Obs.Dump.write_metrics ~path runs;
+        let with_int =
+          List.length
+            (List.filter (fun r -> Obs.Recorder.int_telemetry r <> None) runs)
+        in
+        Printf.printf "wrote %s (%d/%d runs carry INT sections)\n%!" path with_int
+          (List.length runs))
+      int_out
   end
 
 let obs_term =
@@ -88,7 +115,29 @@ let obs_term =
              are counted as dropped_events in the metrics export instead of \
              stored.")
   in
-  Term.(const (fun t m p n -> (t, m, p, n)) $ trace_out $ metrics_out $ probe $ max_events)
+  let int_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "int-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable in-band telemetry stamping on the switch data path and \
+             export a draconis-obs/3 metrics dump (with per-run \"int\" \
+             sections) to $(docv); analyze it with $(b,draconis-trace int).  \
+             The $(b,DRACONIS_INT) environment variable applies first \
+             (0 disables, N sets the budget); flags win.")
+  in
+  let int_budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "int-budget" ] ~docv:"N"
+          ~doc:
+            "In-band telemetry header budget, 1..64 stamps per packet \
+             (default 4); stamps past the budget are counted as lost, not \
+             stored.")
+  in
+  Term.(
+    const (fun t m i b p n -> (t, m, i, b, p, n))
+    $ trace_out $ metrics_out $ int_out $ int_budget $ probe $ max_events)
 
 (* -- run ------------------------------------------------------------------- *)
 

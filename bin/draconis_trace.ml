@@ -2,6 +2,7 @@
 
    Subcommands:
      analyze  per-phase latency decomposition of a metrics export
+     int      in-band telemetry report (queue depth, recirc chains)
      compare  regression-guard diff of two bench JSON reports *)
 
 open Cmdliner
@@ -61,6 +62,72 @@ let analyze_info =
        and slowest-task breakdowns; exits non-zero if any run's phases fail to \
        sum exactly to its end-to-end delays"
 
+(* -- int -------------------------------------------------------------------- *)
+
+let int_cmd path format top =
+  if top < 1 then begin
+    Printf.eprintf "--top must be >= 1 (got %d)\n" top;
+    exit 1
+  end;
+  match Obs.Int_report.load ~path with
+  | Error msg ->
+    Printf.eprintf "draconis-trace: %s\n" msg;
+    exit 1
+  | Ok runs ->
+    print_string
+      (match format with
+      | `Text -> Obs.Int_report.render_text ~top runs
+      | `Json -> Obs.Int_report.render_json runs
+      | `Csv -> Obs.Int_report.render_csv runs);
+    (* The dump's per-queue totals are redundant with the bucketed
+       series on purpose: re-derive them here and fail loudly on any
+       mismatch (the offline occupancy re-check). *)
+    let broken =
+      List.filter
+        (fun (r : Obs.Int_report.run) ->
+          match r.int_ with
+          | Some s -> Obs.Int_report.recheck s <> []
+          | None -> false)
+        runs
+    in
+    if broken <> [] then begin
+      List.iter
+        (fun (r : Obs.Int_report.run) ->
+          Printf.eprintf "draconis-trace: occupancy re-check failed for run %S\n"
+            r.label)
+        broken;
+      exit 1
+    end
+
+let int_term =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"METRICS" ~doc:"Metrics export (draconis-obs/3 JSON with INT sections).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ]) `Text
+      & info [ "f"; "format" ] ~docv:"FORMAT" ~doc:"Output format: text, json, or csv.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"How many recirculation chains to list.")
+  in
+  Term.(const int_cmd $ path $ format $ top)
+
+let int_info =
+  Cmd.info "int"
+    ~doc:
+      "In-band telemetry report from a metrics export: per-queue depth heatmaps \
+       over time, per-stage hop latency, rank-store bank activity, top-K \
+       recirculation chains, and stamp-loss accounting; exits non-zero if the \
+       offline occupancy re-check finds the depth series inconsistent with the \
+       recorded totals"
+
 (* -- compare ---------------------------------------------------------------- *)
 
 let compare_cmd base_path cur_path tol_pct =
@@ -112,6 +179,10 @@ let main =
   Cmd.group
     (Cmd.info "draconis-trace" ~version:"%%VERSION%%"
        ~doc:"Offline analysis of Draconis observability exports")
-    [ Cmd.v analyze_info analyze_term; Cmd.v compare_info compare_term ]
+    [
+      Cmd.v analyze_info analyze_term;
+      Cmd.v int_info int_term;
+      Cmd.v compare_info compare_term;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -170,6 +170,7 @@ let retrieve_repair_output t ~level = function
 
 (* Enqueue one entry; shared by job submissions and task resubmission. *)
 let enqueue_entry t ctx ~level (entry : Entry.t) =
+  if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_level level;
   let outcome = Circular_queue.enqueue (queues_exn t).(level) ctx entry in
   (match outcome with
   | Circular_queue.Enqueued _ ->
@@ -253,6 +254,7 @@ let handle_request t ctx (info : Message.executor_info) ~rtrv_prio ~requested_at
   if rtrv_prio < 1 || rtrv_prio > levels then [ noop_to t info ]
   else begin
     let level = rtrv_prio - 1 in
+    if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_level level;
     match Circular_queue.dequeue queues.(level) ctx with
     | Circular_queue.Repair_pending -> [ noop_to t info ]
     | Circular_queue.Empty ->
@@ -286,6 +288,7 @@ let resubmit_and_noop t ~level ~(entry : Entry.t) ~info =
 
 let handle_swap t ctx ~level ~entry ~swap_indx ~info ~pkt_retrieve_ptr ~attempts
     ~requested_at =
+  if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_level level;
   let q = (queues_exn t).(level) in
   let add_ptr, retrieve_ptr = Circular_queue.read_pointers q ctx in
   (* §5.1 staleness guard: if the retrieve pointer moved past our
@@ -525,9 +528,28 @@ let serve_request t ctx info ~rtrv_prio ~requested_at =
 
 (* -- the program ----------------------------------------------------------- *)
 
+(* INT stage id of a packet kind, stamped once per traversal at
+   dispatch.  The per-stage latency breakdown in the collector keys off
+   these names. *)
+let int_stage = function
+  | Switch_packet.Wire (Job_submission _) -> Obs.Int_telemetry.Submission
+  | Switch_packet.Wire (Task_request _) -> Obs.Int_telemetry.Request
+  | Switch_packet.Wire (Task_completion _) -> Obs.Int_telemetry.Completion
+  | Switch_packet.Prio_request _ -> Obs.Int_telemetry.Prio_scan
+  | Switch_packet.Pifo_admit _ -> Obs.Int_telemetry.Pifo_probe
+  | Switch_packet.Pifo_pop { step = Switch_packet.Pop_claim _; _ } ->
+    Obs.Int_telemetry.Pifo_claim
+  | Switch_packet.Pifo_pop _ -> Obs.Int_telemetry.Pifo_scan
+  | Switch_packet.Repair_add _ -> Obs.Int_telemetry.Repair_add
+  | Switch_packet.Repair_retrieve _ -> Obs.Int_telemetry.Repair_retrieve
+  | Switch_packet.Swap _ -> Obs.Int_telemetry.Swap
+  | Switch_packet.Resubmit _ -> Obs.Int_telemetry.Resubmit
+  | Switch_packet.Wire _ -> Obs.Int_telemetry.Forward
+
 let program t : (Message.t, Switch_packet.t) Pipeline.program =
  fun ctx pkt ->
   let now = Engine.now t.engine in
+  if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_stage (int_stage pkt);
   match pkt with
   | Switch_packet.Wire (Job_submission { client; uid; jid; tasks }) -> (
     match t.backend with
@@ -555,9 +577,11 @@ let program t : (Message.t, Switch_packet.t) Pipeline.program =
       handle_pifo_pop t ctx pifo ~info ~requested_at ~restarts step
     | Queues _ -> [ noop_to t info ])
   | Switch_packet.Repair_add { level; target } ->
+    if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_level level;
     Circular_queue.apply_repair_add (queues_exn t).(level) ctx ~target;
     []
   | Switch_packet.Repair_retrieve { level; target } ->
+    if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_level level;
     Circular_queue.apply_repair_retrieve (queues_exn t).(level) ctx ~target;
     []
   | Switch_packet.Swap { level; entry; swap_indx; info; pkt_retrieve_ptr; attempts; requested_at } ->

@@ -4,7 +4,7 @@ open Draconis_proto
 
 type event =
   | Submitted of { id : Task.id }
-  | Enqueued of { id : Task.id; level : int }
+  | Enqueued of { id : Task.id; level : int; int_occ : int option }
   | Dequeued of { id : Task.id; level : int }
   | Swapped of { into : Task.id; out : Task.id; level : int }
   | Assigned of { id : Task.id; node : int }
@@ -22,7 +22,9 @@ let id_to_string (id : Task.id) = Printf.sprintf "%d.%d.%d" id.uid id.jid id.tid
 
 let event_to_string = function
   | Submitted { id } -> Printf.sprintf "submitted %s" (id_to_string id)
-  | Enqueued { id; level } -> Printf.sprintf "enqueued %s L%d" (id_to_string id) level
+  | Enqueued { id; level; int_occ } ->
+    Printf.sprintf "enqueued %s L%d%s" (id_to_string id) level
+      (match int_occ with None -> "" | Some o -> Printf.sprintf " occ=%d" o)
   | Dequeued { id; level } -> Printf.sprintf "dequeued %s L%d" (id_to_string id) level
   | Swapped { into; out; level } ->
     Printf.sprintf "swapped in=%s out=%s L%d" (id_to_string into) (id_to_string out)
@@ -70,6 +72,7 @@ let invariants =
     "single-register-access";
     "replication-consistency";
     "pifo-order";
+    "int-consistency";
   ]
 
 type violation = { invariant : string; detail : string; trace : string list }
@@ -202,11 +205,29 @@ let check ?twin schedule run =
       i := at + 2
     | Ranked { id; rank } -> Hashtbl.replace last_rank id rank
     | Pop_scan_started -> if pifo then Queue.add at scan_starts
-    | Enqueued { id; level } -> (
+    | Enqueued { id; level; int_occ } -> (
       if pifo then
         pifo_queued :=
           !pifo_queued
           @ [ (id, Option.value ~default:0 (Hashtbl.find_opt last_rank id), at) ];
+      (* In-band telemetry cross-check: the switch stamped the occupancy
+         its admission decision was made against; the oracle's pre-push
+         size is the ground truth.  Circular levels must match exactly
+         (the stamp is the repair-corrected pointer distance).  The PIFO
+         occupancy gate also counts admitted entries whose probes are
+         still in flight, so its stamp may exceed the model but never
+         undercut it. *)
+      (match int_occ with
+      | None -> ()
+      | Some noted ->
+        checked "int-consistency";
+        let model = Oracle.size oracle ~level in
+        if (if pifo then noted < model else noted <> model) then
+          violate ~at "int-consistency"
+            (Printf.sprintf
+               "enqueue of %s at L%d stamped occupancy %d but the oracle holds %d%s"
+               (id_to_string id) level noted model
+               (if pifo then " (a PIFO stamp may only exceed the model)" else "")));
       checked "occupancy-bound";
       match Oracle.push oracle ~level id with
       | Oracle.Pushed -> ()

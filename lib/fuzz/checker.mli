@@ -16,7 +16,11 @@ open Draconis_proto
     [Delivered] / [Returned] / [Completed] are host-side. *)
 type event =
   | Submitted of { id : Task.id }  (** client sent a job copy holding this task *)
-  | Enqueued of { id : Task.id; level : int }
+  | Enqueued of { id : Task.id; level : int; int_occ : int option }
+      (** [int_occ] is the occupancy the switch's INT stamp recorded for
+          this admission (None when the site took no occupancy stamp,
+          e.g. a PIFO probe continuation) — checked against the oracle
+          by the int-consistency invariant *)
   | Dequeued of { id : Task.id; level : int }
   | Swapped of { into : Task.id; out : Task.id; level : int }
   | Assigned of { id : Task.id; node : int }

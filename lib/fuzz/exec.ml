@@ -111,6 +111,15 @@ let plan_of_ops ops =
 
 let run ?bug (schedule : Schedule.t) =
   Schedule.validate schedule;
+  (* In-band telemetry rides along on every fuzz execution: stamps add
+     no engine events, so determinism (and the replication twin) is
+     unaffected, and the stamped enqueue occupancy feeds the
+     int-consistency invariant. *)
+  let int_was = Draconis_obs.Int_telemetry.enabled () in
+  Draconis_obs.Int_telemetry.enable () ;
+  Fun.protect
+    ~finally:(fun () -> if not int_was then Draconis_obs.Int_telemetry.disable ())
+  @@ fun () ->
   let events = ref [] in
   let record ev = events := ev :: !events in
   let engine = Engine.create () in
@@ -118,7 +127,14 @@ let run ?bug (schedule : Schedule.t) =
   let fabric = Fabric.create engine rng in
   let instrument =
     {
-      Instrument.on_enqueue = (fun id ~level -> record (Checker.Enqueued { id; level }));
+      (* The enqueue hook fires just after the queue noted its INT
+         occupancy for the armed traversal, so reading it here pairs
+         the event with the very stamp the switch took. *)
+      Instrument.on_enqueue =
+        (fun id ~level ->
+          record
+            (Checker.Enqueued
+               { id; level; int_occ = Draconis_obs.Int_telemetry.noted_occupancy () }));
       on_dequeue = (fun id ~level -> record (Checker.Dequeued { id; level }));
       on_assign =
         (fun id ~node ~requested_at:_ -> record (Checker.Assigned { id; node }));

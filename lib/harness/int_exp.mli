@@ -1,0 +1,8 @@
+(** The [int] bench experiment: a load sweep over the Draconis
+    deployment with in-band telemetry enabled, correlating switch-side
+    queue depth (collector p50/p99 per level) with client scheduling
+    delay, plus an in-run assertion that disabling INT leaves the
+    seeded run's engine event count and outcome bit-identical while
+    producing zero stamps. *)
+
+val run : ?quick:bool -> unit -> unit

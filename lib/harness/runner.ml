@@ -99,21 +99,45 @@ let observed (system : Systems.running) ~label ~until f =
     let ctx =
       if system.phase_attribution then Some (Obs.Trace_ctx.create ()) else None
     in
+    (* INT telemetry: reuse a caller-installed collector (the int bench
+       experiment manages its own to read depth figures back), else own
+       one for the run.  Either way its sections land on this run's
+       recorder. *)
+    let int_collector, own_int =
+      if Obs.Int_telemetry.enabled () then
+        match Obs.Int_telemetry.current_collector () with
+        | Some c -> (Some c, None)
+        | None ->
+          let c = Obs.Int_telemetry.Collector.create () in
+          (Some c, Some c)
+      else (None, None)
+    in
     let body () =
       Obs.Probe.attach system.engine ~interval:probe_interval ~until (system.probes ());
       f ()
     in
+    let body () =
+      match ctx with
+      | None -> body ()
+      | Some ctx -> Obs.Trace_ctx.with_ctx ctx body
+    in
     let outcome =
       Obs.Recorder.with_recorder recorder (fun () ->
-          match ctx with
+          match own_int with
           | None -> body ()
-          | Some ctx -> Obs.Trace_ctx.with_ctx ctx body)
+          | Some c -> Obs.Int_telemetry.with_collector c body)
     in
     (match ctx with
     | None -> ()
     | Some ctx ->
       let collector = Obs.Trace_ctx.finish ctx in
       Obs.Recorder.set_attribution recorder (Obs.Attribution.to_json collector));
+    (match int_collector with
+    | None -> ()
+    | Some c ->
+      Obs.Int_telemetry.Collector.emit_series c (fun ~at ~name v ->
+          Obs.Recorder.sample recorder ~at name v);
+      Obs.Recorder.set_int_telemetry recorder (Obs.Int_telemetry.Collector.to_json c));
     Obs.Sink.put recorder;
     outcome
 

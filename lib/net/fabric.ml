@@ -6,6 +6,10 @@ type 'msg envelope = {
   dst : Addr.t;
   sent_at : Time.t;
   payload : 'msg;
+  (* INT stamp stack riding this message; drained into the ambient
+     collector when (and only when) the message actually lands, so
+     telemetry loss mirrors packet loss. *)
+  int_ : Obs.Int_telemetry.stack option;
 }
 
 type burst = { p_enter : float; p_exit : float; loss_bad : float }
@@ -191,8 +195,8 @@ let loss_probability t =
       if flip_p > 0.0 && Rng.float t.rng < flip_p then t.bad <- not t.bad;
       if t.bad then loss_bad else t.config.loss)
 
-let deliver t ~src ~dst ~now payload =
-  let env = { src; dst; sent_at = now; payload } in
+let deliver t ?int_ ~src ~dst ~now payload =
+  let env = { src; dst; sent_at = now; payload; int_ } in
   let delay = latency_sample t src dst in
   ignore
     (Engine.schedule t.engine ~after:delay (fun () ->
@@ -200,10 +204,12 @@ let deliver t ~src ~dst ~now payload =
          | Some handler ->
            t.delivered <- t.delivered + 1;
            Obs.Recorder.count "fabric.delivered" 1;
+           Option.iter Obs.Int_telemetry.deliver_stack env.int_;
            handler env
          | None ->
            t.undeliverable <- t.undeliverable + 1;
            Obs.Recorder.count "fabric.undeliverable" 1;
+           Option.iter Obs.Int_telemetry.drop_stack env.int_;
            if Trace.enabled () then
              Trace.emit ~at:(Engine.now t.engine) Trace.Fabric
                (lazy
@@ -213,8 +219,9 @@ let deliver t ~src ~dst ~now payload =
 (* Drop decisions, off the lossless fast path.  The evaluation order
    (partition check, then the loss model's rng draws) is load-bearing
    for reproducibility of seeded runs. *)
-let send_lossy t ~src ~dst ~now payload =
+let send_lossy t ?int_ ~src ~dst ~now payload =
   if partitioned t src || partitioned t dst then begin
+    Option.iter Obs.Int_telemetry.drop_stack int_;
     t.partition_dropped <- t.partition_dropped + 1;
     Obs.Recorder.count "fabric.partition_dropped" 1;
     if Obs.Recorder.active () then
@@ -228,6 +235,7 @@ let send_lossy t ~src ~dst ~now payload =
   else begin
     let p = loss_probability t in
     if p > 0.0 && Rng.float t.rng < p then begin
+      Option.iter Obs.Int_telemetry.drop_stack int_;
       t.lost <- t.lost + 1;
       Obs.Recorder.count "fabric.lost" 1;
       if Obs.Recorder.active () then
@@ -240,18 +248,18 @@ let send_lossy t ~src ~dst ~now payload =
                (if t.bad then ", burst" else "")
                (Addr.to_string src) (Addr.to_string dst)))
     end
-    else deliver t ~src ~dst ~now payload
+    else deliver t ?int_ ~src ~dst ~now payload
   end
 
-let send t ~src ~dst payload =
+let send t ?int_ ~src ~dst payload =
   if Addr.equal src dst then invalid_arg "Fabric.send: src = dst";
   let now = Engine.now t.engine in
   Obs.Recorder.count "fabric.sent" 1;
   if Trace.enabled () then
     Trace.emit ~at:now Trace.Fabric
       (lazy (Printf.sprintf "send %s -> %s" (Addr.to_string src) (Addr.to_string dst)));
-  if t.lossless then deliver t ~src ~dst ~now payload
-  else send_lossy t ~src ~dst ~now payload
+  if t.lossless then deliver t ?int_ ~src ~dst ~now payload
+  else send_lossy t ?int_ ~src ~dst ~now payload
 
 let in_burst t = t.bad
 let delivered t = t.delivered

@@ -26,6 +26,10 @@ type 'msg envelope = {
   dst : Addr.t;
   sent_at : Time.t;
   payload : 'msg;
+  int_ : Draconis_obs.Int_telemetry.stack option;
+      (** INT stamp stack riding this message ({!Draconis_obs.Int_telemetry});
+          drained into the ambient collector at delivery, accounted as
+          dropped on any loss path *)
 }
 
 type 'msg t
@@ -76,11 +80,18 @@ val engine : 'msg t -> Engine.t
     Re-registering replaces the previous handler. *)
 val register : 'msg t -> Addr.t -> ('msg envelope -> unit) -> unit
 
-(** [send t ~src ~dst payload] delivers to [dst]'s handler after the
-    modeled latency.  Messages to an endpoint with no handler are
-    counted as [undeliverable] and dropped.
+(** [send t ?int_ ~src ~dst payload] delivers to [dst]'s handler after
+    the modeled latency.  Messages to an endpoint with no handler are
+    counted as [undeliverable] and dropped.  [int_] attaches an INT
+    stamp stack to the message.
     @raise Invalid_argument if [src] and [dst] are equal. *)
-val send : 'msg t -> src:Addr.t -> dst:Addr.t -> 'msg -> unit
+val send :
+  'msg t ->
+  ?int_:Draconis_obs.Int_telemetry.stack ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  'msg ->
+  unit
 
 (** One-way latency sample between two endpoints (includes jitter). *)
 val latency_sample : 'msg t -> Addr.t -> Addr.t -> Time.t

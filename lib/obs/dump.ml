@@ -33,12 +33,17 @@ let run_json recorder =
     | None -> ""
     | Some json -> Printf.sprintf ",\n     \"attribution\":%s" json
   in
+  let int_section =
+    match Recorder.int_telemetry recorder with
+    | None -> ""
+    | Some json -> Printf.sprintf ",\n     \"int\":%s" json
+  in
   Printf.sprintf
     "    {\"label\":\"%s\",\"events\":%d,\"dropped_events\":%d,\n\
      \     \"counters\":{%s},\n\
      \     \"gauges\":{%s},\n\
      \     \"histograms\":{%s},\n\
-     \     \"series\":{%s}%s}"
+     \     \"series\":{%s}%s%s}"
     (escape (Recorder.label recorder))
     (Recorder.event_count recorder)
     (Recorder.dropped recorder)
@@ -46,10 +51,11 @@ let run_json recorder =
     (fields_json (Recorder.gauges recorder) string_of_int)
     (fields_json (Recorder.histograms recorder) histogram_json)
     (fields_json (Recorder.series recorder) series_json)
-    attribution
+    attribution int_section
 
+(* Schema v3 = v2 plus the optional per-run ["int"] telemetry section. *)
 let metrics_json recorders =
-  Printf.sprintf "{\n  \"schema\": \"draconis-obs/2\",\n  \"runs\": [\n%s\n  ]\n}\n"
+  Printf.sprintf "{\n  \"schema\": \"draconis-obs/3\",\n  \"runs\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map run_json recorders))
 
 (* RFC 4180: quote any field containing a separator, a quote, or a line

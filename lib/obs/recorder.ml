@@ -12,6 +12,7 @@ type t = {
   histograms : (string, Sampler.t) Hashtbl.t;
   series : (string, (Time.t * int) list ref) Hashtbl.t;
   mutable attribution : string option;
+  mutable int_telemetry : string option;
 }
 
 let default_capacity = 1 lsl 20
@@ -29,6 +30,7 @@ let create ?(capacity = default_capacity) ~label () =
     histograms = Hashtbl.create 16;
     series = Hashtbl.create 16;
     attribution = None;
+    int_telemetry = None;
   }
 
 let label t = t.label
@@ -36,6 +38,12 @@ let event_count t = t.len
 let dropped t = t.dropped
 let set_attribution t json = t.attribution <- Some json
 let attribution t = t.attribution
+let set_int_telemetry t json = t.int_telemetry <- Some json
+let int_telemetry t = t.int_telemetry
+
+(* Timestamp of the first stored event; [max_int] for an empty buffer so
+   empty recorders sort after populated ones with equal labels/counts. *)
+let first_event_at t = if t.len > 0 then t.events.(0).Event.at else max_int
 
 (* Grow-on-demand up to [capacity]; past capacity the newest events are
    counted instead of stored, so what remains is a valid (balanced up to

@@ -48,6 +48,17 @@ val set_attribution : t -> string -> unit
 
 val attribution : t -> string option
 
+(** [set_int_telemetry t json] attaches a pre-rendered
+    {!Int_telemetry.Collector.to_json} fragment; {!Dump} embeds it as
+    the run's ["int"] section. *)
+val set_int_telemetry : t -> string -> unit
+
+val int_telemetry : t -> string option
+
+(** Timestamp of the first stored event ([max_int] when the buffer is
+    empty); {!Sink.drain}'s deterministic-order tie-break. *)
+val first_event_at : t -> Time.t
+
 (** Stored events, in emission order. *)
 val events : t -> Event.t list
 

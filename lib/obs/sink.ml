@@ -37,11 +37,17 @@ let drain () =
       r)
   in
   (* Pool jobs finish in a nondeterministic order; sorting by label
-     (then event count, for duplicate labels) makes the exported files
-     stable across --jobs settings. *)
+     (then event count, then first-event timestamp, for duplicate
+     labels) makes the exported files stable across --jobs settings.
+     Without the timestamp, duplicate-label recorders with equal event
+     counts kept their deposit order — which depends on job completion
+     order. *)
   List.stable_sort
     (fun a b ->
       match String.compare (Recorder.label a) (Recorder.label b) with
-      | 0 -> compare (Recorder.event_count a) (Recorder.event_count b)
+      | 0 -> (
+        match compare (Recorder.event_count a) (Recorder.event_count b) with
+        | 0 -> compare (Recorder.first_event_at a) (Recorder.first_event_at b)
+        | c -> c)
       | c -> c)
     deposited

@@ -40,7 +40,7 @@ type ('wire, 'pkt) t = {
   mutable emitted : int;
 }
 
-let rec admit t pkt =
+let rec admit ?int_ t pkt =
   let now = Engine.now t.engine in
   let start = max now t.ingress_free_at in
   t.ingress_free_at <- start + t.config.packet_slot;
@@ -48,28 +48,55 @@ let rec admit t pkt =
   let epoch = t.epoch in
   ignore
     (Engine.schedule_at t.engine ~at:exit_time (fun () ->
-         if epoch = t.epoch then traverse t pkt
+         if epoch = t.epoch then traverse ?int_ t pkt
          else begin
+           Option.iter Obs.Int_telemetry.drop_stack int_;
            t.flushed <- t.flushed + 1;
            Obs.Recorder.count "pipeline.flushed" 1
          end))
 
-and traverse t pkt =
+and traverse ?int_ t pkt =
   t.processed <- t.processed + 1;
   Obs.Recorder.count "pipeline.processed" 1;
+  (* Arm the per-traversal stamp builder so the program's queue/bank
+     accesses can contribute the values they already hold; the committed
+     stamp rides whichever outputs continue the packet's chain. *)
+  let stamping = int_ <> None && Obs.Int_telemetry.enabled () in
+  if stamping then Obs.Int_telemetry.begin_traversal ();
   let ctx = Packet_ctx.create () in
   let outputs = t.program ctx pkt in
+  let int_ =
+    if stamping then
+      Option.map (Obs.Int_telemetry.commit_traversal ~at:(Engine.now t.engine)) int_
+    else int_
+  in
+  let has_recirc =
+    List.exists (function Recirculate _ -> true | Emit _ | Drop -> false) outputs
+  in
+  let emits =
+    List.fold_left
+      (fun n -> function Emit _ -> n + 1 | Recirculate _ | Drop -> n)
+      0 outputs
+  in
+  (* The stamp stack follows the chain: recirculated packets inherit it;
+     otherwise the traversal is terminal and the stack leaves on the last
+     emitted message (or drains at the switch when nothing is emitted,
+     e.g. a repair application). *)
+  (if (not has_recirc) && emits = 0 then Option.iter Obs.Int_telemetry.deliver_stack int_);
+  let seen_emits = ref 0 in
   List.iter
     (fun output ->
       match output with
       | Drop -> ()
       | Emit (dst, wire) ->
+        incr seen_emits;
         t.emitted <- t.emitted + 1;
-        Fabric.send t.fabric ~src:Addr.Switch ~dst wire
-      | Recirculate out_pkt -> recirculate t out_pkt)
+        let int_ = if (not has_recirc) && !seen_emits = emits then int_ else None in
+        Fabric.send t.fabric ?int_ ~src:Addr.Switch ~dst wire
+      | Recirculate out_pkt -> recirculate ?int_ t out_pkt)
     outputs
 
-and recirculate t pkt =
+and recirculate ?int_ t pkt =
   (* The loop-back port serves at [recirc_slot] intervals with a bounded
      queue; overflow means the switch cannot recirculate and drops. *)
   let now = Engine.now t.engine in
@@ -81,6 +108,7 @@ and recirculate t pkt =
     if Trace.enabled () then
       Trace.emit ~at:now Trace.Pipeline
         (lazy (Printf.sprintf "recirculation DROP (backlog %d)" backlog));
+    Option.iter Obs.Int_telemetry.drop_stack int_;
     t.recirc_dropped <- t.recirc_dropped + 1;
     Obs.Recorder.count "pipeline.recirc_dropped" 1;
     if Obs.Recorder.active () then
@@ -95,8 +123,9 @@ and recirculate t pkt =
     let epoch = t.epoch in
     ignore
       (Engine.schedule_at t.engine ~at:reentry (fun () ->
-           if epoch = t.epoch then admit t pkt
+           if epoch = t.epoch then admit ?int_ t pkt
            else begin
+             Option.iter Obs.Int_telemetry.drop_stack int_;
              t.flushed <- t.flushed + 1;
              Obs.Recorder.count "pipeline.flushed" 1
            end))
@@ -123,7 +152,12 @@ let attach ?(config = default_config) ?on_ingress fabric ~wrap program =
       (match on_ingress with
       | None -> ()
       | Some f -> f env.Fabric.payload);
-      admit t (wrap env.Fabric.payload));
+      let int_ =
+        if Obs.Int_telemetry.enabled () then
+          Some (Obs.Int_telemetry.ingress_stack ~sent_at:env.Fabric.sent_at)
+        else None
+      in
+      admit ?int_ t (wrap env.Fabric.payload));
   t
 
 let set_program t program = t.program <- program
@@ -139,7 +173,13 @@ let flush_in_flight t =
   t.ingress_free_at <- now;
   t.recirc_free_at <- now
 
-let inject t pkt = admit t pkt
+let inject t pkt =
+  let int_ =
+    if Obs.Int_telemetry.enabled () then
+      Some (Obs.Int_telemetry.ingress_stack ~sent_at:(Engine.now t.engine))
+    else None
+  in
+  admit ?int_ t pkt
 let processed t = t.processed
 let recirculated t = t.recirculated
 let recirc_dropped t = t.recirc_dropped

@@ -1,4 +1,5 @@
 open Draconis_p4
+module Obs = Draconis_obs
 
 let seq_bits = 20
 let seq_limit = 1 lsl seq_bits
@@ -95,8 +96,17 @@ let probe_row t ctx ~row ~packed ~payload =
     if old = 0 then claimed := !k;
     incr k
   done;
-  if !claimed < 0 then None
+  if !claimed < 0 then begin
+    if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_probe Obs.Int_telemetry.Probe_miss;
+    None
+  end
   else begin
+    (* INT: the claimed bank is a by-product of the probe loop itself —
+       stamping it reuses the outcome, no extra access. *)
+    if Obs.Int_telemetry.enabled () then begin
+      Obs.Int_telemetry.note_bank !claimed;
+      Obs.Int_telemetry.note_probe Obs.Int_telemetry.Probe_hit
+    end;
     let slot = slot_of ~cells_per_bank:t.cells_per_bank ~bank:!claimed ~row in
     (* The payload rides later stages: one write per word array. *)
     Array.iteri (fun j w -> Register.write t.words.(j) ctx slot w) payload;
@@ -125,6 +135,9 @@ let admit t ctx ~rank ~words =
   in
   if occ_old >= t.capacity then Full
   else begin
+    (* INT: [occ_old] is the gate's own read — occupancy before this
+       admission, in hand already. *)
+    if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_occupancy occ_old;
     let s = Register.read_and_increment t.seq ctx 0 in
     (* Defensive: renumbering keeps the counter far from the limit; if
        it ever saturates, stamps collide rather than wrap (a wrapped
@@ -184,12 +197,18 @@ let finish_or_continue t ~next_row ~best_slot ~best_packed ~scan_epoch =
     else Ready { cand_slot = best_slot; cand_packed = best_packed; cand_epoch = scan_epoch }
   else Scanning { next_row; best_slot; best_packed; scan_epoch }
 
+let note_best_bank t best_slot =
+  if best_slot >= 0 && Obs.Int_telemetry.enabled () then
+    Obs.Int_telemetry.note_bank (best_slot / t.cells_per_bank)
+
 let scan_start t ctx =
   let occ = Register.read t.occ ctx 0 in
+  if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_occupancy occ;
   if occ = 0 then Empty
   else begin
     let scan_epoch = Register.read t.epoch ctx 0 in
     let best_slot, best_packed = scan_row t ctx ~row:0 ~best_slot:(-1) ~best_packed:0 in
+    note_best_bank t best_slot;
     finish_or_continue t ~next_row:1 ~best_slot ~best_packed ~scan_epoch
   end
 
@@ -197,6 +216,7 @@ let scan_step t ctx s =
   let best_slot, best_packed =
     scan_row t ctx ~row:s.next_row ~best_slot:s.best_slot ~best_packed:s.best_packed
   in
+  note_best_bank t best_slot;
   finish_or_continue t ~next_row:(s.next_row + 1) ~best_slot ~best_packed
     ~scan_epoch:s.scan_epoch
 
@@ -206,18 +226,29 @@ type claim_result =
 
 let claim t ctx c =
   let ep = Register.read t.epoch ctx 0 in
-  if ep <> c.cand_epoch then Lost
+  if ep <> c.cand_epoch then begin
+    if Obs.Int_telemetry.enabled () then
+      Obs.Int_telemetry.note_probe Obs.Int_telemetry.Claim_lost;
+    Lost
+  end
   else begin
     let bank = c.cand_slot / t.cells_per_bank in
     let row = c.cand_slot mod t.cells_per_bank in
+    if Obs.Int_telemetry.enabled () then Obs.Int_telemetry.note_bank bank;
     (* Compare-and-free: succeeds only if the cell still holds exactly
        the scanned stamp (another claimer or a renumber loses us). *)
     let old =
       Register.read_modify_write t.banks.(bank) ctx row (fun v ->
           if v = c.cand_packed then 0 else v)
     in
-    if old <> c.cand_packed then Lost
+    if old <> c.cand_packed then begin
+      if Obs.Int_telemetry.enabled () then
+        Obs.Int_telemetry.note_probe Obs.Int_telemetry.Claim_lost;
+      Lost
+    end
     else begin
+      if Obs.Int_telemetry.enabled () then
+        Obs.Int_telemetry.note_probe Obs.Int_telemetry.Claim_won;
       ignore
         (Register.read_modify_write t.occ ctx 0 (fun o -> if o > 0 then o - 1 else o));
       let words =

@@ -28,6 +28,7 @@ let () =
       ("pool", Test_pool.suite);
       ("shard", Test_shard.suite);
       ("obs", Test_obs.suite);
+      ("int-telemetry", Test_int_telemetry.suite);
       ("attribution", Test_attribution.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -257,6 +257,25 @@ let test_probe_rejects_bad_interval () =
     (Invalid_argument "Probe.attach: interval must be positive") (fun () ->
       Obs.Probe.attach engine ~interval:0 ~until:(Time.us 10) [ ("x", fun () -> 0) ])
 
+let test_probe_expired_until () =
+  (* [until <= now] still takes the immediate anchor sample but schedules
+     no recurring timer — the series holds exactly one point even after
+     the engine runs on. *)
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~after:(Time.us 500) (fun () -> ()));
+  Engine.run ~until:(Time.us 200) engine;
+  let r = Obs.Recorder.create ~label:"probe" () in
+  Obs.Recorder.with_recorder r (fun () ->
+      Obs.Probe.attach engine ~interval:(Time.us 100) ~until:(Time.us 200)
+        [ ("s", fun () -> 3) ];
+      Engine.run ~until:(Time.ms 1) engine);
+  match Obs.Recorder.series r with
+  | [ ("s", points) ] ->
+    Alcotest.(check (list (pair int int))) "anchor sample only"
+      [ (Time.us 200, 3) ]
+      points
+  | _ -> Alcotest.fail "expected one series"
+
 let suite =
   [
     Alcotest.test_case "json values" `Quick test_json_values;
@@ -270,4 +289,5 @@ let suite =
     Alcotest.test_case "pool determinism" `Quick test_pool_determinism;
     Alcotest.test_case "probe sampling" `Quick test_probe_sampling;
     Alcotest.test_case "probe rejects bad interval" `Quick test_probe_rejects_bad_interval;
+    Alcotest.test_case "probe expired until" `Quick test_probe_expired_until;
   ]
