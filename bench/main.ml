@@ -196,6 +196,8 @@ let experiments : (string * string * (?quick:bool -> unit -> unit)) list =
     ("ablations", "design-choice ablations", H.Ablations.run);
     ("engine-bench", "event core: heap vs wheel calendar, alloc/event", H.Engine_bench.run);
     ("shard-sim", "parallel-in-run shard scaling on the sharded cluster model", H.Shard_bench.run);
+    ("cluster-shard", "real data path sharded over work-stealing window executors",
+     H.Cluster_shard_bench.run);
     ("micro", "bechamel micro-benchmarks", run_micro);
   ]
 
@@ -270,7 +272,15 @@ let () =
   | None -> ()
   | Some v -> (
     match int_of_string_opt v with
-    | Some n when n >= 1 -> H.Pool.set_jobs n
+    | Some n when n >= 1 ->
+      (* Clamp to the domain cap instead of aborting, so the --json
+         header's [jobs] field always records the *effective* worker
+         count the sweep actually ran with. *)
+      let effective = min n H.Pool.max_jobs in
+      if effective < n then
+        Printf.eprintf "--jobs %d exceeds the %d-domain cap; running with %d\n%!"
+          n H.Pool.max_jobs effective;
+      H.Pool.set_jobs effective
     | Some _ | None ->
       Printf.eprintf "--jobs wants a positive integer, got %S\n" v;
       exit 1));

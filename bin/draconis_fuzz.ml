@@ -29,14 +29,16 @@ let inject_arg =
 
 (* -- run --------------------------------------------------------------------- *)
 
-let run_cmd seeds seed_base ops inject json artifacts require_all shrink_budget =
+let run_cmd seeds seed_base ops inject json artifacts require_all shrink_budget
+    sharded =
   if seeds < 1 then begin
     Printf.eprintf "draconis-fuzz: --seeds must be >= 1\n";
     exit 1
   end;
   let seed_list = List.init seeds (fun i -> seed_base + i) in
   let campaign =
-    Fuzz.run_campaign ?bug:inject ~ops ~shrink_budget ?artifacts ~seeds:seed_list ()
+    Fuzz.run_campaign ?bug:inject ~ops ~shrink_budget ?artifacts ~sharded
+      ~seeds:seed_list ()
   in
   print_string (if json then Fuzz.to_json campaign else Fuzz.render_text campaign);
   match inject with
@@ -98,9 +100,20 @@ let run_term =
       & info [ "max-shrink-execs" ] ~docv:"N"
           ~doc:"Execution budget for minimizing each failure.")
   in
+  let sharded =
+    Arg.(
+      value & flag
+      & info [ "sharded" ]
+          ~doc:
+            "Sharded-execution smoke: additionally run every schedule through \
+             the LP-partitioned data path at 1 and 2 shards and check cross-LP \
+             outcome equality (the sharded-consistency invariant).  The extra \
+             legs are skipped when --inject is set (the bug self-test belongs \
+             to the single-engine rig).")
+  in
   Term.(
     const run_cmd $ seeds $ seed_base $ ops $ inject_arg $ json $ artifacts
-    $ require_all $ shrink_budget)
+    $ require_all $ shrink_budget $ sharded)
 
 let run_info =
   Cmd.info "run"

@@ -183,6 +183,7 @@ let submit_job t tasks =
 
 let config t = t.config
 let addr t = t.addr
+let engine t = t.engine
 let outstanding t = Hashtbl.length t.outstanding
 let jobs_submitted t = t.jobs_submitted
 let completions t = t.completions

@@ -43,6 +43,10 @@ val submit_job : t -> Task.t list -> int
 val config : t -> config
 val addr : t -> Addr.t
 
+(** The engine this client schedules on — its LP's engine in a sharded
+    cluster, where pre-staged submissions must land on the owning LP. *)
+val engine : t -> Draconis_sim.Engine.t
+
 (** Tasks submitted and not yet completed. *)
 val outstanding : t -> int
 

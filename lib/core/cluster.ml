@@ -2,6 +2,17 @@ open Draconis_sim
 open Draconis_net
 open Draconis_p4
 
+(* Faults a sharded run can express: pure functions of simulated time
+   (and endpoint), precompiled to windows, so every LP evaluates them
+   identically without runtime mutation of shared fabric state. *)
+type static_faults = {
+  loss_windows : (Time.t * Time.t * float) array;
+  cut_windows : (Time.t * Time.t * int list) array;
+  slow_windows : (Time.t * Time.t * int * float) array;
+}
+
+let no_faults = { loss_windows = [||]; cut_windows = [||]; slow_windows = [||] }
+
 type config = {
   seed : int;
   workers : int;
@@ -15,6 +26,8 @@ type config = {
   noop_retry : Time.t;
   rsrc_of_node : int -> int;
   client_timeout : Time.t option;
+  shards : int option;
+  static_faults : static_faults;
 }
 
 let default_config =
@@ -31,11 +44,13 @@ let default_config =
     noop_retry = Time.us 4;
     rsrc_of_node = (fun _ -> 0xFFFFFFFF);
     client_timeout = None;
+    shards = None;
+    static_faults = no_faults;
   }
 
 type t = {
   config : config;
-  engine : Engine.t;
+  engine : Engine.t;  (* the switch LP's engine in sharded mode *)
   fabric : Draconis_proto.Message.t Fabric.t;
   pipeline : (Draconis_proto.Message.t, Switch_packet.t) Pipeline.t;
   mutable program : Switch_program.t;
@@ -43,16 +58,13 @@ type t = {
   metrics : Metrics.t;
   workers : Worker.t array;
   clients : Client.t array;
+  sync : Sync.t option;  (* [Some] iff the cluster is sharded *)
 }
 
-let create (config : config) =
-  if config.workers < 1 then invalid_arg "Cluster.create: need workers";
-  if config.clients < 1 then invalid_arg "Cluster.create: need clients";
-  let engine = Engine.create () in
-  let rng = Rng.create ~seed:config.seed in
-  let fabric = Fabric.create ~config:config.fabric_config engine rng in
-  let topology = Topology.create ~nodes:config.workers ~racks:config.racks in
-  let metrics = Metrics.create ~topology engine in
+(* The switch program + pipeline assembly, shared by both modes: only
+   the fabric instance (and therefore the engine) differs. *)
+let build_switch (config : config) ~topology ~metrics ~fabric =
+  let engine = Fabric.engine fabric in
   let policy = config.policy_of topology in
   let program =
     Switch_program.create ~engine
@@ -75,35 +87,50 @@ let create (config : config) =
       ~wrap:(fun msg -> Switch_packet.Wire msg)
       (Switch_program.program program)
   in
+  (program, pipeline)
+
+let make_worker (config : config) ~fn_model ~fabric node =
+  Worker.create ~node ~executors:config.executors_per_worker ~fabric
+    ~make_config:(fun ~port ->
+      {
+        Executor.node;
+        port;
+        rsrc = config.rsrc_of_node node;
+        noop_retry = config.noop_retry;
+        fn_model;
+        scheduler = Addr.Switch;
+        watchdog = Some (Time.us 200);
+      })
+    ()
+
+let make_client (config : config) ~fabric ~metrics i =
+  let host = config.workers + i in
+  Client.create
+    ~config:
+      { (Client.default_config ~host ~uid:i) with timeout = config.client_timeout }
+    ~fabric ~metrics ()
+
+let create_legacy (config : config) =
+  if config.static_faults <> no_faults then
+    invalid_arg
+      "Cluster.create: static fault windows require sharded mode (shards = Some n); \
+       the classic cluster takes faults from the runtime injector";
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:config.seed in
+  let fabric = Fabric.create ~config:config.fabric_config engine rng in
+  let topology = Topology.create ~nodes:config.workers ~racks:config.racks in
+  let metrics = Metrics.create ~topology engine in
+  let program, pipeline = build_switch config ~topology ~metrics ~fabric in
   let fn_model = Fn_model.with_topology topology in
   let workers =
-    Array.init config.workers (fun node ->
-        Worker.create ~node ~executors:config.executors_per_worker ~fabric
-          ~make_config:(fun ~port ->
-            {
-              Executor.node;
-              port;
-              rsrc = config.rsrc_of_node node;
-              noop_retry = config.noop_retry;
-              fn_model;
-              scheduler = Addr.Switch;
-              watchdog = Some (Time.us 200);
-            })
-          ())
+    Array.init config.workers (fun node -> make_worker config ~fn_model ~fabric node)
   in
   let clients =
-    Array.init config.clients (fun i ->
-        let host = config.workers + i in
-        Client.create
-          ~config:
-            {
-              (Client.default_config ~host ~uid:i) with
-              timeout = config.client_timeout;
-            }
-          ~fabric ~metrics ())
+    Array.init config.clients (fun i -> make_client config ~fabric ~metrics i)
   in
   let t =
-    { config; engine; fabric; pipeline; program; topology; metrics; workers; clients }
+    { config; engine; fabric; pipeline; program; topology; metrics; workers; clients;
+      sync = None }
   in
   Array.iter
     (fun worker ->
@@ -112,24 +139,175 @@ let create (config : config) =
     workers;
   t
 
+(* -- sharded construction ------------------------------------------------- *)
+
+(* Window evaluators over the precompiled fault arrays: pure functions
+   of (time, endpoint), so every LP agrees without shared mutable
+   state.  Loss windows compose with each other (and the config's base
+   loss, in Fabric) by max; straggler windows by max factor. *)
+let loss_evaluator (f : static_faults) now =
+  Array.fold_left
+    (fun acc (a, b, p) -> if now >= a && now < b then Float.max acc p else acc)
+    0.0 f.loss_windows
+
+let cut_evaluator (f : static_faults) now host =
+  Array.exists (fun (a, b, hosts) -> now >= a && now < b && List.mem host hosts) f.cut_windows
+
+let slow_evaluator (f : static_faults) node now =
+  Array.fold_left
+    (fun acc (a, b, n, factor) ->
+      if n = node && now >= a && now < b then Float.max acc factor else acc)
+    1.0 f.slow_windows
+
+let check_faults (config : config) =
+  let f = config.static_faults in
+  let hosts = config.workers + config.clients in
+  Array.iter
+    (fun (a, b, p) ->
+      if a > b then invalid_arg "Cluster.create: loss window ends before it starts";
+      if p < 0.0 || p > 1.0 || Float.is_nan p then
+        invalid_arg "Cluster.create: loss window probability outside [0,1]")
+    f.loss_windows;
+  Array.iter
+    (fun (a, b, hs) ->
+      if a > b then invalid_arg "Cluster.create: cut window ends before it starts";
+      List.iter
+        (fun h ->
+          if h < 0 || h >= hosts then
+            invalid_arg
+              (Printf.sprintf "Cluster.create: cut window host %d outside [0, %d)" h hosts))
+        hs)
+    f.cut_windows;
+  Array.iter
+    (fun (a, b, n, factor) ->
+      if a > b then invalid_arg "Cluster.create: straggler window ends before it starts";
+      if n < 0 || n >= config.workers then
+        invalid_arg
+          (Printf.sprintf "Cluster.create: straggler window node %d outside [0, %d)" n
+             config.workers);
+      if factor < 1.0 || Float.is_nan factor then
+        invalid_arg "Cluster.create: straggler factor must be >= 1.0")
+    f.slow_windows
+
+let create_sharded (config : config) shards =
+  check_faults config;
+  let hosts = config.workers + config.clients in
+  if shards < 1 then invalid_arg "Cluster.create: shards must be >= 1";
+  (* LP 0 holds the whole switch pipeline (shared program state, queue,
+     PIFO store, metrics); every other LP is a rack-aligned group of
+     hosts.  More shards than 1 + hosts would leave empty LPs — a
+     misconfiguration, not a preference. *)
+  if shards > 1 + hosts then
+    invalid_arg
+      (Printf.sprintf
+         "Cluster.create: %d shards exceed the %d LP groups this topology admits \
+          (1 switch LP + %d hosts: %d workers + %d clients); lower --shards"
+         shards (1 + hosts) hosts config.workers config.clients);
+  let topology = Topology.create ~nodes:config.workers ~racks:config.racks in
+  let lp_of_host = Array.make hosts 0 in
+  if shards > 1 then begin
+    let host_groups = shards - 1 in
+    let worker_groups = min host_groups config.workers in
+    let part = Topology.partition topology ~groups:worker_groups in
+    for w = 0 to config.workers - 1 do
+      lp_of_host.(w) <- 1 + part.(w)
+    done;
+    for i = 0 to config.clients - 1 do
+      lp_of_host.(config.workers + i) <- 1 + (i mod host_groups)
+    done
+  end;
+  let lps = Array.init shards (fun id -> Lp.create ~id ~seed:config.seed ()) in
+  let sync = Sync.create ~lookahead:(Fabric.lookahead config.fabric_config) lps in
+  let instances =
+    Fabric.router ~config:config.fabric_config
+      ~loss_at:(loss_evaluator config.static_faults)
+      ~cut_at:(cut_evaluator config.static_faults)
+      ~lps ~switch_lp:0
+      ~lp_of_host:(fun h -> lp_of_host.(h))
+      ~hosts ~seed:config.seed ()
+  in
+  let switch_fabric = instances.(0) in
+  let metrics = Metrics.create ~topology (Fabric.engine switch_fabric) in
+  let program, pipeline = build_switch config ~topology ~metrics ~fabric:switch_fabric in
+  (* Every non-switch entity gets a metrics facade on its own LP clock:
+     mutations travel to the switch LP as stamped closures
+     (Fabric.router_defer), so sampler order is partition-independent. *)
+  let remote_metrics host =
+    let fab = instances.(lp_of_host.(host)) in
+    Metrics.remote metrics ~engine:(Fabric.engine fab)
+      ~post:(fun ~at fn -> Fabric.router_defer fab ~src:(Addr.Host host) ~at fn)
+  in
+  let fn_model = Fn_model.with_topology topology in
+  let workers =
+    Array.init config.workers (fun node ->
+        make_worker config ~fn_model ~fabric:instances.(lp_of_host.(node)) node)
+  in
+  let clients =
+    Array.init config.clients (fun i ->
+        make_client config ~fabric:instances.(lp_of_host.(config.workers + i))
+          ~metrics:(remote_metrics (config.workers + i))
+          i)
+  in
+  let t =
+    { config; engine = Fabric.engine switch_fabric; fabric = switch_fabric; pipeline;
+      program; topology; metrics; workers; clients; sync = Some sync }
+  in
+  Array.iteri
+    (fun node worker ->
+      let facade = remote_metrics node in
+      Worker.set_on_task_start worker (fun task ~node ->
+          Metrics.note_exec_start facade task ~node))
+    workers;
+  (* Straggler windows become boundary events pre-scheduled on the
+     worker's own LP (its executors live there): at every window edge
+     the node's current factor is recomputed from the full window set,
+     so overlapping windows compose by max.  Pre-run insertion keeps the
+     same-time order of these events ahead of any task event, for every
+     partitioning. *)
+  Array.iter
+    (fun (a, b, node, _) ->
+      let e = Fabric.engine instances.(lp_of_host.(node)) in
+      List.iter
+        (fun edge ->
+          ignore
+            (Engine.schedule_at e ~at:edge (fun () ->
+                 Worker.set_slowdown workers.(node)
+                   (slow_evaluator config.static_faults node edge))))
+        [ a; b ])
+    config.static_faults.slow_windows;
+  t
+
+let create (config : config) =
+  if config.workers < 1 then invalid_arg "Cluster.create: need workers";
+  if config.clients < 1 then invalid_arg "Cluster.create: need clients";
+  match config.shards with
+  | None -> create_legacy config
+  | Some n -> create_sharded config n
+
 let start t =
   (* Stagger initial pulls so 160 executors do not hit the switch in the
      same nanosecond. *)
   let stagger = max 1 (Time.us 1 / max 1 t.config.executors_per_worker) in
   Array.iter (fun worker -> Worker.start worker ~stagger) t.workers
 
-let run t ~until = Engine.run ~until t.engine
+(* [?executor] fans each barrier window's per-LP thunks out over a
+   worker team (sharded mode only); the default runs them inline — the
+   bit-deterministic reference, which every executor must reproduce. *)
+let run ?executor t ~until =
+  match t.sync with
+  | None -> Engine.run ~until t.engine
+  | Some sync -> Sync.run ~until ?executor sync
 
 let outstanding t =
   Array.fold_left (fun acc client -> acc + Client.outstanding client) 0 t.clients
 
-let run_until_drained t ~deadline =
+let run_until_drained ?executor t ~deadline =
   let step = Time.ms 1 in
   let rec go () =
     if outstanding t = 0 then true
     else if Engine.now t.engine >= deadline then false
     else begin
-      Engine.run ~until:(min deadline (Engine.now t.engine + step)) t.engine;
+      run ?executor t ~until:(min deadline (Engine.now t.engine + step));
       go ()
     end
   in
@@ -141,6 +319,11 @@ let pipeline t = t.pipeline
 let program t = t.program
 let topology t = t.topology
 let metrics t = t.metrics
+let sync t = t.sync
+
+(* Events executed so far: summed over every LP engine when sharded. *)
+let events t =
+  match t.sync with None -> Engine.executed t.engine | Some sync -> Sync.executed sync
 
 let fail_over_switch t =
   let lost = Switch_program.total_occupancy t.program in

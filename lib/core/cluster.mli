@@ -12,6 +12,23 @@ open Draconis_sim
 open Draconis_net
 open Draconis_p4
 
+(** Faults a {e sharded} cluster can express: static time windows,
+    evaluated as pure functions of (simulated time, endpoint) so every
+    logical process agrees without runtime mutation of shared state.
+    Intervals are half-open [\[start, stop)].  Overlapping loss windows
+    (and the fabric config's base loss) compose by max probability;
+    overlapping straggler windows by max factor. *)
+type static_faults = {
+  loss_windows : (Time.t * Time.t * float) array;
+      (** (start, stop, drop probability) *)
+  cut_windows : (Time.t * Time.t * int list) array;
+      (** (start, stop, hosts cut off) *)
+  slow_windows : (Time.t * Time.t * int * float) array;
+      (** (start, stop, worker node, slowdown factor >= 1.0) *)
+}
+
+val no_faults : static_faults
+
 type config = {
   seed : int;
   workers : int;
@@ -27,29 +44,60 @@ type config = {
   noop_retry : Time.t;
   rsrc_of_node : int -> int;  (** executor resource bitmap per node *)
   client_timeout : Time.t option;
+  shards : int option;
+      (** [Some n]: build on [n] logical processes — LP 0 holds the
+          entire switch pipeline, hosts split into rack-aligned LP
+          groups ({!Draconis_net.Topology.partition}) — with all
+          entity-to-entity traffic stamped through the sharded
+          {!Draconis_net.Fabric.router}.  Outcomes are bit-identical for
+          every valid [n].  [None]: the classic single-engine cluster. *)
+  static_faults : static_faults;
+      (** sharded mode only; {!create} rejects a non-empty value with
+          [shards = None] (the classic cluster takes faults from the
+          runtime {!Draconis_fault.Injector} instead) *)
 }
 
 (** The paper's testbed shape: 10 workers x 16 executors, 2 clients,
     1 rack, FCFS, 164K-entry queue, calibrated fabric/pipeline, 4 us
-    no-op retry, all resources on every node, no client timeout. *)
+    no-op retry, all resources on every node, no client timeout,
+    unsharded, no static faults. *)
 val default_config : config
 
 type t
 
+(** @raise Invalid_argument on a config with no workers or clients, more
+    shards than [1 + workers + clients] (the switch LP plus one LP per
+    host — the cap on useful LP groups for the topology), static faults
+    without [shards], or an out-of-range fault window. *)
 val create : config -> t
 
 (** [start t] launches all executors (staggered within ~1 us). *)
 val start : t -> unit
 
-(** [run t ~until] advances the simulation to [until]. *)
-val run : t -> until:Time.t -> unit
+(** [run t ~until] advances the simulation to [until].  On a sharded
+    cluster this drives {!Draconis_sim.Sync.run}; [executor] fans each
+    barrier window's per-LP thunks out (e.g. over a {e work-stealing
+    team}), defaulting to inline execution — the bit-deterministic
+    reference that every executor must reproduce.  [executor] is
+    ignored on an unsharded cluster. *)
+val run : ?executor:Sync.executor -> t -> until:Time.t -> unit
 
 (** [run_until_drained t ~deadline] keeps running until no client has
     outstanding tasks or the deadline passes; returns [true] if
     drained. *)
-val run_until_drained : t -> deadline:Time.t -> bool
+val run_until_drained : ?executor:Sync.executor -> t -> deadline:Time.t -> bool
 
+(** The (only) engine of an unsharded cluster; the switch LP's engine of
+    a sharded one. *)
 val engine : t -> Engine.t
+
+(** [Some] iff the cluster is sharded — exposes windows/lookahead/LPs to
+    harness layers that drive or report on the barrier protocol. *)
+val sync : t -> Sync.t option
+
+(** Events executed so far, summed across every LP engine when sharded. *)
+val events : t -> int
+
 val fabric : t -> Draconis_proto.Message.t Fabric.t
 val pipeline : t -> (Draconis_proto.Message.t, Switch_packet.t) Pipeline.t
 val program : t -> Switch_program.t

@@ -5,8 +5,14 @@ open Draconis_proto
 
 type placement = { mutable local : int; mutable same_rack : int; mutable remote : int }
 
-type t = {
-  engine : Engine.t;
+(* All the actual state — tables, samplers, counters — lives in one
+   [core] owned by a single logical process.  A [t] is a handle on a
+   core: the owner's handle mutates it directly, while a [remote] handle
+   (sharded runs) reads its own LP's clock and ships every mutation as a
+   stamped closure to the owner's LP, so the core is only ever touched
+   from one domain and sampler insertion order is the owner-LP event
+   order — partition-independent. *)
+type core = {
   topology : Topology.t option;
   submit_times : (Task.id, Time.t) Hashtbl.t;
   enqueue_times : (Task.id, Time.t * int) Hashtbl.t;
@@ -31,32 +37,56 @@ type t = {
   mutable deadline_misses : int;
 }
 
+type t = {
+  engine : Engine.t;
+  core : core;
+  post : (at:Time.t -> (unit -> unit) -> unit) option;
+      (* [None]: mutate inline (the single-engine reference behaviour).
+         [Some post]: defer the mutation closure, stamped with the
+         capture time, to the core owner's LP. *)
+}
+
 let create ?topology engine =
   {
     engine;
-    topology;
-    submit_times = Hashtbl.create 4096;
-    enqueue_times = Hashtbl.create 4096;
-    scheduling_delay = Sampler.create ();
-    end_to_end_delay = Sampler.create ();
-    queueing_by_level = Hashtbl.create 8;
-    get_task_by_level = Hashtbl.create 8;
-    delay_by_class = Hashtbl.create 8;
-    decisions = Meter.create ();
-    placement = { local = 0; same_rack = 0; remote = 0 };
-    submitted = 0;
-    started = 0;
-    completed = 0;
-    timeouts = 0;
-    resubmitted = 0;
-    abandoned = 0;
-    rejected = 0;
-    swaps = 0;
-    recirculations = 0;
-    repair_flags = 0;
-    deadline_tracked = 0;
-    deadline_misses = 0;
+    post = None;
+    core =
+      {
+        topology;
+        submit_times = Hashtbl.create 4096;
+        enqueue_times = Hashtbl.create 4096;
+        scheduling_delay = Sampler.create ();
+        end_to_end_delay = Sampler.create ();
+        queueing_by_level = Hashtbl.create 8;
+        get_task_by_level = Hashtbl.create 8;
+        delay_by_class = Hashtbl.create 8;
+        decisions = Meter.create ();
+        placement = { local = 0; same_rack = 0; remote = 0 };
+        submitted = 0;
+        started = 0;
+        completed = 0;
+        timeouts = 0;
+        resubmitted = 0;
+        abandoned = 0;
+        rejected = 0;
+        swaps = 0;
+        recirculations = 0;
+        repair_flags = 0;
+        deadline_tracked = 0;
+        deadline_misses = 0;
+      };
   }
+
+let remote t ~engine ~post = { engine; core = t.core; post = Some post }
+
+(* Every note below captures [now] (and its arguments) eagerly, then
+   runs the mutation either inline or on the owner's LP.  Reads of
+   cross-entity state (e.g. [submit_times] in [note_exec_start]) happen
+   inside the closure: by the lookahead contract the submit closure's
+   stamp always precedes the exec-start closure's stamp, so the deferred
+   read still observes the submission. *)
+let dispatch t ~now fn =
+  match t.post with None -> fn () | Some post -> post ~at:now fn
 
 let level_sampler tbl level =
   match Hashtbl.find_opt tbl level with
@@ -67,29 +97,39 @@ let level_sampler tbl level =
     sampler
 
 let note_submit t id =
-  if not (Hashtbl.mem t.submit_times id) then begin
-    t.submitted <- t.submitted + 1;
-    Hashtbl.replace t.submit_times id (Engine.now t.engine)
-  end
+  let now = Engine.now t.engine in
+  dispatch t ~now (fun () ->
+      let c = t.core in
+      if not (Hashtbl.mem c.submit_times id) then begin
+        c.submitted <- c.submitted + 1;
+        Hashtbl.replace c.submit_times id now
+      end)
 
 let note_complete t id =
-  t.completed <- t.completed + 1;
-  match Hashtbl.find_opt t.submit_times id with
-  | None -> ()
-  | Some submit -> Sampler.record t.end_to_end_delay (Engine.now t.engine - submit)
+  let now = Engine.now t.engine in
+  dispatch t ~now (fun () ->
+      let c = t.core in
+      c.completed <- c.completed + 1;
+      match Hashtbl.find_opt c.submit_times id with
+      | None -> ()
+      | Some submit -> Sampler.record c.end_to_end_delay (now - submit))
 
-let note_timeout t _id = t.timeouts <- t.timeouts + 1
-let note_resubmit t _id = t.resubmitted <- t.resubmitted + 1
-let note_abandon t _id = t.abandoned <- t.abandoned + 1
+let counter t bump =
+  let now = Engine.now t.engine in
+  dispatch t ~now (fun () -> bump t.core)
 
-let classify_placement t (task : Task.t) ~node =
-  match (Task.locality_nodes task, t.topology) with
+let note_timeout t _id = counter t (fun c -> c.timeouts <- c.timeouts + 1)
+let note_resubmit t _id = counter t (fun c -> c.resubmitted <- c.resubmitted + 1)
+let note_abandon t _id = counter t (fun c -> c.abandoned <- c.abandoned + 1)
+
+let classify_placement c (task : Task.t) ~node =
+  match (Task.locality_nodes task, c.topology) with
   | [], _ | _, None -> ()
   | locals, Some topo ->
-    if List.mem node locals then t.placement.local <- t.placement.local + 1
+    if List.mem node locals then c.placement.local <- c.placement.local + 1
     else if List.exists (fun local -> Topology.same_rack topo node local) locals then
-      t.placement.same_rack <- t.placement.same_rack + 1
-    else t.placement.remote <- t.placement.remote + 1
+      c.placement.same_rack <- c.placement.same_rack + 1
+    else c.placement.remote <- c.placement.remote + 1
 
 (* A task's fairness class: its tenant or priority level (0 for tasks
    carrying neither). *)
@@ -99,38 +139,45 @@ let task_class (task : Task.t) =
   | None -> ( match task.tprops with Task.Priority p -> p | _ -> 0)
 
 let note_exec_start t task ~node =
-  t.started <- t.started + 1;
-  classify_placement t task ~node;
-  match Hashtbl.find_opt t.submit_times task.Task.id with
-  | None -> ()
-  | Some submit ->
-    let delay = Engine.now t.engine - submit in
-    Sampler.record t.scheduling_delay delay;
-    Sampler.record (level_sampler t.delay_by_class (task_class task)) delay;
-    (match Task.relative_deadline task with
-    | None -> ()
-    | Some deadline ->
-      t.deadline_tracked <- t.deadline_tracked + 1;
-      if delay > deadline then t.deadline_misses <- t.deadline_misses + 1)
+  let now = Engine.now t.engine in
+  dispatch t ~now (fun () ->
+      let c = t.core in
+      c.started <- c.started + 1;
+      classify_placement c task ~node;
+      match Hashtbl.find_opt c.submit_times task.Task.id with
+      | None -> ()
+      | Some submit ->
+        let delay = now - submit in
+        Sampler.record c.scheduling_delay delay;
+        Sampler.record (level_sampler c.delay_by_class (task_class task)) delay;
+        (match Task.relative_deadline task with
+        | None -> ()
+        | Some deadline ->
+          c.deadline_tracked <- c.deadline_tracked + 1;
+          if delay > deadline then c.deadline_misses <- c.deadline_misses + 1))
 
 let note_enqueue t id ~level =
-  if not (Hashtbl.mem t.enqueue_times id) then
-    Hashtbl.replace t.enqueue_times id (Engine.now t.engine, level)
+  let now = Engine.now t.engine in
+  dispatch t ~now (fun () ->
+      let c = t.core in
+      if not (Hashtbl.mem c.enqueue_times id) then
+        Hashtbl.replace c.enqueue_times id (now, level))
 
 let note_assign t id ~requested_at =
   let now = Engine.now t.engine in
-  Meter.mark t.decisions ~now ();
-  match Hashtbl.find_opt t.enqueue_times id with
-  | None -> ()
-  | Some (enqueued, level) ->
-    Sampler.record (level_sampler t.queueing_by_level level) (now - enqueued);
-    Sampler.record (level_sampler t.get_task_by_level level) (now - requested_at)
+  dispatch t ~now (fun () ->
+      let c = t.core in
+      Meter.mark c.decisions ~now ();
+      match Hashtbl.find_opt c.enqueue_times id with
+      | None -> ()
+      | Some (enqueued, level) ->
+        Sampler.record (level_sampler c.queueing_by_level level) (now - enqueued);
+        Sampler.record (level_sampler c.get_task_by_level level) (now - requested_at))
 
-let note_reject t n = t.rejected <- t.rejected + n
-
-let note_swap t = t.swaps <- t.swaps + 1
-let note_recirculate t = t.recirculations <- t.recirculations + 1
-let note_repair_flag t = t.repair_flags <- t.repair_flags + 1
+let note_reject t n = counter t (fun c -> c.rejected <- c.rejected + n)
+let note_swap t = counter t (fun c -> c.swaps <- c.swaps + 1)
+let note_recirculate t = counter t (fun c -> c.recirculations <- c.recirculations + 1)
+let note_repair_flag t = counter t (fun c -> c.repair_flags <- c.repair_flags + 1)
 
 let instrument t : Instrument.t =
   {
@@ -146,30 +193,31 @@ let instrument t : Instrument.t =
     on_pop_scan = (fun () -> ());
   }
 
-let scheduling_delay t = t.scheduling_delay
-let end_to_end_delay t = t.end_to_end_delay
-let queueing_delay t ~level = level_sampler t.queueing_by_level level
+let scheduling_delay t = t.core.scheduling_delay
+let end_to_end_delay t = t.core.end_to_end_delay
+let queueing_delay t ~level = level_sampler t.core.queueing_by_level level
 
 let delay_by_class t =
-  Hashtbl.fold (fun cls sampler acc -> (cls, sampler) :: acc) t.delay_by_class []
+  Hashtbl.fold (fun cls sampler acc -> (cls, sampler) :: acc) t.core.delay_by_class []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let deadline_tracked t = t.deadline_tracked
-let deadline_misses t = t.deadline_misses
-let get_task_delay t ~level = level_sampler t.get_task_by_level level
-let decisions t = t.decisions
-let placement t = t.placement
-let submitted t = t.submitted
-let started t = t.started
-let completed t = t.completed
-let timeouts t = t.timeouts
-let resubmitted t = t.resubmitted
-let abandoned t = t.abandoned
-let rejected t = t.rejected
-let swaps t = t.swaps
-let recirculations t = t.recirculations
-let repair_flags t = t.repair_flags
+let deadline_tracked t = t.core.deadline_tracked
+let deadline_misses t = t.core.deadline_misses
+let get_task_delay t ~level = level_sampler t.core.get_task_by_level level
+let decisions t = t.core.decisions
+let placement t = t.core.placement
+let submitted t = t.core.submitted
+let started t = t.core.started
+let completed t = t.core.completed
+let timeouts t = t.core.timeouts
+let resubmitted t = t.core.resubmitted
+let abandoned t = t.core.abandoned
+let rejected t = t.core.rejected
+let swaps t = t.core.swaps
+let recirculations t = t.core.recirculations
+let repair_flags t = t.core.repair_flags
+
 (* [started] counts assignment events, so a task that is lost and
    resubmitted starts more than once; clamp so duplicated starts under
    fault injection cannot drive the count negative. *)
-let unstarted t = max 0 (t.submitted - t.started)
+let unstarted t = max 0 (t.core.submitted - t.core.started)

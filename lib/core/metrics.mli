@@ -29,6 +29,17 @@ type t
     classification for locality experiments. *)
 val create : ?topology:Topology.t -> Engine.t -> t
 
+(** [remote owner ~engine ~post] is a handle on [owner]'s state for an
+    entity living on another logical process of a sharded run: every
+    [note_*] captures the timestamp (and its arguments) from [engine] —
+    the {e caller}'s LP clock — and defers the actual mutation as a
+    closure through [post ~at:now], which is expected to route it to the
+    owner's LP with a deterministic [(at, src, seq)] mailbox stamp (see
+    {!Draconis_net.Fabric.router_defer}).  The owner's state is thus
+    only ever mutated from the owner's LP, in stamp order, making
+    sampler contents bit-identical across shard counts. *)
+val remote : t -> engine:Engine.t -> post:(at:Time.t -> (unit -> unit) -> unit) -> t
+
 (** {2 Client-side events} *)
 
 (** [note_submit t id] records a task's submission time; only the first

@@ -73,6 +73,7 @@ let invariants =
     "replication-consistency";
     "pifo-order";
     "int-consistency";
+    "sharded-consistency";
   ]
 
 type violation = { invariant : string; detail : string; trace : string list }
@@ -87,7 +88,17 @@ let trace_window = 32
 
 (* -- the replay ------------------------------------------------------------ *)
 
-let check ?twin schedule run =
+(* Events that execute on the switch LP: their relative order is fixed
+   by the mailbox stamps, so it must be identical across partitionings.
+   Host-side events run on whichever LP owns the host; only their
+   multiset is partition-independent. *)
+let switch_side = function
+  | Submitted _ | Delivered _ | Returned _ | Completed _ -> false
+  | Enqueued _ | Dequeued _ | Swapped _ | Assigned _ | Rejected _ | Noop
+  | Repair_flag _ | Recirculated _ | Ranked _ | Pop_scan_started ->
+    true
+
+let check ?twin ?sharded schedule run =
   let checks = Hashtbl.create 16 in
   List.iter (fun inv -> Hashtbl.replace checks inv 0) invariants;
   let checked inv = Hashtbl.replace checks inv (Hashtbl.find checks inv + 1) in
@@ -350,6 +361,53 @@ let check ?twin schedule run =
       Array.length run.events <> Array.length other.events
       || not (Array.for_all2 ( = ) run.events other.events)
     then violate ~at:n "replication-consistency" "event logs diverge across replicas");
+  (* Sharded consistency: the same schedule executed through the LP
+     data path under two partitionings (everything on one LP vs switch
+     and hosts split across two).  The switch state, loss counters, and
+     the switch-side event sequence are stamp-ordered and must match
+     exactly; host-side events may interleave differently across
+     engines, so they compare as a sorted multiset. *)
+  (match sharded with
+  | None -> ()
+  | Some (a, b) ->
+    checked "sharded-consistency";
+    let fail detail = violate ~at:n "sharded-consistency" detail in
+    let split (r : run) =
+      let sw = ref [] and host = ref [] in
+      Array.iter
+        (fun ev -> if switch_side ev then sw := ev :: !sw else host := ev :: !host)
+        r.events;
+      (List.rev !sw, List.sort compare !host)
+    in
+    let sw_a, host_a = split a in
+    let sw_b, host_b = split b in
+    if a.fingerprint <> b.fingerprint then
+      fail
+        (Printf.sprintf "register fingerprints diverge across LP partitionings (%Lx vs %Lx)"
+           a.fingerprint b.fingerprint)
+    else if a.levels <> b.levels then
+      fail "drained queue state diverges across LP partitionings"
+    else if a.fabric_lost <> b.fabric_lost || a.recirc_dropped <> b.recirc_dropped
+    then
+      fail
+        (Printf.sprintf
+           "drop counters diverge across LP partitionings (lost %d vs %d, \
+            recirc-dropped %d vs %d)"
+           a.fabric_lost b.fabric_lost a.recirc_dropped b.recirc_dropped)
+    else if a.access_violation <> b.access_violation then
+      fail "access violations diverge across LP partitionings"
+    else if sw_a <> sw_b then
+      fail
+        (Printf.sprintf
+           "switch-side event sequences diverge across LP partitionings (%d vs %d \
+            events)"
+           (List.length sw_a) (List.length sw_b))
+    else if host_a <> host_b then
+      fail
+        (Printf.sprintf
+           "host-side event multisets diverge across LP partitionings (%d vs %d \
+            events)"
+           (List.length host_a) (List.length host_b)));
   {
     checks = List.map (fun inv -> (inv, Hashtbl.find checks inv)) invariants;
     violations = List.rev !violations;

@@ -64,7 +64,8 @@ type run = {
 (** The invariant registry, in reporting order: no-lost-task,
     no-duplicate-task, fifo-order, occupancy-bound,
     pointer-convergence, stamp-validity, single-register-access,
-    replication-consistency, pifo-order. *)
+    replication-consistency, pifo-order, int-consistency,
+    sharded-consistency. *)
 val invariants : string list
 
 type violation = {
@@ -81,10 +82,17 @@ type report = {
           recirculation drops, no access violation) *)
 }
 
-(** [check ?twin schedule run] replays and audits.  When [twin] is the
-    result of a second execution of the same schedule, replication
-    consistency (identical fingerprints and event logs) is checked
-    too. *)
-val check : ?twin:run -> Schedule.t -> run -> report
+(** [check ?twin ?sharded schedule run] replays and audits.  When
+    [twin] is the result of a second execution of the same schedule,
+    replication consistency (identical fingerprints and event logs) is
+    checked too.  When [sharded] is a pair of {!Exec.run_sharded}
+    results for the same schedule at 1 and 2 shards, the
+    sharded-consistency invariant checks cross-LP outcome equality:
+    identical register fingerprints, drained queue state, drop
+    counters, and switch-side event sequence (stamp-ordered, so exact),
+    with host-side events compared as a multiset (their interleaving
+    across LP engines is the one thing partitioning may legally
+    change). *)
+val check : ?twin:run -> ?sharded:run * run -> Schedule.t -> run -> report
 
 val ok : report -> bool

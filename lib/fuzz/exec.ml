@@ -109,65 +109,41 @@ let plan_of_ops ops =
          | Op.Submit _ | Op.Request _ -> None)
        ops)
 
-let run ?bug (schedule : Schedule.t) =
-  Schedule.validate schedule;
-  (* In-band telemetry rides along on every fuzz execution: stamps add
-     no engine events, so determinism (and the replication twin) is
-     unaffected, and the stamped enqueue occupancy feeds the
-     int-consistency invariant. *)
-  let int_was = Draconis_obs.Int_telemetry.enabled () in
-  Draconis_obs.Int_telemetry.enable () ;
-  Fun.protect
-    ~finally:(fun () -> if not int_was then Draconis_obs.Int_telemetry.disable ())
-  @@ fun () ->
-  let events = ref [] in
-  let record ev = events := ev :: !events in
-  let engine = Engine.create () in
-  let rng = Rng.create ~seed:schedule.seed in
-  let fabric = Fabric.create engine rng in
-  let instrument =
-    {
-      (* The enqueue hook fires just after the queue noted its INT
-         occupancy for the armed traversal, so reading it here pairs
-         the event with the very stamp the switch took. *)
-      Instrument.on_enqueue =
-        (fun id ~level ->
-          record
-            (Checker.Enqueued
-               { id; level; int_occ = Draconis_obs.Int_telemetry.noted_occupancy () }));
-      on_dequeue = (fun id ~level -> record (Checker.Dequeued { id; level }));
-      on_assign =
-        (fun id ~node ~requested_at:_ -> record (Checker.Assigned { id; node }));
-      on_reject = (fun count -> record (Checker.Rejected { count }));
-      on_noop = (fun () -> record Checker.Noop);
-      on_swap =
-        (fun ~swapped_in ~swapped_out ~level ->
-          record (Checker.Swapped { into = swapped_in; out = swapped_out; level }));
-      on_recirculate = (fun ~kind -> record (Checker.Recirculated { kind }));
-      on_repair_flag =
-        (fun flag ~level ->
-          record
-            (Checker.Repair_flag
-               { flag = Instrument.repair_flag_name flag; level }));
-      on_rank = (fun id ~rank -> record (Checker.Ranked { id; rank }));
-      on_pop_scan = (fun () -> record Checker.Pop_scan_started);
-    }
-  in
-  let program =
-    Switch_program.create ~engine ~instrument ~policy:(policy_of schedule.policy)
-      ~queue_capacity:schedule.capacity ()
-  in
-  let pipeline =
-    Pipeline.attach
-      ~config:{ Pipeline.default_config with recirc_queue_limit }
-      fabric
-      ~wrap:(fun m -> Switch_packet.Wire m)
-      (Switch_program.program program)
-  in
-  (* Pointer wraparound: start both pointers of every level just below
-     the wrap modulus so the schedule crosses the boundary early
-     (Schedule.validate rejects wrap_offset for pointer-free PIFOs). *)
-  (match schedule.wrap_offset with
+(* -- pieces shared by the single-engine and the sharded rig --------------- *)
+
+let make_instrument record =
+  {
+    (* The enqueue hook fires just after the queue noted its INT
+       occupancy for the armed traversal, so reading it here pairs
+       the event with the very stamp the switch took. *)
+    Instrument.on_enqueue =
+      (fun id ~level ->
+        record
+          (Checker.Enqueued
+             { id; level; int_occ = Draconis_obs.Int_telemetry.noted_occupancy () }));
+    on_dequeue = (fun id ~level -> record (Checker.Dequeued { id; level }));
+    on_assign =
+      (fun id ~node ~requested_at:_ -> record (Checker.Assigned { id; node }));
+    on_reject = (fun count -> record (Checker.Rejected { count }));
+    on_noop = (fun () -> record Checker.Noop);
+    on_swap =
+      (fun ~swapped_in ~swapped_out ~level ->
+        record (Checker.Swapped { into = swapped_in; out = swapped_out; level }));
+    on_recirculate = (fun ~kind -> record (Checker.Recirculated { kind }));
+    on_repair_flag =
+      (fun flag ~level ->
+        record
+          (Checker.Repair_flag
+             { flag = Instrument.repair_flag_name flag; level }));
+    on_rank = (fun id ~rank -> record (Checker.Ranked { id; rank }));
+    on_pop_scan = (fun () -> record Checker.Pop_scan_started);
+  }
+
+(* Pointer wraparound: start both pointers of every level just below
+   the wrap modulus so the schedule crosses the boundary early
+   (Schedule.validate rejects wrap_offset for pointer-free PIFOs). *)
+let set_wrap_offset program (schedule : Schedule.t) =
+  match schedule.wrap_offset with
   | None -> ()
   | Some offset ->
     for level = 0 to Policy.queue_count (policy_of schedule.policy) - 1 do
@@ -175,10 +151,21 @@ let run ?bug (schedule : Schedule.t) =
       let wrap = Circular_queue.wrap_modulus q in
       let p = (wrap - (offset mod wrap)) mod wrap in
       Circular_queue.unsafe_set_pointers_for_test q ~add:p ~retrieve:p
-    done);
-  (* Clients: sinks for acks, bounces, and completions. *)
+    done
+
+(* Clients: sinks for acks, bounces, and completions.  Executors: all
+   record deliveries; odd-indexed ones are "pulling" executors that
+   complete the task after its service time and piggyback the next
+   request on the completion (§3.1), until a no-op tells them the
+   queues are dry.  Even-indexed executors absorb the task silently, so
+   drained runs can still end with queued work.  [engine_of]/[fabric_of]
+   pick the engine and fabric instance a host lives on (the shared ones
+   for the single-engine rig, the owning LP's for the sharded rig);
+   [slow_at e now] is the executor's current straggler factor. *)
+let wire_hosts ~record ~(schedule : Schedule.t) ~register ~engine_of ~fabric_of
+    ~slow_at =
   for c = 0 to schedule.clients - 1 do
-    Fabric.register fabric (Addr.Host c) (fun env ->
+    register (Addr.Host c) (fun env ->
         match env.Fabric.payload with
         | Message.Queue_full { tasks; _ } ->
           List.iter (fun (task : Task.t) -> record (Checker.Returned { id = task.id })) tasks
@@ -186,93 +173,76 @@ let run ?bug (schedule : Schedule.t) =
           record (Checker.Completed { id = task_id })
         | _ -> ())
   done;
-  (* Executors: all record deliveries; odd-indexed ones are "pulling"
-     executors that complete the task after its service time and
-     piggyback the next request on the completion (§3.1), until a no-op
-     tells them the queues are dry.  Even-indexed executors absorb the
-     task silently, so drained runs can still end with queued work. *)
-  let slowdown = Array.make schedule.executors 1.0 in
   for e = 0 to schedule.executors - 1 do
-    Fabric.register fabric (executor_addr e) (fun env ->
+    let addr = executor_addr e in
+    register addr (fun env ->
         match env.Fabric.payload with
         | Message.Task_assignment { task; client; _ } ->
           record (Checker.Delivered { id = task.id; executor = e });
           if e mod 2 = 1 then begin
+            let engine = engine_of addr in
             let service =
-              max 1 (int_of_float (float_of_int schedule.service *. slowdown.(e)))
+              max 1
+                (int_of_float
+                   (float_of_int schedule.service *. slow_at e (Engine.now engine)))
             in
             ignore @@ Engine.schedule engine ~after:service (fun () ->
-                Fabric.send fabric ~src:(executor_addr e) ~dst:Addr.Switch
+                Fabric.send (fabric_of addr) ~src:addr ~dst:Addr.Switch
                   (Message.Task_completion
                      { task_id = task.id; client; info = info_of e; rtrv_prio = 1 }))
           end
         | _ -> ())
-  done;
-  (* Workload ops become engine events; fault ops become a fault plan. *)
+  done
+
+(* Workload ops become events on the owning host's engine. *)
+let inject_workload ~record ~(schedule : Schedule.t) ~engine_of ~fabric_of =
   List.iter
     (fun op ->
       match op with
       | Op.Submit { at; client; uid; jid; count; prop } ->
         let client = client mod schedule.clients in
+        let addr = Addr.Host client in
         let tasks =
           List.init count (fun tid ->
               Task.make ~uid ~jid ~tid ~tprops:(tprops_of prop) ~fn_id:Task.Fn.noop
                 ~fn_par:0 ())
         in
-        ignore @@ Engine.schedule_at engine ~at (fun () ->
+        ignore @@ Engine.schedule_at (engine_of addr) ~at (fun () ->
             List.iter (fun (t : Task.t) -> record (Checker.Submitted { id = t.id })) tasks;
-            Fabric.send fabric ~src:(Addr.Host client) ~dst:Addr.Switch
-              (Message.Job_submission { client = Addr.Host client; uid; jid; tasks }))
+            Fabric.send (fabric_of addr) ~src:addr ~dst:Addr.Switch
+              (Message.Job_submission { client = addr; uid; jid; tasks }))
       | Op.Request { at; executor; prio } ->
         let executor = executor mod schedule.executors in
-        ignore @@ Engine.schedule_at engine ~at (fun () ->
-            Fabric.send fabric ~src:(executor_addr executor) ~dst:Addr.Switch
+        let addr = executor_addr executor in
+        ignore @@ Engine.schedule_at (engine_of addr) ~at (fun () ->
+            Fabric.send (fabric_of addr) ~src:addr ~dst:Addr.Switch
               (Message.Task_request { info = info_of executor; rtrv_prio = prio }))
       | Op.Loss _ | Op.Partition _ | Op.Straggler _ -> ())
-    schedule.ops;
-  let plan = plan_of_ops schedule.ops in
-  if not (Draconis_fault.Plan.is_empty plan) then
-    ignore
-      (Draconis_fault.Injector.arm plan (fuzz_target ~engine ~fabric ~slowdown));
-  (* Scoped bug injection: flip the queue's hidden kill switch for this
-     run only. *)
-  let set_bug v =
-    match bug with
-    | None -> ()
-    | Some Skip_stamp_check -> Circular_queue.debug_skip_stamp_check := v
-    | Some Drop_retrieve_repair -> Circular_queue.debug_drop_retrieve_repair := v
-  in
-  let access_violation = ref None in
-  set_bug true;
-  Fun.protect
-    ~finally:(fun () -> set_bug false)
-    (fun () ->
-      try ignore (Engine.run ~max_events engine)
-      with Draconis_p4.Packet_ctx.Access_violation name ->
-        access_violation := Some name);
-  (* Drained end state.  PIFO backends have no pointers or repair flags;
-     their walk is the rank store in packed (pop) order, and the
-     occupancy register plays the pointer-occupancy role (a claim that
-     leaked the occupancy gate fails pointer convergence). *)
-  let levels =
-    match Switch_program.pifo program with
-    | Some pifo ->
-      let walk =
-        List.map
-          (fun words -> (Entry.of_words words).Entry.task.id)
-          (Draconis_pifo.Pifo.peek_payloads pifo)
-      in
-      [|
-        {
-          Checker.add_ptr = 0;
-          retrieve_ptr = 0;
-          add_flag = false;
-          retrieve_flag = false;
-          pointer_occupancy = Draconis_pifo.Pifo.occupancy pifo;
-          walk;
-        };
-      |]
-    | None ->
+    schedule.ops
+
+(* Drained end state.  PIFO backends have no pointers or repair flags;
+   their walk is the rank store in packed (pop) order, and the
+   occupancy register plays the pointer-occupancy role (a claim that
+   leaked the occupancy gate fails pointer convergence). *)
+let collect_levels program (schedule : Schedule.t) =
+  match Switch_program.pifo program with
+  | Some pifo ->
+    let walk =
+      List.map
+        (fun words -> (Entry.of_words words).Entry.task.id)
+        (Draconis_pifo.Pifo.peek_payloads pifo)
+    in
+    [|
+      {
+        Checker.add_ptr = 0;
+        retrieve_ptr = 0;
+        add_flag = false;
+        retrieve_flag = false;
+        pointer_occupancy = Draconis_pifo.Pifo.occupancy pifo;
+        walk;
+      };
+    |]
+  | None ->
     Array.init
       (Policy.queue_count (policy_of schedule.policy))
       (fun level ->
@@ -298,19 +268,216 @@ let run ?bug (schedule : Schedule.t) =
           pointer_occupancy = Circular_queue.occupancy q;
           walk = List.rev !walk;
         })
+
+(* -- the single-engine rig ------------------------------------------------ *)
+
+let run ?bug (schedule : Schedule.t) =
+  Schedule.validate schedule;
+  (* In-band telemetry rides along on every fuzz execution: stamps add
+     no engine events, so determinism (and the replication twin) is
+     unaffected, and the stamped enqueue occupancy feeds the
+     int-consistency invariant. *)
+  let int_was = Draconis_obs.Int_telemetry.enabled () in
+  Draconis_obs.Int_telemetry.enable () ;
+  Fun.protect
+    ~finally:(fun () -> if not int_was then Draconis_obs.Int_telemetry.disable ())
+  @@ fun () ->
+  let events = ref [] in
+  let record ev = events := ev :: !events in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:schedule.seed in
+  let fabric = Fabric.create engine rng in
+  let program =
+    Switch_program.create ~engine ~instrument:(make_instrument record)
+      ~policy:(policy_of schedule.policy) ~queue_capacity:schedule.capacity ()
   in
+  let pipeline =
+    Pipeline.attach
+      ~config:{ Pipeline.default_config with recirc_queue_limit }
+      fabric
+      ~wrap:(fun m -> Switch_packet.Wire m)
+      (Switch_program.program program)
+  in
+  set_wrap_offset program schedule;
+  let slowdown = Array.make schedule.executors 1.0 in
+  wire_hosts ~record ~schedule ~register:(Fabric.register fabric)
+    ~engine_of:(fun _ -> engine)
+    ~fabric_of:(fun _ -> fabric)
+    ~slow_at:(fun e _now -> slowdown.(e));
+  (* Workload ops become engine events; fault ops become a fault plan. *)
+  inject_workload ~record ~schedule
+    ~engine_of:(fun _ -> engine)
+    ~fabric_of:(fun _ -> fabric);
+  let plan = plan_of_ops schedule.ops in
+  if not (Draconis_fault.Plan.is_empty plan) then
+    ignore
+      (Draconis_fault.Injector.arm plan (fuzz_target ~engine ~fabric ~slowdown));
+  (* Scoped bug injection: flip the queue's hidden kill switch for this
+     run only. *)
+  let set_bug v =
+    match bug with
+    | None -> ()
+    | Some Skip_stamp_check -> Circular_queue.debug_skip_stamp_check := v
+    | Some Drop_retrieve_repair -> Circular_queue.debug_drop_retrieve_repair := v
+  in
+  let access_violation = ref None in
+  set_bug true;
+  Fun.protect
+    ~finally:(fun () -> set_bug false)
+    (fun () ->
+      try ignore (Engine.run ~max_events engine)
+      with Draconis_p4.Packet_ctx.Access_violation name ->
+        access_violation := Some name);
   {
     Checker.events = Array.of_list (List.rev !events);
-    levels;
+    levels = collect_levels program schedule;
     fabric_lost = Fabric.lost fabric + Fabric.partition_dropped fabric;
     recirc_dropped = Pipeline.recirc_dropped pipeline;
     access_violation = !access_violation;
     fingerprint = fingerprint_registers (Switch_program.registers program);
   }
 
+(* -- the sharded rig ------------------------------------------------------ *)
+
+(* The sharded fabric forbids runtime fault controls (they would step
+   fabric-global state), so the schedule's fault ops compile to pure
+   window evaluators instead — functions of time (and host) only,
+   max-composed over overlapping windows, which keeps every draw and
+   drop independent of how entities were grouped onto LPs. *)
+let compile_faults (schedule : Schedule.t) =
+  let windows f = List.filter_map f schedule.Schedule.ops in
+  let losses =
+    windows (function
+      | Op.Loss { at; duration; loss } -> Some (at, at + duration, loss)
+      | _ -> None)
+  in
+  let cuts =
+    windows (function
+      | Op.Partition { at; hosts; duration } -> Some (at, at + duration, hosts)
+      | _ -> None)
+  in
+  let slows =
+    windows (function
+      | Op.Straggler { at; executor; factor; duration } ->
+        Some (at, at + duration, executor, factor)
+      | _ -> None)
+  in
+  let loss_at now =
+    List.fold_left
+      (fun acc (a, b, p) -> if now >= a && now < b then Float.max acc p else acc)
+      0.0 losses
+  in
+  let cut_at now host =
+    List.exists (fun (a, b, hs) -> now >= a && now < b && List.mem host hs) cuts
+  in
+  let slow_at e now =
+    List.fold_left
+      (fun acc (a, b, x, f) ->
+        if x = e && now >= a && now < b then Float.max acc f else acc)
+      1.0 slows
+  in
+  (loss_at, cut_at, slow_at)
+
+(* Time backstop for [Sync.run]: the barrier loop has no event budget,
+   so a wedged run must be cut off by the clock instead.  A healthy
+   schedule drains within microseconds of its last op; anything still
+   live this far past it is a livelock, and the truncated logs of the
+   two partitionings stay comparable because the window sequence is
+   partition-independent. *)
+let drain_slack = Time.ms 50
+
+let sharded_horizon (schedule : Schedule.t) =
+  let op_end acc op =
+    max acc
+      (match op with
+      | Op.Submit { at; _ } | Op.Request { at; _ } -> at
+      | Op.Loss { at; duration; _ }
+      | Op.Partition { at; duration; _ }
+      | Op.Straggler { at; duration; _ } ->
+        at + duration)
+  in
+  List.fold_left op_end 0 schedule.Schedule.ops + drain_slack
+
+let run_sharded ~shards (schedule : Schedule.t) =
+  if shards < 1 || shards > 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Exec.run_sharded: %d shards (want 1 — every entity on one LP — or 2 \
+          — switch LP + host LP)"
+         shards);
+  Schedule.validate schedule;
+  let int_was = Draconis_obs.Int_telemetry.enabled () in
+  Draconis_obs.Int_telemetry.enable () ;
+  Fun.protect
+    ~finally:(fun () -> if not int_was then Draconis_obs.Int_telemetry.disable ())
+  @@ fun () ->
+  let events = ref [] in
+  let record ev = events := ev :: !events in
+  let lps = Array.init shards (fun id -> Lp.create ~id ~seed:schedule.seed ()) in
+  let sync = Sync.create ~lookahead:(Fabric.lookahead Fabric.default_config) lps in
+  let loss_at, cut_at, slow_at = compile_faults schedule in
+  (* LP 0 owns the switch; with two shards every host (clients at
+     [Host 0..], executors at [Host 100..]) moves to LP 1, so all
+     client/executor <-> switch traffic crosses the LP boundary through
+     stamped mailboxes. *)
+  let host_lp = shards - 1 in
+  let instances =
+    Fabric.router ~loss_at ~cut_at ~lps ~switch_lp:0
+      ~lp_of_host:(fun _ -> host_lp)
+      ~hosts:(100 + schedule.executors) ~seed:schedule.seed ()
+  in
+  let switch_fabric = instances.(0) in
+  let host_fabric = instances.(host_lp) in
+  let host_engine = Lp.engine lps.(host_lp) in
+  let program =
+    Switch_program.create ~engine:(Lp.engine lps.(0))
+      ~instrument:(make_instrument record) ~policy:(policy_of schedule.policy)
+      ~queue_capacity:schedule.capacity ()
+  in
+  let pipeline =
+    Pipeline.attach
+      ~config:{ Pipeline.default_config with recirc_queue_limit }
+      switch_fabric
+      ~wrap:(fun m -> Switch_packet.Wire m)
+      (Switch_program.program program)
+  in
+  set_wrap_offset program schedule;
+  wire_hosts ~record ~schedule ~register:(Fabric.register host_fabric)
+    ~engine_of:(fun _ -> host_engine)
+    ~fabric_of:(fun _ -> host_fabric)
+    ~slow_at;
+  inject_workload ~record ~schedule
+    ~engine_of:(fun _ -> host_engine)
+    ~fabric_of:(fun _ -> host_fabric);
+  let access_violation = ref None in
+  (try Sync.run ~until:(sharded_horizon schedule) sync
+   with Draconis_p4.Packet_ctx.Access_violation name ->
+     access_violation := Some name);
+  {
+    Checker.events = Array.of_list (List.rev !events);
+    levels = collect_levels program schedule;
+    fabric_lost =
+      Array.fold_left
+        (fun acc f -> acc + Fabric.lost f + Fabric.partition_dropped f)
+        0 instances;
+    recirc_dropped = Pipeline.recirc_dropped pipeline;
+    access_violation = !access_violation;
+    fingerprint = fingerprint_registers (Switch_program.registers program);
+  }
+
 (* One schedule, executed twice: determinism makes the second run free
-   insurance, and it feeds the replication-consistency invariant. *)
-let run_checked ?bug schedule =
+   insurance, and it feeds the replication-consistency invariant.  With
+   [sharded] the schedule additionally runs through the LP data path
+   under both partitionings (everything on one LP, then switch/hosts
+   split), feeding the sharded-consistency invariant.  The sharded legs
+   only run bug-free: the injected-bug self-test belongs to the
+   single-engine rig, whose event budget bounds a wedged queue. *)
+let run_checked ?bug ?(sharded = false) schedule =
   let first = run ?bug schedule in
   let twin = run ?bug schedule in
-  Checker.check ~twin schedule first
+  let pair =
+    if sharded && bug = None then
+      Some (run_sharded ~shards:1 schedule, run_sharded ~shards:2 schedule)
+    else None
+  in
+  Checker.check ~twin ?sharded:pair schedule first

@@ -29,5 +29,23 @@ val bug_of_string : string -> bug
 (** Execute once; returns the recorded run for {!Checker.check}. *)
 val run : ?bug:bug -> Schedule.t -> Checker.run
 
-(** Execute twice (replication) and check all invariants. *)
-val run_checked : ?bug:bug -> Schedule.t -> Checker.report
+(** Execute through the {e sharded} data path: the same switch program
+    and hosts, but partitioned over {!Draconis_sim.Lp} logical
+    processes under {!Draconis_sim.Sync} barrier windows, with every
+    host <-> switch message stamped through the
+    {!Draconis_net.Fabric.router} mailboxes.  [shards] is 1 (every
+    entity on one LP) or 2 (switch LP + host LP — all traffic crosses
+    the LP boundary).  The schedule's fault ops compile to the static
+    [loss_at]/[cut_at]/straggler window evaluators the sharded fabric
+    requires, so the recorded run is a pure function of the schedule —
+    and, by the determinism contract, identical for both [shards]
+    values up to host-side event interleaving (checked by the
+    sharded-consistency invariant).
+    @raise Invalid_argument if [shards] is not 1 or 2. *)
+val run_sharded : shards:int -> Schedule.t -> Checker.run
+
+(** Execute twice (replication) and check all invariants.  With
+    [~sharded:true] (and no injected bug) the schedule also executes
+    through {!run_sharded} at 1 and 2 shards, and the pair feeds the
+    sharded-consistency invariant. *)
+val run_checked : ?bug:bug -> ?sharded:bool -> Schedule.t -> Checker.report

@@ -15,6 +15,7 @@ type campaign = {
   seeds : int list;
   ops : int;
   bug : Exec.bug option;
+  sharded : bool;
   checks : (string * int) list;  (** evaluations per invariant, summed *)
   failures : failure list;
 }
@@ -22,26 +23,29 @@ type campaign = {
 let default_ops = 40
 let default_shrink_budget = 500
 
-let run_seed ?bug ?(ops = default_ops) seed =
-  Exec.run_checked ?bug (Gen.schedule ~ops ~seed ())
+let run_seed ?bug ?(ops = default_ops) ?sharded seed =
+  Exec.run_checked ?bug ?sharded (Gen.schedule ~ops ~seed ())
 
 (* Shrinking predicate: the same invariant must fire again, so the
-   minimizer cannot drift onto a different bug while deleting ops. *)
+   minimizer cannot drift onto a different bug while deleting ops.
+   The sharded legs are expensive, so they only re-run when the
+   invariant being chased needs them. *)
 let fails_same ?bug invariant s =
-  let report = Exec.run_checked ?bug s in
+  let sharded = String.equal invariant "sharded-consistency" in
+  let report = Exec.run_checked ?bug ~sharded s in
   List.exists (fun v -> v.Checker.invariant = invariant) report.Checker.violations
 
 let artifact_path dir seed = Filename.concat dir (Printf.sprintf "seed-%d.fuzz" seed)
 
 let run_campaign ?bug ?(ops = default_ops) ?(shrink_budget = default_shrink_budget)
-    ?artifacts ~seeds () =
+    ?artifacts ?(sharded = false) ~seeds () =
   let totals = Hashtbl.create 16 in
   List.iter (fun inv -> Hashtbl.replace totals inv 0) Checker.invariants;
   let failures = ref [] in
   List.iter
     (fun seed ->
       let schedule = Gen.schedule ~ops ~seed () in
-      let report = Exec.run_checked ?bug schedule in
+      let report = Exec.run_checked ?bug ~sharded schedule in
       List.iter
         (fun (inv, n) -> Hashtbl.replace totals inv (Hashtbl.find totals inv + n))
         report.Checker.checks;
@@ -77,6 +81,7 @@ let run_campaign ?bug ?(ops = default_ops) ?(shrink_budget = default_shrink_budg
     seeds;
     ops;
     bug;
+    sharded;
     checks = List.map (fun inv -> (inv, Hashtbl.find totals inv)) Checker.invariants;
     failures = List.rev !failures;
   }
@@ -114,6 +119,7 @@ let to_json campaign =
     (match campaign.bug with
     | None -> "null"
     | Some b -> Printf.sprintf "%S" (Exec.bug_to_string b));
+  add "  \"sharded\": %b,\n" campaign.sharded;
   add "  \"checks\": {";
   List.iteri
     (fun i (inv, n) -> add "%s\"%s\": %d" (if i = 0 then "" else ", ") inv n)
@@ -140,9 +146,10 @@ let to_json campaign =
 let render_text campaign =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "draconis-fuzz: %d seed(s), %d op(s) each%s\n"
+  add "draconis-fuzz: %d seed(s), %d op(s) each%s%s\n"
     (List.length campaign.seeds)
     campaign.ops
+    (if campaign.sharded then ", sharded smoke on" else "")
     (match campaign.bug with
     | None -> ""
     | Some b -> Printf.sprintf ", injected bug: %s" (Exec.bug_to_string b));

@@ -17,6 +17,7 @@ type campaign = {
   seeds : int list;
   ops : int;
   bug : Exec.bug option;
+  sharded : bool;  (** sharded smoke legs were requested *)
   checks : (string * int) list;  (** evaluations per invariant, summed *)
   failures : failure list;
 }
@@ -25,17 +26,21 @@ val default_ops : int
 val default_shrink_budget : int
 
 (** Generate and check one seed. *)
-val run_seed : ?bug:Exec.bug -> ?ops:int -> int -> Checker.report
+val run_seed : ?bug:Exec.bug -> ?ops:int -> ?sharded:bool -> int -> Checker.report
 
 (** [run_campaign ~seeds ()] sweeps the seed list.  [artifacts] is a
     directory to write shrunk reproducers into ([seed-N.fuzz]).
     Shrinking requires the {e same} invariant to fire again, so the
-    minimizer cannot drift onto a different bug. *)
+    minimizer cannot drift onto a different bug.  With [~sharded:true]
+    every (bug-free) schedule also executes through the sharded LP data
+    path at 1 and 2 shards ({!Exec.run_sharded}), feeding the
+    sharded-consistency invariant. *)
 val run_campaign :
   ?bug:Exec.bug ->
   ?ops:int ->
   ?shrink_budget:int ->
   ?artifacts:string ->
+  ?sharded:bool ->
   seeds:int list ->
   unit ->
   campaign

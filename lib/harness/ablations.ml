@@ -238,6 +238,7 @@ let work_stealing ~quick =
                 });
             probes = (fun () -> []);
             phase_attribution = false;
+            control = Systems.engine_control (Draconis_baselines.R2p2.engine sys);
           }
         in
         (running, fun () -> Draconis_baselines.R2p2.steals sys));

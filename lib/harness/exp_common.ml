@@ -64,6 +64,13 @@ let print_phase_breakdown ~title (outcomes : Runner.outcome list) =
 
 let feed_noop (system : Systems.running) ~in_flight ~horizon =
   let open Draconis_proto in
+  (* The feeder reacts to executor starts mid-run, so its submission
+     schedule cannot be recorded up front — staged (sharded) systems
+     must not reach it silently. *)
+  if Option.is_some system.control.Systems.stage then
+    invalid_arg
+      "Exp_common.feed_noop: closed-loop feeder cannot drive a staged (sharded) \
+       system; run this experiment unsharded";
   let submitted = ref 0 in
   let submit_tasks n =
     let rec go n =

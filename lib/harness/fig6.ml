@@ -20,7 +20,8 @@ let run ?(quick = false) () =
       in
       let systems =
         [
-          (fun () -> Systems.draconis spec);
+          (* Sharding is outcome-neutral; see fig5a. *)
+          (fun () -> Systems.draconis ?shards:(Shard.requested ()) spec);
           (fun () -> Systems.racksched spec);
           (fun () -> Systems.r2p2 ~k:3 ~client_timeout:(Time.ms 2) spec);
           (fun () -> Systems.central_server CS.Dpdk spec);

@@ -78,10 +78,13 @@ module Team : sig
 
   val size : t -> int
 
-  (** [run t thunks] executes every thunk to completion (helpers and the
-      calling domain pull from a shared cursor) and returns only when
-      all have finished.  If any thunk raised, the first captured
-      exception is re-raised after the batch barrier.
+  (** [run t thunks] executes every thunk to completion and returns only
+      when all have finished.  Each lane (helpers plus the calling
+      domain) seeds a strided slice of the batch into its own
+      {!Ws_deque.t}, pops it LIFO, and steals from randomly chosen
+      victims once its own deque is empty — so an oversized thunk on one
+      lane never idles the others.  If any thunk raised, the first
+      captured exception is re-raised after the batch barrier.
       @raise Invalid_argument if the team was shut down. *)
   val run : t -> (unit -> unit) array -> unit
 

@@ -37,14 +37,13 @@ let pp_outcome fmt o =
 type driver = Engine.t -> Rng.t -> submit:(Draconis_proto.Task.t list -> unit) -> unit
 
 let drain_system (system : Systems.running) ~deadline =
+  let control = system.control in
   let step = Time.ms 1 in
   let rec go () =
     if system.outstanding () = 0 then true
-    else if Engine.now system.engine >= deadline then false
+    else if control.Systems.now () >= deadline then false
     else begin
-      Engine.run
-        ~until:(min deadline (Engine.now system.engine + step))
-        system.engine;
+      control.Systems.run_until (min deadline (control.Systems.now () + step));
       go ()
     end
   in
@@ -72,7 +71,7 @@ let collect (system : Systems.running) ~load_tps ~horizon ~drained =
     swaps = Metrics.swaps metrics;
     recirculations = Metrics.recirculations metrics;
     repair_flags = Metrics.repair_flags metrics;
-    events = Engine.executed system.engine;
+    events = system.control.Systems.events ();
     events_per_sec = 0.0;
     drained;
     has_latency = true;
@@ -113,7 +112,9 @@ let observed (system : Systems.running) ~label ~until f =
       else (None, None)
     in
     let body () =
-      Obs.Probe.attach system.engine ~interval:probe_interval ~until (system.probes ());
+      (match system.probes () with
+      | [] -> ()
+      | probes -> Obs.Probe.attach system.engine ~interval:probe_interval ~until probes);
       f ()
     in
     let body () =
@@ -152,26 +153,49 @@ let workload_seed () =
 
 let set_workload_seed seed = workload_seed_override := Some seed
 
+(* Feed the driver's submissions into the system.  Single-engine
+   systems take them live: the driver schedules directly on the
+   system's engine.  A staged system (sharded cluster) instead gets the
+   whole submission schedule up front: the driver runs against a
+   throwaway staging engine whose only effect is to record each
+   (time, job), and the recorded schedule is replayed through
+   [control.stage] — which pins every job onto the owning client's LP
+   {e before} any simulated time advances, so the pre-run event order
+   (and hence the outcome) is independent of the shard count. *)
+let feed (system : Systems.running) ~driver ~horizon rng =
+  match system.control.Systems.stage with
+  | None -> driver system.engine rng ~submit:system.submit
+  | Some stage ->
+    let staging = Engine.create () in
+    driver staging rng ~submit:(fun tasks -> stage ~at:(Engine.now staging) tasks);
+    Engine.run ~until:horizon staging
+
 let run (system : Systems.running) ~driver ~load_tps ~horizon ?drain ?workload_seed:ws
     () =
   let workload_seed = Option.value ws ~default:(workload_seed ()) in
   let drain = Option.value drain ~default:(4 * horizon) in
-  observed system
-    ~label:(Printf.sprintf "%s@%.0ftps" system.name load_tps)
-    ~until:(horizon + drain)
-    (fun () ->
-      let rng = Rng.create ~seed:workload_seed in
-      driver system.engine rng ~submit:system.submit;
-      Engine.run ~until:horizon system.engine;
-      let drained = drain_system system ~deadline:(horizon + drain) in
-      collect system ~load_tps ~horizon ~drained)
+  let control = system.control in
+  Fun.protect ~finally:control.Systems.close (fun () ->
+      observed system
+        ~label:(Printf.sprintf "%s@%.0ftps" system.name load_tps)
+        ~until:(horizon + drain)
+        (fun () ->
+          let rng = Rng.create ~seed:workload_seed in
+          feed system ~driver ~horizon rng;
+          control.Systems.run_until horizon;
+          let drained = drain_system system ~deadline:(horizon + drain) in
+          control.Systems.finish ();
+          collect system ~load_tps ~horizon ~drained))
 
 let run_closed (system : Systems.running) ~horizon ?drain () =
   let drain = Option.value drain ~default:(4 * horizon) in
-  observed system
-    ~label:(Printf.sprintf "%s@closed" system.name)
-    ~until:(horizon + drain)
-    (fun () ->
-      Engine.run ~until:horizon system.engine;
-      let drained = drain_system system ~deadline:(horizon + drain) in
-      collect system ~load_tps:0.0 ~horizon ~drained)
+  let control = system.control in
+  Fun.protect ~finally:control.Systems.close (fun () ->
+      observed system
+        ~label:(Printf.sprintf "%s@closed" system.name)
+        ~until:(horizon + drain)
+        (fun () ->
+          control.Systems.run_until horizon;
+          let drained = drain_system system ~deadline:(horizon + drain) in
+          control.Systems.finish ();
+          collect system ~load_tps:0.0 ~horizon ~drained))

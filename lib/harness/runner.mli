@@ -66,7 +66,15 @@ val set_workload_seed : int -> unit
 
 (** [run system ~driver ~load_tps ~horizon ?drain ?workload_seed ()] —
     [drain] defaults to 4x the horizon, [workload_seed] to
-    {!workload_seed}[ ()]. *)
+    {!workload_seed}[ ()].
+
+    Time advances through the system's {!Systems.control}, so the same
+    call drives a single engine or a sharded cluster's barrier-window
+    protocol.  When the control requires staging ([stage = Some]), the
+    driver first runs against a throwaway engine to record its
+    submission schedule, which is then replayed onto the owning client
+    LPs before any simulated time advances.  The control is closed
+    (worker domains joined) before returning, even on exception. *)
 val run :
   Systems.running ->
   driver:driver ->

@@ -38,6 +38,12 @@ let set_shards n =
          n max_shards);
   override := Some n
 
+(* [None] (nothing requested anywhere) lets call sites that treat
+   sharding as opt-in — the real cluster figures — stay on the legacy
+   single-engine path unless the user actually asked for shards. *)
+let requested () =
+  match !override with Some n -> Some n | None -> env_shards ()
+
 let run_windows ?until ?workers sync =
   let workers = match workers with Some w -> w | None -> shards () in
   if workers < 1 || workers > max_shards then

@@ -50,6 +50,14 @@ val shards : unit -> int
     @raise Invalid_argument if [n < 1] or [n > max_shards]. *)
 val set_shards : int -> unit
 
+(** The shard count that was actually asked for — the [set_shards]
+    override if any, else [DRACONIS_SHARDS] if set — or [None] when
+    neither knob was touched.  Call sites that treat sharding as opt-in
+    (the real-cluster figure harnesses) use this to stay on the legacy
+    single-engine path by default, where {!shards}'s fallback of [1]
+    cannot distinguish "unset" from "explicitly 1". *)
+val requested : unit -> int option
+
 (** [run_windows ?until ?workers sync] drives {!Draconis_sim.Sync.run}.
     [workers] defaults to {!shards}; with one worker (or one LP) the
     windows execute inline — the sequential reference path — otherwise a

@@ -19,6 +19,25 @@ type extras = {
   queue_rejections : int;
 }
 
+(* How the runner drives a system's virtual time.  Single-engine systems
+   get [engine_control]; the sharded cluster supplies window-protocol
+   implementations (Sync.run under a work-stealing team, cross-LP
+   flushing, staged submission). *)
+type control = {
+  run_until : Time.t -> unit;
+  now : unit -> Time.t;
+  events : unit -> int;
+  finish : unit -> unit;
+      (* flush in-flight cross-LP effects (deferred metric notes) before
+         the runner freezes the outcome; no-op on single-engine systems *)
+  close : unit -> unit;  (* release worker domains; idempotent *)
+  stage : (at:Time.t -> Task.t list -> unit) option;
+      (* [Some] iff the workload must be pre-staged before the run: the
+         runner records the driver's submission schedule against a
+         throwaway engine and replays it here, pinning each submission
+         to the owning client's LP at the recorded time *)
+}
+
 type running = {
   name : string;
   engine : Engine.t;
@@ -28,7 +47,18 @@ type running = {
   extras : unit -> extras;
   probes : unit -> (string * (unit -> int)) list;
   phase_attribution : bool;
+  control : control;
 }
+
+let engine_control engine =
+  {
+    run_until = (fun until -> Engine.run ~until engine);
+    now = (fun () -> Engine.now engine);
+    events = (fun () -> Engine.executed engine);
+    finish = (fun () -> ());
+    close = (fun () -> ());
+    stage = None;
+  }
 
 (* Probe sources over a pipeline shared by Draconis and the switch-based
    baselines. *)
@@ -54,10 +84,51 @@ let round_robin_submit clients submit_one =
     cursor := (i + 1) mod Array.length clients;
     submit_one clients.(i) tasks
 
+(* Window-protocol control for a sharded cluster: Sync.run fanned out
+   over a persistent work-stealing team (sized to the machine, capped at
+   the shard count — outcomes are worker-count independent, so the cap
+   is purely a resource decision). *)
+let sharded_control cluster sync =
+  let shard_count = Array.length (Sync.lps sync) in
+  let lanes = max 1 (min shard_count (Pool.jobs ())) in
+  let team = if lanes > 1 then Some (Pool.Team.create ~size:lanes) else None in
+  let executor = Option.map (fun team thunks -> Pool.Team.run team thunks) team in
+  let now () =
+    Array.fold_left
+      (fun acc lp -> max acc (Engine.now (Lp.engine lp)))
+      Time.zero (Sync.lps sync)
+  in
+  let run_until until = Cluster.run ?executor cluster ~until in
+  let cursor = ref 0 in
+  let clients = Cluster.clients cluster in
+  {
+    run_until;
+    now;
+    events = (fun () -> Cluster.events cluster);
+    finish =
+      (fun () ->
+        (* Two extra lookahead windows flush deferred cross-LP metric
+           closures (submit notes ride one hop; exec-start notes are
+           already bounded by task flight time).  The flush horizon is a
+           pure function of the model, so it cannot perturb cross-shard
+           outcome equality. *)
+        run_until (now () + (2 * Sync.lookahead sync)));
+    close = (fun () -> Option.iter Pool.Team.shutdown team);
+    stage =
+      Some
+        (fun ~at tasks ->
+          let i = !cursor in
+          cursor := (i + 1) mod Array.length clients;
+          let client = clients.(i) in
+          ignore
+            (Engine.schedule_at (Client.engine client) ~at (fun () ->
+                 ignore (Client.submit_job client tasks))));
+  }
+
 let draconis_cluster ?(policy_of = fun _ -> Policy.Fcfs) ?(racks = 1)
     ?(queue_capacity = 164_000) ?(rsrc_of_node = fun _ -> 0xFFFFFFFF) ?client_timeout
     ?(noop_retry = Time.us 4) ?(pipeline_config = Draconis_p4.Pipeline.default_config)
-    spec =
+    ?shards ?(faults = Cluster.no_faults) spec =
   let cluster =
     Cluster.create
       {
@@ -73,9 +144,17 @@ let draconis_cluster ?(policy_of = fun _ -> Policy.Fcfs) ?(racks = 1)
         rsrc_of_node;
         client_timeout;
         pipeline_config;
+        shards;
+        static_faults = faults;
       }
   in
   Cluster.start cluster;
+  let sharded = Cluster.sync cluster in
+  let control =
+    match sharded with
+    | None -> engine_control (Cluster.engine cluster)
+    | Some sync -> sharded_control cluster sync
+  in
   let running =
     {
       name = "Draconis";
@@ -96,23 +175,31 @@ let draconis_cluster ?(policy_of = fun _ -> Policy.Fcfs) ?(racks = 1)
           });
       probes =
         (fun () ->
-          (* The program is re-fetched per sample so probes follow a
-             switch fail-over to the standby's fresh queues. *)
-          (("queue.occupancy",
-            fun () -> Switch_program.total_occupancy (Cluster.program cluster))
-           :: ("executors.busy", fun () -> Cluster.busy_executors cluster)
-           :: pipeline_probes (Cluster.pipeline cluster))
-          @ fabric_probes (Cluster.fabric cluster));
-      phase_attribution = true;
+          if Option.is_some sharded then
+            (* Ambient observability is engine-local; sampling it from
+               the runner's domain during a sharded run would race the
+               worker lanes.  Sharded runs report end-state metrics
+               only. *)
+            []
+          else
+            (* The program is re-fetched per sample so probes follow a
+               switch fail-over to the standby's fresh queues. *)
+            (("queue.occupancy",
+              fun () -> Switch_program.total_occupancy (Cluster.program cluster))
+             :: ("executors.busy", fun () -> Cluster.busy_executors cluster)
+             :: pipeline_probes (Cluster.pipeline cluster))
+            @ fabric_probes (Cluster.fabric cluster));
+      phase_attribution = Option.is_none sharded;
+      control;
     }
   in
   (cluster, running)
 
 let draconis ?policy_of ?racks ?queue_capacity ?rsrc_of_node ?client_timeout
-    ?noop_retry ?pipeline_config spec =
+    ?noop_retry ?pipeline_config ?shards ?faults spec =
   snd
     (draconis_cluster ?policy_of ?racks ?queue_capacity ?rsrc_of_node ?client_timeout
-       ?noop_retry ?pipeline_config spec)
+       ?noop_retry ?pipeline_config ?shards ?faults spec)
 
 let r2p2_system ~k ?client_timeout
     ?(pipeline_config = Draconis_p4.Pipeline.default_config)
@@ -151,6 +238,7 @@ let r2p2_system ~k ?client_timeout
           });
       probes = (fun () -> pipeline_probes (B.R2p2.pipeline system));
       phase_attribution = false;
+      control = engine_control (B.R2p2.engine system);
     } )
 
 let r2p2 ~k ?client_timeout ?pipeline_config ?work_stealing spec =
@@ -197,6 +285,7 @@ let racksched_system ?client_timeout ?(samples = 2) ?(intra = B.Node_worker.Fcfs
           });
       probes = (fun () -> pipeline_probes (B.Racksched.pipeline system));
       phase_attribution = false;
+      control = engine_control (B.Racksched.engine system);
     } )
 
 let racksched ?client_timeout ?samples ?intra spec =
@@ -228,6 +317,7 @@ let sparrow ~schedulers spec =
     extras = (fun () -> no_extras);
     probes = (fun () -> []);
     phase_attribution = false;
+    control = engine_control (B.Sparrow.engine system);
   }
 
 let central_server_system ?client_timeout variant spec =
@@ -266,6 +356,7 @@ let central_server_system ?client_timeout variant spec =
           });
       probes = (fun () -> []);
       phase_attribution = false;
+      control = engine_control (B.Central_server.engine system);
     } )
 
 let central_server ?client_timeout variant spec =

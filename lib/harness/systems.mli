@@ -29,6 +29,32 @@ type extras = {
   queue_rejections : int;  (** tasks bounced by a full queue *)
 }
 
+(** How the runner drives a system's virtual time.  Single-engine
+    systems wrap their engine with {!engine_control}; a sharded Draconis
+    cluster supplies the barrier-window protocol instead —
+    {!Draconis.Cluster.run} under a {!Pool.Team} work-stealing executor,
+    cross-LP effect flushing, and pre-staged submission. *)
+type control = {
+  run_until : Time.t -> unit;  (** advance simulated time to the bound *)
+  now : unit -> Time.t;  (** current simulated time (max across LPs) *)
+  events : unit -> int;  (** events executed (summed across LPs) *)
+  finish : unit -> unit;
+      (** flush in-flight cross-LP effects (deferred metric notes)
+          before the outcome is read; no-op on single-engine systems *)
+  close : unit -> unit;  (** release worker domains; idempotent *)
+  stage : (at:Time.t -> Task.t list -> unit) option;
+      (** [Some] iff the workload must be {e pre-staged} before the run:
+          the runner records the driver's submission schedule and
+          replays it here (before any time advances), pinning each job
+          to the owning client's LP at the recorded time.  Open-loop
+          drivers stage transparently; closed-loop drivers (which react
+          to completions) cannot and must fail loud. *)
+}
+
+(** Control for a classic single-engine system: [run_until] =
+    {!Draconis_sim.Engine.run}, [finish]/[close] no-ops, no staging. *)
+val engine_control : Engine.t -> control
+
 type running = {
   name : string;
   engine : Engine.t;
@@ -46,11 +72,20 @@ type running = {
           ({!Draconis.Causal}) so the runner may install a
           {!Draconis_obs.Trace_ctx}; true only for Draconis — baselines
           share the client and executor but not the switch program, so
-          their milestone streams would be incomplete *)
+          their milestone streams would be incomplete; also false for a
+          sharded cluster (ambient observability is domain-local) *)
+  control : control;
 }
 
 (** [draconis ?policy_of ?racks ?queue_capacity ?rsrc_of_node
-    ?client_timeout ?noop_retry spec] — the full Draconis deployment. *)
+    ?client_timeout ?noop_retry spec] — the full Draconis deployment.
+
+    [?shards] routes the cluster through [n] logical processes (see
+    {!Draconis.Cluster.config}); the returned control then runs barrier
+    windows on a work-stealing team sized [min n (Pool.jobs ())] and
+    requires staged submission.  [?faults] supplies the static fault
+    windows a sharded run can express.  Outcomes are bit-identical
+    across shard counts. *)
 val draconis :
   ?policy_of:(Topology.t -> Policy.t) ->
   ?racks:int ->
@@ -59,6 +94,8 @@ val draconis :
   ?client_timeout:Time.t ->
   ?noop_retry:Time.t ->
   ?pipeline_config:Draconis_p4.Pipeline.config ->
+  ?shards:int ->
+  ?faults:Cluster.static_faults ->
   spec ->
   running
 
@@ -72,6 +109,8 @@ val draconis_cluster :
   ?client_timeout:Time.t ->
   ?noop_retry:Time.t ->
   ?pipeline_config:Draconis_p4.Pipeline.config ->
+  ?shards:int ->
+  ?faults:Cluster.static_faults ->
   spec ->
   Cluster.t * running
 

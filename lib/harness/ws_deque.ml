@@ -1,0 +1,89 @@
+(* Chase-Lev work-stealing deque (Chase & Lev, SPAA '05; memory-model
+   treatment after Le et al., PPoPP '13).
+
+   One owner pushes and pops at the bottom (LIFO); any number of thieves
+   steal from the top (FIFO) with a CAS.  The buffer is a growable
+   circular array indexed by the *logical* position (masked), so growth
+   preserves every outstanding index: thieves racing a resize still find
+   their element at [top land mask] in whichever buffer they loaded —
+   the owner only copies into a fresh array and never overwrites live
+   slots of the old one.
+
+   OCaml 5 memory-model notes: [top], [bottom] and the buffer pointer
+   are [Atomic.t], so a thief that observes a pushed [bottom] also
+   observes the slot write that preceded it (publication), and the
+   owner's [pop] narrowing [bottom] is totally ordered with thieves'
+   [top] CASes.  Slot reads of already-published elements race only
+   with slot writes for *other* logical indices. *)
+
+type 'a buffer = { mask : int; slots : 'a option array }
+
+type 'a t = {
+  top : int Atomic.t;  (* next index thieves take *)
+  bottom : int Atomic.t;  (* next index the owner pushes at *)
+  buf : 'a buffer Atomic.t;  (* replaced (never mutated in place) on growth *)
+}
+
+let buffer size = { mask = size - 1; slots = Array.make size None }
+
+let create ?(size_exponent = 5) () =
+  if size_exponent < 1 || size_exponent > 22 then
+    invalid_arg "Ws_deque.create: size_exponent out of [1, 22]";
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (buffer (1 lsl size_exponent)) }
+
+(* Owner only.  Doubles the buffer, copying the live logical range so
+   every index in [t, b) resolves to the same element before and after
+   the swap. *)
+let grow q top bottom =
+  let old = Atomic.get q.buf in
+  let fresh = buffer (2 * (old.mask + 1)) in
+  for i = top to bottom - 1 do
+    fresh.slots.(i land fresh.mask) <- old.slots.(i land old.mask)
+  done;
+  Atomic.set q.buf fresh
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  if b - t > buf.mask then grow q t b;
+  let buf = Atomic.get q.buf in
+  buf.slots.(b land buf.mask) <- Some v;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Already empty; restore the canonical empty shape. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get q.buf in
+    let v = buf.slots.(b land buf.mask) in
+    if b > t then v
+    else begin
+      (* Last element: contend with thieves on [top]. *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then v else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buf in
+    let v = buf.slots.(t land buf.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then v else None
+  end
+
+(* Racy size estimate: exact for the owner, a hint for thieves (used to
+   decide whether a victim is worth another scan). *)
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let capacity q = (Atomic.get q.buf).mask + 1

@@ -1,0 +1,37 @@
+(** Chase-Lev work-stealing deque.
+
+    Single-owner, multi-thief: the owner {!push}es and {!pop}s at the
+    bottom in LIFO order; any other domain may {!steal} the oldest
+    element from the top with a CAS.  The backing buffer is circular
+    and grows by doubling while preserving logical indices, so steals
+    racing a resize remain linearizable.  This is the per-worker run
+    queue behind {!Pool.Team}'s window executor.
+
+    Progress/consistency contract (pinned by the property suite):
+    every pushed element is returned by exactly one [pop] or [steal] —
+    nothing is lost, nothing is duplicated — and [steal] may spuriously
+    return [None] under contention (lost CAS), never a wrong element. *)
+
+type 'a t
+
+(** [create ?size_exponent ()] — initial capacity [2^size_exponent]
+    (default 32 slots).
+    @raise Invalid_argument if the exponent is outside [\[1, 22\]]. *)
+val create : ?size_exponent:int -> unit -> 'a t
+
+(** Owner only: push at the bottom, growing the buffer if full. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only: pop the most recently pushed element ([None] when
+    empty, or when the last element was lost to a racing thief). *)
+val pop : 'a t -> 'a option
+
+(** Any domain: take the oldest element.  [None] means empty {e or} a
+    lost race — callers scan victims again while work remains. *)
+val steal : 'a t -> 'a option
+
+(** Racy size estimate: exact for the owner, a scan hint for thieves. *)
+val size : 'a t -> int
+
+(** Current buffer capacity (grows by doubling). *)
+val capacity : 'a t -> int

@@ -33,10 +33,33 @@ let default_config =
     detour_extra = 0;
   }
 
-type 'msg t = {
+(* Sharded routing context, shared by the per-LP instances of a
+   [router].  Every send stamps its delivery into the destination LP's
+   inbox with [(arrival, entity, seq)], drawing latency jitter and loss
+   from the {e sender entity}'s own stream — so neither the LP
+   partitioning nor the domain schedule can shift a draw or reorder two
+   same-time deliveries.  Faults are static time windows ([win_loss],
+   [win_cut]) instead of the mutable runtime controls, for the same
+   reason. *)
+type 'msg shard = {
+  s_lookahead : Time.t;
+  lps : Lp.t array;
+  switch_lp : int;
+  lp_of_host : int array;  (* host id -> LP index *)
+  eid_rng : Rng.t array;  (* entity id (switch 0, host h -> h+1) -> stream *)
+  eid_seq : int array;  (* entity id -> monotone mailbox-stamp counter *)
+  win_loss : Time.t -> float;
+  win_cut : Time.t -> int -> bool;
+  instances : 'msg t option array;  (* per-LP instance, same index as [lps] *)
+}
+
+and 'msg t = {
   engine : Engine.t;
   rng : Rng.t;
   config : config;
+  (* [Some (ctx, lp_index)] on a per-LP instance of a sharded router;
+     [None] on the classic single-engine fabric. *)
+  shard : ('msg shard * int) option;
   (* Dense dispatch: host handlers indexed by id, the switch in its own
      slot — one bounds check and an array read per delivery instead of a
      Hashtbl probe. *)
@@ -87,7 +110,7 @@ let create ?(config = default_config) engine rng =
   if config.detour_extra < 0 then
     invalid_arg "Fabric.create: detour_extra must be non-negative";
   let t =
-    { engine; rng; config; host_handlers = Array.make 64 None;
+    { engine; rng; config; shard = None; host_handlers = Array.make 64 None;
       switch_handler = None; bad = false;
       loss_override = None; partitioned = Hashtbl.create 8; lossless = false;
       delivered = 0; lost = 0; partition_dropped = 0; undeliverable = 0 }
@@ -121,7 +144,23 @@ let handler_of t = function
       Array.unsafe_get t.host_handlers h
     else None
 
+(* The runtime fault controls mutate fabric-global state mid-run, which
+   a sharded router cannot honour deterministically (an LP may already
+   have simulated past the change).  Sharded runs express faults as
+   static windows instead ([router ~loss_at ~cut_at]). *)
+let require_unsharded t what =
+  match t.shard with
+  | None -> ()
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Fabric.%s: runtime fault controls are not available on a sharded \
+          router instance; compile the fault plan to static windows \
+          (router ~loss_at ~cut_at) instead"
+         what)
+
 let set_loss_override t p =
+  require_unsharded t "set_loss_override";
   Option.iter (check_probability ~what:"loss override") p;
   t.loss_override <- p;
   recompute_lossless t
@@ -129,6 +168,7 @@ let set_loss_override t p =
 let loss_override t = t.loss_override
 
 let partition t hosts =
+  require_unsharded t "partition";
   List.iter
     (fun host ->
       let n = Option.value ~default:0 (Hashtbl.find_opt t.partitioned host) in
@@ -137,6 +177,7 @@ let partition t hosts =
   recompute_lossless t
 
 let heal t hosts =
+  require_unsharded t "heal";
   List.iter
     (fun host ->
       match Hashtbl.find_opt t.partitioned host with
@@ -251,15 +292,80 @@ let send_lossy t ?int_ ~src ~dst ~now payload =
     else deliver t ?int_ ~src ~dst ~now payload
   end
 
+(* -- sharded send path --------------------------------------------------- *)
+
+let entity_id = function Addr.Switch -> 0 | Addr.Host h -> h + 1
+
+let check_entity s addr what =
+  let e = entity_id addr in
+  if e >= Array.length s.eid_seq then
+    invalid_arg
+      (Printf.sprintf "Fabric.send: %s %s outside the routed host range [0, %d)"
+         what (Addr.to_string addr)
+         (Array.length s.eid_seq - 1));
+  e
+
+let lp_of_addr s = function
+  | Addr.Switch -> s.switch_lp
+  | Addr.Host h -> s.lp_of_host.(h)
+
+(* Same decision order as the legacy [send_lossy]/[deliver] pair —
+   partition check (no draw), then the loss draw, then the jitter draw —
+   but every draw comes from the sender entity's own stream and every
+   fault check is a pure function of simulated time, so the draw
+   sequence is identical under any partitioning.  Ambient observability
+   (Recorder/Trace/INT) is skipped: it is domain-local state that helper
+   domains do not carry. *)
+let send_sharded t (s, _) ?int_ ~src ~dst payload =
+  let now = Engine.now t.engine in
+  let se = check_entity s src "src" in
+  ignore (check_entity s dst "dst");
+  let cut = function Addr.Switch -> false | Addr.Host h -> s.win_cut now h in
+  if cut src || cut dst then t.partition_dropped <- t.partition_dropped + 1
+  else begin
+    let rng = s.eid_rng.(se) in
+    let p = Float.max t.config.loss (s.win_loss now) in
+    if p > 0.0 && Rng.float rng < p then t.lost <- t.lost + 1
+    else begin
+      let jitter = if t.config.jitter > 0 then Rng.int rng (t.config.jitter + 1) else 0 in
+      let latency = base_latency t src dst + jitter in
+      (* [base_latency] is at least one host<->switch hop for any
+         src <> dst pair, which is exactly the lookahead — the guard only
+         fires if the latency model drifts out from under the contract. *)
+      if latency < s.s_lookahead then
+        invalid_arg
+          (Printf.sprintf
+             "Fabric.send: sharded latency %d below the lookahead %d (conservative \
+              window violation)"
+             latency s.s_lookahead);
+      let seq = s.eid_seq.(se) in
+      s.eid_seq.(se) <- seq + 1;
+      let dlp = lp_of_addr s dst in
+      let env = { src; dst; sent_at = now; payload; int_ } in
+      Lp.post s.lps.(dlp) ~at:(now + latency) ~src:se ~seq (fun () ->
+          match s.instances.(dlp) with
+          | None -> assert false (* filled before the router is returned *)
+          | Some inst -> (
+            match handler_of inst dst with
+            | Some handler ->
+              inst.delivered <- inst.delivered + 1;
+              handler env
+            | None -> inst.undeliverable <- inst.undeliverable + 1))
+    end
+  end
+
 let send t ?int_ ~src ~dst payload =
   if Addr.equal src dst then invalid_arg "Fabric.send: src = dst";
-  let now = Engine.now t.engine in
-  Obs.Recorder.count "fabric.sent" 1;
-  if Trace.enabled () then
-    Trace.emit ~at:now Trace.Fabric
-      (lazy (Printf.sprintf "send %s -> %s" (Addr.to_string src) (Addr.to_string dst)));
-  if t.lossless then deliver t ?int_ ~src ~dst ~now payload
-  else send_lossy t ?int_ ~src ~dst ~now payload
+  match t.shard with
+  | Some ctx -> send_sharded t ctx ?int_ ~src ~dst payload
+  | None ->
+    let now = Engine.now t.engine in
+    Obs.Recorder.count "fabric.sent" 1;
+    if Trace.enabled () then
+      Trace.emit ~at:now Trace.Fabric
+        (lazy (Printf.sprintf "send %s -> %s" (Addr.to_string src) (Addr.to_string dst)));
+    if t.lossless then deliver t ?int_ ~src ~dst ~now payload
+    else send_lossy t ?int_ ~src ~dst ~now payload
 
 let in_burst t = t.bad
 let delivered t = t.delivered
@@ -298,3 +404,85 @@ module Mailbox = struct
 
   let posted t = Lp.posted t.dst
 end
+
+(* -- sharded router ------------------------------------------------------- *)
+
+(* Per-entity stream seed: splitmix-style (seed, entity) mix, so a
+   stream depends only on the model entity, never on the LP it happens
+   to be grouped onto (the same contract as Lp's own seeding). *)
+let mix seed eid =
+  let h = ref (seed lxor ((eid + 1) * 0x9E3779B97F4A7C1)) in
+  h := (!h lxor (!h lsr 30)) * 0xBF58476D1CE4E5B;
+  h := (!h lxor (!h lsr 27)) * 0x94D049BB133111E;
+  (!h lxor (!h lsr 31)) land max_int
+
+let router ?(config = default_config) ?(loss_at = fun _ -> 0.0)
+    ?(cut_at = fun _ _ -> false) ~lps ~switch_lp ~lp_of_host ~hosts ~seed () =
+  let la = lookahead config in
+  if config.burst <> None then
+    invalid_arg
+      "Fabric.router: burst loss steps a fabric-global channel per packet and \
+       cannot be sharded deterministically; compile it to static loss windows \
+       (loss_at) instead";
+  check_probability ~what:"loss" config.loss;
+  check_probability ~what:"detour_fraction" config.detour_fraction;
+  if config.jitter < 0 then invalid_arg "Fabric.router: jitter must be non-negative";
+  if config.detour_extra < 0 then
+    invalid_arg "Fabric.router: detour_extra must be non-negative";
+  let n = Array.length lps in
+  if n = 0 then invalid_arg "Fabric.router: no LPs";
+  if switch_lp < 0 || switch_lp >= n then
+    invalid_arg (Printf.sprintf "Fabric.router: switch_lp %d outside [0, %d)" switch_lp n);
+  if hosts < 0 then invalid_arg "Fabric.router: negative host count";
+  let map = Array.init hosts lp_of_host in
+  Array.iteri
+    (fun h l ->
+      if l < 0 || l >= n then
+        invalid_arg
+          (Printf.sprintf "Fabric.router: host %d mapped to LP %d outside [0, %d)" h l n))
+    map;
+  let s =
+    {
+      s_lookahead = la;
+      lps;
+      switch_lp;
+      lp_of_host = map;
+      eid_rng = Array.init (hosts + 1) (fun e -> Rng.create ~seed:(mix seed e));
+      eid_seq = Array.make (hosts + 1) 0;
+      win_loss = loss_at;
+      win_cut = cut_at;
+      instances = Array.make n None;
+    }
+  in
+  Array.mapi
+    (fun i lp ->
+      let inst =
+        {
+          engine = Lp.engine lp;
+          rng = Lp.rng lp;
+          config;
+          shard = Some (s, i);
+          host_handlers = Array.make (max 64 hosts) None;
+          switch_handler = None;
+          bad = false;
+          loss_override = None;
+          partitioned = Hashtbl.create 1;
+          lossless = true;
+          delivered = 0;
+          lost = 0;
+          partition_dropped = 0;
+          undeliverable = 0;
+        }
+      in
+      s.instances.(i) <- Some inst;
+      inst)
+    lps
+
+let router_defer t ~src ~at fn =
+  match t.shard with
+  | None -> invalid_arg "Fabric.router_defer: not a sharded router instance"
+  | Some (s, _) ->
+    let se = check_entity s src "src" in
+    let seq = s.eid_seq.(se) in
+    s.eid_seq.(se) <- seq + 1;
+    Lp.post s.lps.(s.switch_lp) ~at:(at + s.s_lookahead) ~src:se ~seq fn

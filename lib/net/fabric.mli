@@ -171,3 +171,53 @@ module Mailbox : sig
   (** Messages posted through this mailbox. *)
   val posted : t -> int
 end
+
+(** {2 Sharded router}
+
+    [router] builds one fabric instance per logical process, all sharing
+    a routing context: handlers register on the instance of the LP their
+    entity lives on, and {e every} send — same-LP or cross-LP — is
+    stamped into the destination LP's inbox ({!Draconis_sim.Lp.post})
+    with [(arrival, entity id, seq)].  Latency jitter and loss are drawn
+    from the {e sender entity}'s private stream (seeded from
+    [(seed, entity)]), and faults are static time windows, so the
+    outcome of a sharded run is independent of both the partitioning and
+    the domain schedule.  Entity ids: the switch is 0, host [h] is
+    [h + 1].
+
+    Restrictions compared to the classic fabric: [config.burst] is
+    rejected (the Gilbert-Elliott chain steps fabric-global state per
+    packet), and the runtime fault controls ({!set_loss_override},
+    {!partition}, {!heal}) raise — fault plans must compile to
+    [loss_at]/[cut_at] windows.  Ambient observability (Recorder, Trace,
+    INT stamp draining) is skipped on the sharded path: it lives in
+    domain-local storage that helper domains do not carry. *)
+
+(** [router ~lps ~switch_lp ~lp_of_host ~hosts ~seed ()] returns one
+    instance per LP (same index as [lps]).  [lp_of_host] maps each host
+    id in [\[0, hosts)] to its LP index; the switch lives on
+    [switch_lp].  [loss_at now] is an extra i.i.d. drop probability
+    (composed with [config.loss] by max) and [cut_at now host] cuts a
+    host off — both must be pure functions of their arguments.
+    @raise Invalid_argument on an empty [lps], out-of-range LP indexes,
+    a [burst] config, or any invalid latency/probability parameter. *)
+val router :
+  ?config:config ->
+  ?loss_at:(Time.t -> float) ->
+  ?cut_at:(Time.t -> int -> bool) ->
+  lps:Draconis_sim.Lp.t array ->
+  switch_lp:int ->
+  lp_of_host:(int -> int) ->
+  hosts:int ->
+  seed:int ->
+  unit ->
+  'msg t array
+
+(** [router_defer t ~src ~at fn] posts [fn] to the {e switch} LP's inbox
+    at [at + lookahead], stamped with [src]'s entity id and the same
+    per-entity sequence counter as [src]'s sends.  This is the deferral
+    channel for cross-LP side effects that are not messages — metric
+    mutations ({!Draconis_core} [Metrics.remote]) — keeping their
+    application order a pure function of the stamps.
+    @raise Invalid_argument on a non-router instance. *)
+val router_defer : 'msg t -> src:Addr.t -> at:Draconis_sim.Time.t -> (unit -> unit) -> unit

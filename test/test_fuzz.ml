@@ -110,10 +110,12 @@ let test_oracle_fifo () =
   Alcotest.(check int) "empty after remove" 0 (Fz.Oracle.total o)
 
 let test_clean_campaign_exercises_all_invariants () =
-  (* The real pipeline over a seed sweep: zero violations, and every
-     registered invariant actually evaluated at least once. *)
+  (* The real pipeline over a seed sweep — with the sharded smoke legs
+     on, so the cross-LP outcome-equality invariant is exercised too:
+     zero violations, and every registered invariant actually evaluated
+     at least once. *)
   let seeds = List.init 150 (fun i -> i + 1) in
-  let campaign = Fz.Fuzz.run_campaign ~seeds () in
+  let campaign = Fz.Fuzz.run_campaign ~sharded:true ~seeds () in
   (match campaign.Fz.Fuzz.failures with
   | [] -> ()
   | f :: _ ->
@@ -126,6 +128,41 @@ let test_clean_campaign_exercises_all_invariants () =
       let n = List.assoc inv campaign.Fz.Fuzz.checks in
       Alcotest.(check bool) (inv ^ " evaluated") true (n > 0))
     Fz.Checker.invariants
+
+let test_sharded_rig_consistency () =
+  (* The sharded execution path directly: the same schedule through one
+     LP and through a switch-LP/host-LP split must agree on everything
+     partition-independent, and the rig must not be vacuous — across
+     the seeds, tasks actually reach executors. *)
+  let delivered = ref 0 in
+  List.iter
+    (fun seed ->
+      let schedule = Fz.Gen.schedule ~seed () in
+      let one = Fz.Exec.run_sharded ~shards:1 schedule in
+      let two = Fz.Exec.run_sharded ~shards:2 schedule in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: sharded run recorded events" seed)
+        true
+        (Array.length one.Fz.Checker.events > 0);
+      Array.iter
+        (function Fz.Checker.Delivered _ -> incr delivered | _ -> ())
+        two.Fz.Checker.events;
+      let report =
+        Fz.Checker.check ~sharded:(one, two) schedule (Fz.Exec.run schedule)
+      in
+      match report.Fz.Checker.violations with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.failf "seed %d violated %s: %s" seed v.Fz.Checker.invariant
+          v.Fz.Checker.detail)
+    [ 3; 11; 42 ];
+  Alcotest.(check bool) "sharded legs delivered tasks" true (!delivered > 0);
+  (* Only the two supported partitionings exist: LP0 = switch is fixed. *)
+  Alcotest.(check bool) "shards=3 fails loud" true
+    (try
+       ignore (Fz.Exec.run_sharded ~shards:3 (Fz.Gen.schedule ~seed:1 ()));
+       false
+     with Invalid_argument _ -> true)
 
 let test_injected_bug_caught_and_shrunk () =
   (* Harness self-test: re-introduce the stamp-validity bug, catch it,
@@ -177,6 +214,8 @@ let suite =
     Alcotest.test_case "oracle FIFO / overflow / swap / remove" `Quick test_oracle_fifo;
     Alcotest.test_case "clean campaign exercises every invariant" `Quick
       test_clean_campaign_exercises_all_invariants;
+    Alcotest.test_case "sharded execution matches across LP partitionings" `Quick
+      test_sharded_rig_consistency;
     Alcotest.test_case "injected stamp bug caught and shrunk" `Quick
       test_injected_bug_caught_and_shrunk;
     Alcotest.test_case "injected dropped-repair bug caught" `Quick

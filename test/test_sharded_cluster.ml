@@ -1,0 +1,176 @@
+(* The sharded Draconis cluster: outcome equality across shard counts
+   (the tentpole guarantee — partitioning the data path over logical
+   processes must not change a single metric), work-stealing executor
+   neutrality, static fault windows, and the fail-loud guards. *)
+
+open Draconis_sim
+open Draconis_workload
+module H = Draconis_harness
+
+let spec = { H.Systems.workers = 4; executors_per_worker = 4; clients = 2; seed = 7 }
+let kind = Synthetic.Fixed_100us
+let horizon = Time.ms 10
+let rate_tps = 90_000.0
+
+let driver = H.Exp_common.synthetic_driver kind ~rate_tps ~horizon
+
+(* Everything in an outcome except wall-clock throughput, which is the
+   one field allowed to differ between runs. *)
+let digest (o : H.Runner.outcome) =
+  [
+    ("submitted", o.submitted);
+    ("started", o.started);
+    ("completed", o.completed);
+    ("timeouts", o.timeouts);
+    ("rejected", o.rejected);
+    ("p50", o.sched_p50);
+    ("p99", o.sched_p99);
+    ("mean_ns", int_of_float o.sched_mean);
+    ("swaps", o.swaps);
+    ("recirculations", o.recirculations);
+    ("repair_flags", o.repair_flags);
+    ("events", o.events);
+    ("drained", if o.drained then 1 else 0);
+  ]
+
+let run_sharded ?faults shards =
+  let system = H.Systems.draconis ~racks:2 ~shards ?faults spec in
+  H.Runner.run system ~driver ~load_tps:rate_tps ~horizon ()
+
+let check_digests name reference other =
+  Alcotest.(check (list (pair string int))) name (digest reference) (digest other)
+
+let test_outcome_equality () =
+  let reference = run_sharded 1 in
+  Alcotest.(check bool) "work happened" true (reference.completed > 100);
+  Alcotest.(check bool) "drained" true reference.drained;
+  List.iter
+    (fun shards ->
+      check_digests
+        (Printf.sprintf "shards=%d == shards=1" shards)
+        reference (run_sharded shards))
+    [ 2; 4 ]
+
+let faults =
+  {
+    Draconis.Cluster.loss_windows = [| (Time.ms 2, Time.ms 4, 0.05) |];
+    cut_windows = [| (Time.ms 3, Time.ms 4, [ 1 ]) |];
+    slow_windows = [| (Time.ms 1, Time.ms 6, 2, 3.0) |];
+  }
+
+let test_fault_equality () =
+  let system shards =
+    H.Systems.draconis ~racks:2 ~shards ~faults ~client_timeout:(Time.ms 2) spec
+  in
+  let run shards = H.Runner.run (system shards) ~driver ~load_tps:rate_tps ~horizon () in
+  let reference = run 1 in
+  Alcotest.(check bool) "faults bit (losses recovered)" true
+    (reference.timeouts > 0 && reference.completed > 100);
+  List.iter
+    (fun shards ->
+      check_digests
+        (Printf.sprintf "faulted shards=%d == shards=1" shards)
+        reference (run shards))
+    [ 2; 4 ]
+
+let test_executor_neutrality () =
+  (* The barrier-window executor is pure execution vehicle: fanning each
+     window over a 2-lane work-stealing team must reproduce the inline
+     run bit for bit.  Driven below Systems/Runner so the team size is
+     ours to pick (the harness sizes it to the machine). *)
+  let build () =
+    let cluster =
+      Draconis.Cluster.create
+        {
+          Draconis.Cluster.default_config with
+          seed = 7;
+          workers = 4;
+          executors_per_worker = 4;
+          clients = 2;
+          racks = 2;
+          shards = Some 4;
+        }
+    in
+    Draconis.Cluster.start cluster;
+    (* Stage a fixed workload directly onto the owning client LPs. *)
+    Array.iteri
+      (fun c client ->
+        for j = 0 to 39 do
+          ignore
+            (Engine.schedule_at
+               (Draconis.Client.engine client)
+               ~at:(Time.us (50 + (j * 200) + c))
+               (fun () ->
+                 ignore
+                   (Draconis.Client.submit_job client
+                      (List.init 3 (fun tid ->
+                           Draconis_proto.Task.make ~uid:0 ~jid:0 ~tid
+                             ~fn_id:Draconis_proto.Task.Fn.busy_loop
+                             ~fn_par:(Time.us 100) ())))))
+        done)
+      (Draconis.Cluster.clients cluster);
+    cluster
+  in
+  let digest cluster =
+    let m = Draconis.Cluster.metrics cluster in
+    [
+      Draconis.Metrics.submitted m;
+      Draconis.Metrics.started m;
+      Draconis.Metrics.completed m;
+      Draconis.Cluster.events cluster;
+    ]
+  in
+  let inline_cluster = build () in
+  Draconis.Cluster.run inline_cluster ~until:horizon;
+  let team = H.Pool.Team.create ~size:2 in
+  let teamed =
+    Fun.protect
+      ~finally:(fun () -> H.Pool.Team.shutdown team)
+      (fun () ->
+        let cluster = build () in
+        Draconis.Cluster.run ~executor:(H.Pool.Team.run team) cluster ~until:horizon;
+        digest cluster)
+  in
+  Alcotest.(check (list int)) "teamed == inline" (digest inline_cluster) teamed
+
+let test_shards_exceed_lp_groups () =
+  (* 4 workers + 2 clients admit 1 + 6 LP groups; 8 must fail loud. *)
+  Alcotest.check_raises "too many shards"
+    (Invalid_argument
+       "Cluster.create: 8 shards exceed the 7 LP groups this topology admits \
+        (1 switch LP + 6 hosts: 4 workers + 2 clients); lower --shards")
+    (fun () -> ignore (run_sharded 8))
+
+let test_static_faults_require_shards () =
+  Alcotest.(check bool) "legacy cluster rejects static faults" true
+    (try
+       ignore (H.Systems.draconis ~racks:2 ~faults spec);
+       false
+     with Invalid_argument _ -> true)
+
+let test_feed_noop_rejects_staged () =
+  let system = H.Systems.draconis ~racks:2 ~shards:2 spec in
+  Fun.protect
+    ~finally:(fun () -> system.control.H.Systems.close ())
+    (fun () ->
+      Alcotest.(check bool) "closed-loop feeder fails loud" true
+        (try
+           H.Exp_common.feed_noop system ~in_flight:16 ~horizon;
+           false
+         with Invalid_argument _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "outcomes bit-identical across shards {1,2,4}" `Quick
+      test_outcome_equality;
+    Alcotest.test_case "static faults bit-identical across shards" `Quick
+      test_fault_equality;
+    Alcotest.test_case "work-stealing executor is outcome-neutral" `Quick
+      test_executor_neutrality;
+    Alcotest.test_case "shards > LP groups fails loud" `Quick
+      test_shards_exceed_lp_groups;
+    Alcotest.test_case "static faults require sharding" `Quick
+      test_static_faults_require_shards;
+    Alcotest.test_case "feed_noop rejects staged systems" `Quick
+      test_feed_noop_rejects_staged;
+  ]

@@ -1,0 +1,167 @@
+(* Chase-Lev work-stealing deque: sequential semantics, and the
+   progress/consistency contract under real concurrency — every pushed
+   element comes back from exactly one [pop] or [steal], including while
+   the owner is growing the buffer mid-stream. *)
+
+module H = Draconis_harness
+
+let test_lifo_owner () =
+  let d = H.Ws_deque.create () in
+  for i = 0 to 9 do
+    H.Ws_deque.push d i
+  done;
+  Alcotest.(check int) "size" 10 (H.Ws_deque.size d);
+  for i = 9 downto 0 do
+    Alcotest.(check (option int)) "pop LIFO" (Some i) (H.Ws_deque.pop d)
+  done;
+  Alcotest.(check (option int)) "empty pop" None (H.Ws_deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (H.Ws_deque.steal d)
+
+let test_steal_fifo () =
+  let d = H.Ws_deque.create () in
+  for i = 0 to 4 do
+    H.Ws_deque.push d i
+  done;
+  (* Thieves take from the opposite end: oldest first. *)
+  for i = 0 to 4 do
+    Alcotest.(check (option int)) "steal FIFO" (Some i) (H.Ws_deque.steal d)
+  done
+
+let test_grow_preserves () =
+  (* size_exponent 1 = capacity 2, so 100 pushes force repeated grows. *)
+  let d = H.Ws_deque.create ~size_exponent:1 () in
+  for i = 0 to 99 do
+    H.Ws_deque.push d i
+  done;
+  Alcotest.(check bool) "capacity grew" true (H.Ws_deque.capacity d >= 100);
+  let seen = ref [] in
+  let rec drain () =
+    match H.Ws_deque.pop d with
+    | Some v ->
+      seen := v :: !seen;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "all elements, order kept" (List.init 100 Fun.id)
+    !seen
+
+(* The concurrent harness behind the QCheck properties: one owner domain
+   interleaves pushes (elements [0..n-1]) with [owner_pops] pops;
+   [thieves] domains steal until the owner is done and the deque is
+   drained.  Returns the sorted union of everything popped and stolen —
+   the contract says it must be exactly [0..n-1]. *)
+let run_owner_vs_thieves ~size_exponent ~n ~owner_pops ~thieves ~seed =
+  let d = H.Ws_deque.create ~size_exponent () in
+  let done_ = Atomic.make false in
+  let popped = ref [] in
+  let stolen = Array.make thieves [] in
+  let workers =
+    Array.init thieves (fun w ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            let rec go () =
+              match H.Ws_deque.steal d with
+              | Some v ->
+                acc := v :: !acc;
+                go ()
+              | None -> if not (Atomic.get done_) then go ()
+            in
+            go ();
+            (* One last sweep after the owner finished so nothing is
+               stranded between the done flag and the final steal. *)
+            let rec sweep () =
+              match H.Ws_deque.steal d with
+              | Some v ->
+                acc := v :: !acc;
+                sweep ()
+              | None -> ()
+            in
+            sweep ();
+            stolen.(w) <- !acc))
+  in
+  let rng = Random.State.make [| seed |] in
+  let pops_left = ref owner_pops in
+  for i = 0 to n - 1 do
+    H.Ws_deque.push d i;
+    if !pops_left > 0 && Random.State.int rng 4 = 0 then begin
+      decr pops_left;
+      match H.Ws_deque.pop d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+    end
+  done;
+  let rec drain () =
+    match H.Ws_deque.pop d with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set done_ true;
+  Array.iter Domain.join workers;
+  (* The owner can race a final steal: drain once more. *)
+  drain ();
+  List.sort compare
+    (Array.fold_left (fun acc l -> l @ acc) !popped stolen)
+
+let prop_no_loss_no_dup =
+  QCheck.Test.make ~count:30
+    ~name:"owner push/pop vs concurrent stealers loses and duplicates nothing"
+    QCheck.(triple (int_range 1 400) (int_range 0 100) small_nat)
+    (fun (n, owner_pops, seed) ->
+      let got =
+        run_owner_vs_thieves ~size_exponent:2 ~n ~owner_pops ~thieves:2 ~seed
+      in
+      got = List.init n Fun.id)
+
+let prop_steal_under_resize =
+  QCheck.Test.make ~count:20
+    ~name:"steals racing buffer grows lose and duplicate nothing"
+    QCheck.(pair (int_range 50 600) small_nat)
+    (fun (n, seed) ->
+      (* Capacity 2 start: nearly every push early on grows the buffer
+         while the thieves are mid-steal. *)
+      let got =
+        run_owner_vs_thieves ~size_exponent:1 ~n ~owner_pops:0 ~thieves:3 ~seed
+      in
+      got = List.init n Fun.id)
+
+(* Team batches must be execution-order independent: the set of effects
+   (here: each thunk records its index, possibly from a stolen slot) is
+   the same for every team size, across repeated epochs on one team. *)
+let test_team_size_independence () =
+  let batch = 97 in
+  let run_with size =
+    let team = H.Pool.Team.create ~size in
+    Fun.protect
+      ~finally:(fun () -> H.Pool.Team.shutdown team)
+      (fun () ->
+        let out = ref [] in
+        for epoch = 0 to 2 do
+          let slots = Array.make batch (-1) in
+          H.Pool.Team.run team
+            (Array.init batch (fun i () -> slots.(i) <- (epoch * batch) + i));
+          out := Array.to_list slots :: !out
+        done;
+        List.rev !out)
+  in
+  let reference = run_with 1 in
+  List.iter
+    (fun size ->
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "team size %d matches size 1" size)
+        reference (run_with size))
+    [ 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "owner LIFO" `Quick test_lifo_owner;
+    Alcotest.test_case "thief FIFO" `Quick test_steal_fifo;
+    Alcotest.test_case "grow preserves contents" `Quick test_grow_preserves;
+    QCheck_alcotest.to_alcotest prop_no_loss_no_dup;
+    QCheck_alcotest.to_alcotest prop_steal_under_resize;
+    Alcotest.test_case "team is size-independent" `Quick
+      test_team_size_independence;
+  ]
